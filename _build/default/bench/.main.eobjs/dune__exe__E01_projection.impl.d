@@ -1,0 +1,1 @@
+bench/e01_projection.ml: Array Convex_obs List Observable Option Params Printf Project Scdb_polytope Scdb_rng Stdlib Util

@@ -1,0 +1,1 @@
+bench/e02_mixing.ml: Array Float List Printf Scdb_polytope Scdb_rng Scdb_sampling Stdlib Util Vec

@@ -1,0 +1,1 @@
+bench/e03_rejection.ml: Array Float List Printf Scdb_polytope Scdb_rng Scdb_sampling Util

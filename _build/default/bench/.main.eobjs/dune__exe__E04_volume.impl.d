@@ -1,0 +1,1 @@
+bench/e04_volume.ml: Float List Printf Scdb_polytope Scdb_rng Scdb_sampling Util

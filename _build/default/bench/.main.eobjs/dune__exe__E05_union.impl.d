@@ -1,0 +1,1 @@
+bench/e05_union.ml: Array Convex_obs List Observable Option Params Printf Rational Relation Scdb_polytope Scdb_rng Stdlib Union Util

@@ -1,0 +1,1 @@
+bench/e06_inter.ml: Convex_obs Inter List Observable Option Params Printf Rational Relation Scdb_polytope Scdb_rng Util

@@ -1,0 +1,1 @@
+bench/e07_diff.ml: Array Convex_obs Diff List Observable Option Params Printf Rational Relation Scdb_polytope Scdb_rng Util

@@ -1,0 +1,1 @@
+bench/e08_fixed_dim.ml: Float List Printf Relation Scdb_polytope Scdb_rng Scdb_sampling Util

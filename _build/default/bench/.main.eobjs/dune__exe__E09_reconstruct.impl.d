@@ -1,0 +1,1 @@
+bench/e09_reconstruct.ml: Convex_obs List Option Printf Reconstruct Scdb_polytope Scdb_rng Util

@@ -1,0 +1,1 @@
+bench/e10_fm_vs_sampling.ml: Atom List Printf Project Rational Reconstruct Relation Scdb_polytope Scdb_qe Scdb_rng Term Util

@@ -1,0 +1,1 @@
+bench/e11_sat.ml: Convex_obs Inter List Observable Printf Rational Sat_encode Scdb_rng Util

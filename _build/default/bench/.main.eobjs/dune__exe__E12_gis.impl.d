@@ -1,0 +1,1 @@
+bench/e12_gis.ml: Aggregate Convex_obs Eval Formula List Printf Query Reconstruct Scdb_gis Scdb_rng Synth Util

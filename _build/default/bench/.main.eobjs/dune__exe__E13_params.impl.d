@@ -1,0 +1,1 @@
+bench/e13_params.ml: Array Convex_obs Float List Observable Option Params Printf Relation Scdb_polytope Scdb_rng Scdb_sampling Stdlib Union Util

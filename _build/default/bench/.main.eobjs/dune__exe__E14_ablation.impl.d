@@ -1,0 +1,1 @@
+bench/e14_ablation.ml: Array List Mat Printf Scdb_polytope Scdb_rng Scdb_sampling Util

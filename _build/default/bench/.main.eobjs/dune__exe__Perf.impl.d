@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Array Bechamel Benchmark Bigint Hashtbl List Measure Printf Relation Scdb_hull Scdb_lp Scdb_polytope Scdb_qe Scdb_rng Scdb_sampling Staged Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/util.ml: Array Float List Printf Scdb_rng String Unix

@@ -1,0 +1,56 @@
+(* E6 — Proposition 4.1 / Corollary 4.3.
+
+   Intersection by rejection from the smallest operand works exactly when
+   the intersection is poly-related to it.  We shrink the overlap width w
+   of two unit boxes: the estimator stays accurate while w is moderate and
+   the generator starts failing (reporting None, as specified) once the
+   intersection leaves the poly-related regime for the promised degree. *)
+
+module VE = Scdb_polytope.Volume_exact
+module Rng = Scdb_rng.Rng
+
+let q = Rational.of_float
+
+let run ~fast =
+  Util.header "E6: intersection and the poly-relatedness condition (Prop 4.1)";
+  let rng = Util.fresh_rng () in
+  let cfg = Convex_obs.practical_config in
+  let params = Params.make ~gamma:0.05 ~eps:0.15 ~delta:0.1 () in
+  let widths = if fast then [ 0.5; 0.1; 0.01 ] else [ 0.5; 0.2; 0.1; 0.01; 0.001 ] in
+  let attempts = if fast then 20 else 60 in
+  let rows =
+    List.map
+      (fun w ->
+        (* [0, 1] x [0,1]  ∩  [1-w, 2-w] x [0,1]: overlap w x 1 *)
+        let a = Relation.box [| q 0.0; q 0.0 |] [| q 1.0; q 1.0 |] in
+        let b = Relation.box [| q (1.0 -. w); q 0.0 |] [| q (2.0 -. w); q 1.0 |] in
+        let truth = VE.float_volume_relation (Relation.inter a b) in
+        let oa = Option.get (Convex_obs.make ~config:cfg rng a) in
+        let ob = Option.get (Convex_obs.make ~config:cfg rng b) in
+        let it = Inter.inter ~poly_degree:2 [ oa; ob ] in
+        let success = ref 0 in
+        for _ = 1 to attempts do
+          if Option.is_some (Observable.sample it rng params) then incr success
+        done;
+        let est =
+          if !success > 0 then
+            match Observable.volume it rng ~eps:0.25 ~delta:0.25 with
+            | v -> Util.fmt_f ~digits:4 v
+            | exception Observable.Estimation_failed _ -> "failed"
+          else "n/a"
+        in
+        [
+          Util.fmt_f ~digits:3 w;
+          Util.fmt_f ~digits:4 truth;
+          est;
+          Printf.sprintf "%d/%d" !success attempts;
+        ])
+      widths
+  in
+  Util.table
+    [ ("overlap w", 10); ("exact vol", 10); ("estimated", 10); ("gen success", 12) ]
+    rows;
+  Printf.printf
+    "Expectation: accurate while w is poly-related to the operands (w >= ~d^-k);\n\
+     for tiny w the generator's budget is exhausted and it fails explicitly —\n\
+     the necessity side is the SAT encoding of E11.\n"

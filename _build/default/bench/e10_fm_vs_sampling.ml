@@ -1,0 +1,88 @@
+(* E10 — Proposition 4.3: symbolic projection vs sampling reconstruction.
+
+   Fourier–Motzkin elimination squares the constraint count at every
+   eliminated variable (O(2^{2^k}) worst case); Algorithm 3 instead
+   samples the projection with the compensated generator and takes a
+   hull in the low output dimension, in poly(d+e) plus O(2^{e/2}) for
+   the hull step.  We project random bounded polytopes in dimension
+   2+k down to the plane and measure both costs. *)
+
+module FM = Scdb_qe.Fourier_motzkin
+module P = Scdb_polytope.Polytope
+module Rng = Scdb_rng.Rng
+
+let q = Rational.of_int
+
+(* Random bounded tuple in dimension d: the cube [-2,2]^d plus extra
+   random halfplanes through the outside of the unit ball. *)
+let random_tuple rng d extra =
+  let cube = List.concat (Relation.tuples (Relation.cube d (q 2))) in
+  let halfplanes =
+    List.init extra (fun _ ->
+        let te =
+          Term.make
+            (List.init d (fun i -> (i, q (Rng.int rng 9 - 4))))
+            (q (-2 - Rng.int rng 4))
+        in
+        Atom.make te Atom.Le)
+  in
+  halfplanes @ cube
+
+let run ~fast =
+  Util.header "E10: Fourier-Motzkin blowup vs Algorithm 3 sampling (Prop 4.3)";
+  let rng = Util.fresh_rng () in
+  let e = 2 in
+  let ks = if fast then [ 1; 2; 3 ] else [ 1; 2; 3; 4 ] in
+  let n_hull = if fast then 30 else 60 in
+  let rows =
+    List.map
+      (fun k ->
+        let d = e + k in
+        let tuple = random_tuple rng d (2 * d) in
+        let eliminated = List.init k (fun i -> e + i) in
+        (* unpruned FM: the raw doubly-exponential construction *)
+        let unpruned =
+          if k <= 3 then begin
+            let (_, stats), t =
+              Util.time_it (fun () -> FM.eliminate_vars_tuple_stats ~prune:false eliminated tuple)
+            in
+            Printf.sprintf "%d cstr / %.3fs" stats.FM.constraints_generated t
+          end
+          else "skipped (blowup)"
+        in
+        (* pruned FM: the practical symbolic baseline *)
+        let (_, pruned_stats), pruned_t =
+          Util.time_it (fun () -> FM.eliminate_vars_tuple_stats ~prune:true eliminated tuple)
+        in
+        (* Algorithm 3: compensated projection generator + hull *)
+        let sampling_t =
+          let poly = P.of_tuple ~dim:d tuple in
+          let fiber_volume = if k <= 3 then Project.Exact else Project.Estimated 200 in
+          let _, t =
+            Util.time_it (fun () ->
+                match Project.project ~fiber_volume rng poly ~keep:[ 0; 1 ] with
+                | Some obs -> Some (Reconstruct.convex_hull_estimate rng obs ~n:n_hull)
+                | None -> None)
+          in
+          t
+        in
+        [
+          string_of_int k;
+          unpruned;
+          Printf.sprintf "%d cstr / %.3fs" pruned_stats.FM.constraints_generated pruned_t;
+          Util.fmt_f ~digits:3 sampling_t;
+        ])
+      ks
+  in
+  Util.table
+    [
+      ("k eliminated", 12);
+      ("FM unpruned", 22);
+      ("FM + LP pruning", 22);
+      ("Algorithm 3 time(s)", 19);
+    ]
+    rows;
+  Printf.printf
+    "Expectation: unpruned FM constraint counts grow doubly exponentially in k\n\
+     (unusable by k=4); sampling reconstruction grows mildly with k — the\n\
+     asymptotic speed-up of Proposition 4.3.\n"

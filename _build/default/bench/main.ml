@@ -1,0 +1,53 @@
+(* Experiment harness: one experiment per table/figure-level claim of
+   the paper (see DESIGN.md section 3 and EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/main.exe                 run all experiments
+     dune exec bench/main.exe -- e4 e9        run selected experiments
+     dune exec bench/main.exe -- perf         bechamel micro-benchmarks
+     dune exec bench/main.exe -- --fast ...   shrunk sample counts *)
+
+let experiments =
+  [
+    ("e1", "Fig.1/Thm 4.3: projection bias + Algorithm 2", E01_projection.run);
+    ("e2", "DFK: lattice-walk mixing", E02_mixing.run);
+    ("e3", "Intro: rejection sampling vs dimension", E03_rejection.run);
+    ("e4", "DFK: volume estimator accuracy", E04_volume.run);
+    ("e5", "Thm 4.1/4.2: union (Algorithm 1)", E05_union.run);
+    ("e6", "Prop 4.1: intersection + poly-relatedness", E06_inter.run);
+    ("e7", "Prop 4.2: difference", E07_diff.run);
+    ("e8", "Thm 3.1: fixed-dimension grid vs walk", E08_fixed_dim.run);
+    ("e9", "Lem 4.1: hull reconstruction rate", E09_reconstruct.run);
+    ("e10", "Prop 4.3: Fourier-Motzkin vs Algorithm 3", E10_fm_vs_sampling.run);
+    ("e11", "Sec 4.1.3: SAT encoding", E11_sat.run);
+    ("e12", "Thm 4.4: GIS queries end-to-end", E12_gis.run);
+    ("e13", "Def 2.2: parameter semantics", E13_params.run);
+    ("e14", "Ablations + sec 5 polynomial extension", E14_ablation.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "--fast" args in
+  let selected = List.filter (fun a -> a <> "--fast") args in
+  let want_perf = List.mem "perf" selected in
+  let selected = List.filter (fun a -> a <> "perf") selected in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name (List.map (fun (n, d, f) -> (n, (d, f))) experiments)) then begin
+        Printf.eprintf "unknown experiment %S; known: %s, perf\n" name
+          (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+        exit 2
+      end)
+    selected;
+  let to_run =
+    if selected = [] && not want_perf then experiments
+    else List.filter (fun (n, _, _) -> List.mem n selected) experiments
+  in
+  Printf.printf "spatialdb experiment harness (%s mode)\n" (if fast then "fast" else "full");
+  List.iter
+    (fun (name, descr, f) ->
+      Printf.printf "\n[%s] %s\n" name descr;
+      let (), t = Util.time_it (fun () -> f ~fast) in
+      Printf.printf "[%s] done in %.1fs\n" name t)
+    to_run;
+  if want_perf || selected = [] then Perf.run ~fast

@@ -1,0 +1,209 @@
+(* spatialdb — command-line front end.
+
+   Subcommands:
+     sample       draw almost uniform points from a relation
+     volume       estimate (or compute exactly) the volume of a relation
+     qe           quantifier elimination (Fourier–Motzkin)
+     reconstruct  hull-of-samples shape estimation (2-D output)
+
+   Formulas use the FO+LIN syntax of Scdb_constr.Parser, e.g.
+     spatialdb volume -v x,y -f "0 <= x <= 2 /\\ 0 <= y <= 1 /\\ x + y <= 2.5"
+*)
+
+open Cmdliner
+module Rng = Scdb_rng.Rng
+module FM = Scdb_qe.Fourier_motzkin
+module VE = Scdb_polytope.Volume_exact
+module GV = Scdb_polytope.Gridvol
+module H2 = Scdb_hull.Hull2d
+
+(* ---------------- common arguments ---------------- *)
+
+let vars_arg =
+  let doc = "Comma-separated free variable names, fixing the dimension and coordinate order." in
+  Arg.(required & opt (some string) None & info [ "v"; "vars" ] ~docv:"VARS" ~doc)
+
+let formula_arg =
+  let doc = "FO+LIN formula over the free variables (quantifier-free unless noted)." in
+  Arg.(required & opt (some string) None & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (all commands are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let eps_arg =
+  let doc = "Relative accuracy parameter epsilon in (0,1)." in
+  Arg.(value & opt float 0.2 & info [ "eps" ] ~doc)
+
+let delta_arg =
+  let doc = "Failure probability delta in (0,1)." in
+  Arg.(value & opt float 0.1 & info [ "delta" ] ~doc)
+
+let split_vars s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+
+let parse_relation vars_s formula =
+  let vars = split_vars vars_s in
+  if vars = [] then Error "no variables given"
+  else begin
+    match Parser.parse ~vars formula with
+    | f ->
+        let f = if Formula.is_quantifier_free f then f else FM.eliminate f in
+        Ok (vars, Relation.of_formula ~dim:(List.length vars) f)
+    | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
+    | exception Lexer.Lex_error (m, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos m)
+  end
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("spatialdb: " ^ m);
+      exit 1
+
+let observable_or_die rng relation =
+  match Scdb_gis.Eval.observable_of_relation ~config:Convex_obs.practical_config rng relation with
+  | Some o -> o
+  | None ->
+      prerr_endline "spatialdb: relation is empty, unbounded or lower-dimensional";
+      exit 1
+
+(* ---------------- sample ---------------- *)
+
+let sample_cmd =
+  let n_arg =
+    Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Number of points to draw.")
+  in
+  let run vars_s formula n seed eps delta =
+    let _, relation = or_die (parse_relation vars_s formula) in
+    let rng = Rng.create seed in
+    let obs = observable_or_die rng relation in
+    let params = Params.make ~gamma:0.05 ~eps ~delta () in
+    List.iter
+      (fun p ->
+        print_endline (String.concat "\t" (List.map (Printf.sprintf "%.6f") (Array.to_list p))))
+      (Observable.sample_many obs rng params ~n)
+  in
+  let doc = "Draw almost uniform points from the relation (Definition 2.2 generator)." in
+  Cmd.v (Cmd.info "sample" ~doc)
+    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg)
+
+(* ---------------- volume ---------------- *)
+
+let volume_cmd =
+  let mode_arg =
+    let doc = "One of: exact (Lasserre + inclusion-exclusion), grid:GAMMA (fixed-dimension decomposition), sampling (DFK estimators)." in
+    Arg.(value & opt string "sampling" & info [ "mode" ] ~doc)
+  in
+  let run vars_s formula mode seed eps delta =
+    let _, relation = or_die (parse_relation vars_s formula) in
+    let rng = Rng.create seed in
+    match mode with
+    | "exact" -> (
+        match VE.float_volume_relation relation with
+        | v -> Printf.printf "%.9f\n" v
+        | exception VE.Unbounded -> or_die (Error "relation is unbounded")
+        | exception Invalid_argument m -> or_die (Error m))
+    | "sampling" -> (
+        let obs = observable_or_die rng relation in
+        match Observable.volume obs rng ~eps ~delta with
+        | v -> Printf.printf "%.6f\n" v
+        | exception Observable.Estimation_failed m -> or_die (Error m))
+    | m when String.length m > 5 && String.sub m 0 5 = "grid:" -> (
+        let gamma = float_of_string (String.sub m 5 (String.length m - 5)) in
+        match GV.build ~gamma relation with
+        | Some g -> Printf.printf "%.6f\n" (GV.volume g)
+        | None -> or_die (Error "relation is empty or unbounded"))
+    | m -> or_die (Error ("unknown mode " ^ m))
+  in
+  let doc = "Volume of the relation: exact, grid-decomposed, or the paper's (eps,delta)-estimator." in
+  Cmd.v (Cmd.info "volume" ~doc)
+    Term.(const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg)
+
+(* ---------------- qe ---------------- *)
+
+let qe_cmd =
+  let run vars_s formula =
+    let vars = split_vars vars_s in
+    match Parser.parse ~vars formula with
+    | f ->
+        let g = FM.eliminate f in
+        let name i = try List.nth vars i with _ -> Printf.sprintf "x%d" i in
+        Format.printf "%a@." (Formula.pp_named name) g
+    | exception Parser.Parse_error m -> or_die (Error ("parse error: " ^ m))
+    | exception Lexer.Lex_error (m, pos) ->
+        or_die (Error (Printf.sprintf "lex error at %d: %s" pos m))
+  in
+  let doc = "Eliminate quantifiers (Fourier-Motzkin with LP pruning) and print the result." in
+  Cmd.v (Cmd.info "qe" ~doc) Term.(const run $ vars_arg $ formula_arg)
+
+(* ---------------- reconstruct ---------------- *)
+
+let reconstruct_cmd =
+  let n_arg =
+    Arg.(value & opt int 200 & info [ "n"; "samples" ] ~doc:"Samples per convex piece.")
+  in
+  let run vars_s formula n seed =
+    let vars, relation = or_die (parse_relation vars_s formula) in
+    if List.length vars <> 2 then or_die (Error "reconstruct prints polygons: exactly 2 variables required");
+    let rng = Rng.create seed in
+    let pieces =
+      List.filter_map
+        (fun tuple ->
+          Convex_obs.make ~config:Convex_obs.practical_config rng
+            (Relation.make ~dim:2 [ tuple ]))
+        (Relation.tuples relation)
+    in
+    if pieces = [] then or_die (Error "no full-dimensional convex piece to reconstruct");
+    let r = Reconstruct.union_estimate rng pieces ~n in
+    List.iteri
+      (fun i hull ->
+        let pts = Array.to_list (Scdb_hull.Hull_lp.points hull) in
+        let polygon = H2.hull pts in
+        Printf.printf "# piece %d: %d hull vertices\n" i (List.length polygon);
+        List.iter (fun v -> Printf.printf "%.6f\t%.6f\n" v.(0) v.(1)) polygon)
+      r.Reconstruct.hulls
+  in
+  let doc = "Approximate the 2-D shape of the relation as union of sample hulls (Algorithms 3-5)." in
+  Cmd.v (Cmd.info "reconstruct" ~doc)
+    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg)
+
+(* ---------------- plan ---------------- *)
+
+let plan_cmd =
+  let run vars_s formula eps delta =
+    let vars = split_vars vars_s in
+    (* Wrap the bare formula as a single-relation database so the
+       planner's cost model applies. *)
+    match Parser.parse ~vars formula with
+    | exception Parser.Parse_error m -> or_die (Error ("parse error: " ^ m))
+    | f ->
+        let module Gis = Scdb_gis in
+        let free_dim = List.length vars in
+        let qf = if Formula.is_quantifier_free f then f else f in
+        let schema = Gis.Schema.of_list [ ("Q", free_dim) ] in
+        let inst =
+          match Formula.is_quantifier_free qf with
+          | true -> Gis.Instance.set (Gis.Instance.create schema) "Q" (Relation.of_formula ~dim:free_dim qf)
+          | false ->
+              Gis.Instance.set (Gis.Instance.create schema) "Q"
+                (Relation.of_formula ~dim:free_dim (Scdb_qe.Fourier_motzkin.eliminate qf))
+        in
+        let query = Gis.Query.rel "Q" (List.init free_dim Fun.id) in
+        let est = Gis.Planner.plan ~eps ~delta inst ~free_dim query in
+        let strategy =
+          match est.Gis.Planner.strategy with
+          | Gis.Planner.Use_exact -> "exact (symbolic QE + Lasserre volume)"
+          | Gis.Planner.Use_grid g -> Printf.sprintf "grid (gamma = %g)" g
+          | Gis.Planner.Use_sampling { eps; delta } ->
+              Printf.sprintf "sampling (eps = %g, delta = %g)" eps delta
+        in
+        Printf.printf "strategy      : %s\n" strategy;
+        Printf.printf "predicted cost: %.3g work units\n" est.Gis.Planner.predicted_cost;
+        Printf.printf "reason        : %s\n" est.Gis.Planner.reason
+  in
+  let doc = "Show which evaluation strategy the cost model would choose for the formula." in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ vars_arg $ formula_arg $ eps_arg $ delta_arg)
+
+let () =
+  let doc = "uniform generation and volume estimation in spatial constraint databases" in
+  let info = Cmd.info "spatialdb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ sample_cmd; volume_cmd; qe_cmd; reconstruct_cmd; plan_cmd ]))

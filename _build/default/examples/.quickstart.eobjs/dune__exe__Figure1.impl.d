@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Convex_obs Fun List Observable Option Params Parser Printf Project Scdb_gis Scdb_polytope Scdb_rng Svg

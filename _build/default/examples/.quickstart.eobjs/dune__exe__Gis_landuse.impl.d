@@ -1,0 +1,1 @@
+examples/gis_landuse.ml: Aggregate Array Convex_obs Eval Format Instance List Observable Params Printf Query Rational Relation Scdb_gis Scdb_rng Schema Svg Synth

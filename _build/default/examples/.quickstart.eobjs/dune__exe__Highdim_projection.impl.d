@@ -1,0 +1,1 @@
+examples/highdim_projection.ml: Array Atom List Observable Params Printf Project Rational Relation Scdb_hull Scdb_polytope Scdb_qe Scdb_rng Term Unix

@@ -1,0 +1,1 @@
+examples/highdim_projection.mli:

@@ -1,0 +1,1 @@
+examples/jvv_reduction.ml: Array Bisection_gen List Printf Scdb_polytope Scdb_rng Scdb_sampling Stdlib

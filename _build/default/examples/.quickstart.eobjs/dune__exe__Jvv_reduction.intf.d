@@ -1,0 +1,1 @@
+examples/jvv_reduction.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Convex_obs Float Format List Observable Params Parser Printf Relation Scdb_polytope Scdb_rng

@@ -1,0 +1,1 @@
+examples/sat_geometry.ml: Array Convex_obs Inter List Observable Params Printf Rational Sat_encode Scdb_rng String

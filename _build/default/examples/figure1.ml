@@ -1,0 +1,57 @@
+(* A literal regeneration of the paper's Figure 1, as an SVG.
+
+   The figure shows a convex set S (here the triangle with vertices
+   (0,0), (1,0), (0,1)) cut into cylinders over the projection axis:
+   projecting uniform samples of S concentrates where the fibers are
+   long.  We draw the triangle, a uniform sample cloud inside it, and
+   two strips of projected points below the axis: the naive projection
+   (biased) and Algorithm 2's compensated projection (uniform).
+
+   Run with:  dune exec examples/figure1.exe   (writes figure1.svg) *)
+
+open Scdb_gis
+module P = Scdb_polytope.Polytope
+module Rng = Scdb_rng.Rng
+
+let () =
+  let rng = Rng.create 2000 in
+  let tri = P.simplex 2 in
+  let cfg = Convex_obs.practical_config in
+  let params = Params.make ~gamma:0.05 ~eps:0.15 ~delta:0.1 () in
+  let n = 250 in
+
+  let source = Option.get (Convex_obs.of_polytope ~config:cfg rng tri) in
+  let cloud = Observable.sample_many source rng params ~n in
+
+  let naive =
+    List.filter_map
+      (fun _ -> Project.naive_projection_sample rng source ~keep:[ 0 ] params)
+      (List.init n Fun.id)
+  in
+  let compensated_obs = Option.get (Project.project rng tri ~keep:[ 0 ]) in
+  let compensated = Observable.sample_many compensated_obs rng params ~n in
+
+  let strip y pts = List.map (fun p -> [| p.(0); y |]) pts in
+  let tri_relation =
+    Parser.parse_relation ~vars:[ "x"; "y" ] "x >= 0 /\\ y >= 0 /\\ x + y <= 1"
+  in
+  let doc =
+    Svg.render ~width:600 ~height:720 ~lo:[| -0.08; -0.35 |] ~hi:[| 1.08; 1.08 |]
+      [
+        Svg.relation ~style:{ Svg.default_style with Svg.fill = "#eef3fb" } tri_relation;
+        Svg.points ~colour:"#5b8ac2" ~radius:1.6 cloud;
+        Svg.points ~colour:"#c1440e" ~radius:1.6 (strip (-0.12) naive);
+        Svg.points ~colour:"#2a7d2e" ~radius:1.6 (strip (-0.24) compensated);
+      ]
+  in
+  Svg.write_file "figure1.svg" doc;
+  Printf.printf
+    "wrote figure1.svg:\n\
+    \  blue   — %d uniform samples of S (triangle)\n\
+    \  orange — naive projection onto x (dense near 0: Fig. 1's bias)\n\
+    \  green  — Algorithm 2 compensated projection (uniform)\n"
+    n;
+  (* quantify the bias for the console *)
+  let mean pts = List.fold_left (fun a p -> a +. p.(0)) 0.0 pts /. float_of_int (List.length pts) in
+  Printf.printf "mean x: naive %.3f (biased toward 1/3), compensated %.3f (1/2 expected)\n"
+    (mean naive) (mean compensated)

@@ -1,0 +1,1 @@
+lib/constr/atom.ml: Array Float Format Interval List Printf Rational Stdlib Term

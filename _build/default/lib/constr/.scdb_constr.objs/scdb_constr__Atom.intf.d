@@ -1,0 +1,1 @@
+lib/constr/atom.mli: Format Rational Term Vec

@@ -1,0 +1,1 @@
+lib/constr/dnf.ml: Atom Formula Hashtbl List Set

@@ -1,0 +1,1 @@
+lib/constr/dnf.mli: Atom Formula Rational Vec

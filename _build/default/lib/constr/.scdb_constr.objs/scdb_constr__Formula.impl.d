@@ -1,0 +1,1 @@
+lib/constr/formula.ml: Atom Format Hashtbl Int List Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/constr/formula.mli: Atom Format Rational Term Vec

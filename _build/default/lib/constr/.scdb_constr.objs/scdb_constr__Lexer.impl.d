@@ -1,0 +1,1 @@
+lib/constr/lexer.ml: Format List Printf Rational String

@@ -1,0 +1,1 @@
+lib/constr/lexer.mli: Format Rational

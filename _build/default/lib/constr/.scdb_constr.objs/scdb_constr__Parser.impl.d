@@ -1,0 +1,1 @@
+lib/constr/parser.ml: Atom Format Formula Lexer List Printf Rational Relation Term

@@ -1,0 +1,1 @@
+lib/constr/parser.mli: Formula Relation

@@ -1,0 +1,1 @@
+lib/constr/relation.ml: Array Atom Dnf Format Formula Fun List Printf Rational Term

@@ -1,0 +1,1 @@
+lib/constr/relation.mli: Dnf Format Formula Rational Term Vec

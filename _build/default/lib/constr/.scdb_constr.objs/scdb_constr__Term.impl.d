@@ -1,0 +1,1 @@
+lib/constr/term.ml: Array Format Int List Map Printf Rational Vec

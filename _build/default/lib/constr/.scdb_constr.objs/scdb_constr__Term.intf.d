@@ -1,0 +1,1 @@
+lib/constr/term.mli: Format Rational Vec

@@ -1,0 +1,83 @@
+type op = Le | Lt | Eq
+
+type t = { term : Term.t; op : op }
+
+let make term op = { term; op }
+let le a b = { term = Term.sub a b; op = Le }
+let lt a b = { term = Term.sub a b; op = Lt }
+let ge a b = le b a
+let gt a b = lt b a
+let eq a b = { term = Term.sub a b; op = Eq }
+
+let negate a =
+  match a.op with
+  | Le -> [ { term = Term.neg a.term; op = Lt } ] (* ¬(t ≤ 0) ⇔ −t < 0 *)
+  | Lt -> [ { term = Term.neg a.term; op = Le } ]
+  | Eq -> [ { term = a.term; op = Lt }; { term = Term.neg a.term; op = Lt } ]
+
+let holds a x =
+  let v = Term.eval a.term x in
+  match a.op with
+  | Le -> Rational.sign v <= 0
+  | Lt -> Rational.sign v < 0
+  | Eq -> Rational.sign v = 0
+
+let holds_float ?(slack = 0.0) a x =
+  let v = Term.eval_float a.term x in
+  match a.op with Le -> v <= slack | Lt -> v < slack | Eq -> Float.abs v <= slack
+
+let holds_certified a x =
+  (* Rational coefficients may not be representable: enclose each in a
+     one-ulp interval around its float image before accumulating. *)
+  let enclose q =
+    let f = Rational.to_float q in
+    if Float.is_finite f then Interval.make (Float.pred f) (Float.succ f) else Interval.point f
+  in
+  let value =
+    List.fold_left
+      (fun acc (i, c) -> Interval.add acc (Interval.mul (enclose c) (Interval.point x.(i))))
+      (enclose (Term.constant a.term))
+      (Term.coeffs a.term)
+  in
+  match (Interval.sign value, a.op) with
+  | `Negative, (Le | Lt) -> Some true
+  | `Positive, (Le | Lt) -> Some false
+  | `Positive, Eq | `Negative, Eq -> Some false
+  | `Zero_in, _ -> None
+
+let is_trivially_true a =
+  Term.is_const a.term
+  &&
+  let s = Rational.sign (Term.constant a.term) in
+  match a.op with Le -> s <= 0 | Lt -> s < 0 | Eq -> s = 0
+
+let is_trivially_false a =
+  Term.is_const a.term
+  &&
+  let s = Rational.sign (Term.constant a.term) in
+  match a.op with Le -> s > 0 | Lt -> s >= 0 | Eq -> s <> 0
+
+let vars a = Term.vars a.term
+let max_var a = Term.max_var a.term
+let subst a i u = { a with term = Term.subst a.term i u }
+let rename a f = { a with term = Term.rename a.term f }
+
+let to_halfspace d a =
+  match a.op with
+  | Eq -> invalid_arg "Atom.to_halfspace: equality atom"
+  | Le | Lt ->
+      let w, c = Term.to_float_row d a.term in
+      (w, -.c)
+
+let compare a b =
+  let c = Stdlib.compare a.op b.op in
+  if c <> 0 then c else Term.compare a.term b.term
+
+let equal a b = compare a b = 0
+
+let op_string = function Le -> "<=" | Lt -> "<" | Eq -> "="
+
+let pp_named name fmt a =
+  Format.fprintf fmt "%a %s 0" (Term.pp_named name) a.term (op_string a.op)
+
+let pp fmt a = pp_named (Printf.sprintf "x%d") fmt a

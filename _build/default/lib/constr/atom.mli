@@ -1,0 +1,56 @@
+(** Atomic linear constraints, normalized as [t ⋈ 0].
+
+    Every comparison of two linear terms is stored as a single term
+    compared to zero, with [⋈ ∈ {≤, <, =}]; the other comparison shapes
+    ([≥], [>], [≠]) are expressed by negating the term or the atom. *)
+
+type op = Le | Lt | Eq
+
+type t = private { term : Term.t; op : op }
+(** The constraint [term op 0]. *)
+
+val le : Term.t -> Term.t -> t
+(** [le a b] is [a ≤ b]. *)
+
+val lt : Term.t -> Term.t -> t
+val ge : Term.t -> Term.t -> t
+val gt : Term.t -> Term.t -> t
+val eq : Term.t -> Term.t -> t
+
+val make : Term.t -> op -> t
+(** [make t op] is the constraint [t op 0]. *)
+
+val negate : t -> t list
+(** De Morgan dual as a disjunction: [¬(t ≤ 0) = t > 0],
+    [¬(t = 0) = t < 0 ∨ −t < 0]. *)
+
+val holds : t -> Rational.t array -> bool
+val holds_float : ?slack:float -> t -> Vec.t -> bool
+(** Float membership; [slack] (default 0) relaxes the comparison to
+    absorb round-off: [t(x) <= slack]. *)
+
+val holds_certified : t -> Vec.t -> bool option
+(** Interval-arithmetic membership with outward rounding: [Some b] is a
+    certified answer, [None] means the point is too close to the
+    boundary to decide in float precision. *)
+
+val is_trivially_true : t -> bool
+(** Constant term making the atom valid (e.g. [-1 <= 0]). *)
+
+val is_trivially_false : t -> bool
+
+val vars : t -> int list
+val max_var : t -> int
+val subst : t -> int -> Term.t -> t
+val rename : t -> (int -> int) -> t
+
+val to_halfspace : int -> t -> Vec.t * float
+(** [to_halfspace d a = (w, rhs)] with the atom equivalent to
+    [w·x <= rhs] (strictness dropped).  @raise Invalid_argument on
+    equality atoms, which are not halfspaces. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_named : (int -> string) -> Format.formatter -> t -> unit

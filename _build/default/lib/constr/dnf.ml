@@ -1,0 +1,54 @@
+type tuple = Atom.t list
+
+module ASet = Set.Make (Atom)
+
+let simplify_tuple atoms =
+  let rec go acc = function
+    | [] -> Some (List.rev (ASet.elements acc))
+    | a :: rest ->
+        if Atom.is_trivially_false a then None
+        else if Atom.is_trivially_true a then go acc rest
+        else go (ASet.add a acc) rest
+  in
+  (* ASet already sorts; reverse of elements keeps deterministic order. *)
+  match go ASet.empty atoms with Some atoms -> Some (List.rev atoms) | None -> None
+
+let of_formula ?(limit = 100_000) f =
+  if not (Formula.is_quantifier_free f) then invalid_arg "Dnf.of_formula: quantified formula";
+  let f = Formula.nnf f in
+  (* After NNF the formula contains only True/False/Atom/And/Or. *)
+  let check_size tuples =
+    if List.length tuples > limit then invalid_arg "Dnf.of_formula: tuple limit exceeded";
+    tuples
+  in
+  let rec go = function
+    | Formula.True -> [ [] ]
+    | Formula.False -> []
+    | Formula.Atom a -> [ [ a ] ]
+    | Formula.Or fs -> check_size (List.concat_map go fs)
+    | Formula.And fs ->
+        List.fold_left
+          (fun acc f ->
+            let ts = go f in
+            check_size (List.concat_map (fun partial -> List.map (fun t -> partial @ t) ts) acc))
+          [ [] ] fs
+    | Formula.Not _ | Formula.Exists _ | Formula.Forall _ ->
+        invalid_arg "Dnf.of_formula: unexpected connective after NNF"
+  in
+  let tuples = List.filter_map simplify_tuple (go f) in
+  (* Drop syntactic duplicates. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.add seen t ();
+        true
+      end)
+    tuples
+
+let tuple_to_formula t = Formula.conj (List.map Formula.atom t)
+let to_formula tuples = Formula.disj (List.map tuple_to_formula tuples)
+
+let tuple_holds t x = List.for_all (fun a -> Atom.holds a x) t
+let tuple_holds_float ?(slack = 0.0) t x = List.for_all (fun a -> Atom.holds_float ~slack a x) t

@@ -1,0 +1,25 @@
+(** Disjunctive normal form.
+
+    A quantifier-free FO+LIN formula is equivalent to a finite union of
+    {e generalized tuples} (conjunctions of atoms); this module performs
+    the distribution, with pruning of trivially-empty tuples and
+    syntactic duplicate removal. *)
+
+type tuple = Atom.t list
+(** A generalized tuple: the conjunction of its atoms (a convex set). *)
+
+val of_formula : ?limit:int -> Formula.t -> tuple list
+(** DNF of a quantifier-free formula.  [limit] (default 100_000) bounds
+    the number of tuples produced.
+    @raise Invalid_argument if the formula has quantifiers or the limit
+    is exceeded. *)
+
+val tuple_to_formula : tuple -> Formula.t
+val to_formula : tuple list -> Formula.t
+
+val simplify_tuple : tuple -> tuple option
+(** Remove duplicate and trivially-true atoms; [None] if the tuple
+    contains a trivially-false atom. *)
+
+val tuple_holds : tuple -> Rational.t array -> bool
+val tuple_holds_float : ?slack:float -> tuple -> Vec.t -> bool

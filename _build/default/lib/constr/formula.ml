@@ -1,0 +1,242 @@
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of int list * t
+  | Forall of int list * t
+
+let tru = True
+let fls = False
+
+let atom a =
+  if Atom.is_trivially_true a then True
+  else if Atom.is_trivially_false a then False
+  else Atom a
+
+let conj fs =
+  let flat =
+    List.concat_map (function And gs -> gs | True -> [] | f -> [ f ]) fs
+  in
+  if List.exists (fun f -> f = False) flat then False
+  else match flat with [] -> True | [ f ] -> f | fs -> And fs
+
+let disj fs =
+  let flat = List.concat_map (function Or gs -> gs | False -> [] | f -> [ f ]) fs in
+  if List.exists (fun f -> f = True) flat then True
+  else match flat with [] -> False | [ f ] -> f | fs -> Or fs
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let exists vs f = match (vs, f) with [], f -> f | _, True -> True | _, False -> False | vs, Exists (ws, g) -> Exists (vs @ ws, g) | vs, f -> Exists (vs, f)
+
+let forall vs f = match (vs, f) with [], f -> f | _, True -> True | _, False -> False | vs, Forall (ws, g) -> Forall (vs @ ws, g) | vs, f -> Forall (vs, f)
+
+let implies a b = disj [ neg a; b ]
+
+module ISet = Set.Make (Int)
+
+let rec free_set = function
+  | True | False -> ISet.empty
+  | Atom a -> ISet.of_list (Atom.vars a)
+  | And fs | Or fs -> List.fold_left (fun acc f -> ISet.union acc (free_set f)) ISet.empty fs
+  | Not f -> free_set f
+  | Exists (vs, f) | Forall (vs, f) -> ISet.diff (free_set f) (ISet.of_list vs)
+
+let free_vars f = ISet.elements (free_set f)
+
+let rec max_var = function
+  | True | False -> -1
+  | Atom a -> Atom.max_var a
+  | And fs | Or fs -> List.fold_left (fun acc f -> Stdlib.max acc (max_var f)) (-1) fs
+  | Not f -> max_var f
+  | Exists (vs, f) | Forall (vs, f) ->
+      List.fold_left Stdlib.max (max_var f) vs
+
+let rec is_quantifier_free = function
+  | True | False | Atom _ -> true
+  | And fs | Or fs -> List.for_all is_quantifier_free fs
+  | Not f -> is_quantifier_free f
+  | Exists _ | Forall _ -> false
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+  | Not f -> 1 + size f
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+let rec atoms = function
+  | True | False -> []
+  | Atom a -> [ a ]
+  | And fs | Or fs -> List.concat_map atoms fs
+  | Not f -> atoms f
+  | Exists (_, f) | Forall (_, f) -> atoms f
+
+let rec eval f x =
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a -> Atom.holds a x
+  | And fs -> List.for_all (fun f -> eval f x) fs
+  | Or fs -> List.exists (fun f -> eval f x) fs
+  | Not f -> not (eval f x)
+  | Exists _ | Forall _ -> invalid_arg "Formula.eval: quantified formula"
+
+let rec eval_float ?(slack = 0.0) f x =
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a -> Atom.holds_float ~slack a x
+  | And fs -> List.for_all (fun f -> eval_float ~slack f x) fs
+  | Or fs -> List.exists (fun f -> eval_float ~slack f x) fs
+  | Not f -> not (eval_float ~slack f x)
+  | Exists _ | Forall _ -> invalid_arg "Formula.eval_float: quantified formula"
+
+let rec nnf f =
+  match f with
+  | True | False | Atom _ -> f
+  | And fs -> conj (List.map nnf fs)
+  | Or fs -> disj (List.map nnf fs)
+  | Exists (vs, f) -> exists vs (nnf f)
+  | Forall (vs, f) -> neg (exists vs (nnf (neg f)))
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom a -> disj (List.map atom (Atom.negate a))
+      | And fs -> disj (List.map (fun f -> nnf (neg f)) fs)
+      | Or fs -> conj (List.map (fun f -> nnf (neg f)) fs)
+      | Not h -> nnf h
+      | Exists (vs, h) -> neg (exists vs (nnf h))
+      | Forall (vs, h) -> exists vs (nnf (neg h)))
+
+let rec rename f r =
+  match f with
+  | True | False -> f
+  | Atom a -> Atom (Atom.rename a r)
+  | And fs -> And (List.map (fun f -> rename f r) fs)
+  | Or fs -> Or (List.map (fun f -> rename f r) fs)
+  | Not f -> Not (rename f r)
+  | Exists (vs, f) -> Exists (List.map r vs, rename f r)
+  | Forall (vs, f) -> Forall (List.map r vs, rename f r)
+
+let rec nnf_deep f =
+  match f with
+  | True | False | Atom _ -> f
+  | And fs -> conj (List.map nnf_deep fs)
+  | Or fs -> disj (List.map nnf_deep fs)
+  | Exists (vs, f) -> exists vs (nnf_deep f)
+  | Forall (vs, f) -> forall vs (nnf_deep f)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom a -> disj (List.map atom (Atom.negate a))
+      | And fs -> disj (List.map (fun f -> nnf_deep (Not f)) fs)
+      | Or fs -> conj (List.map (fun f -> nnf_deep (Not f)) fs)
+      | Not h -> nnf_deep h
+      | Exists (vs, h) -> forall vs (nnf_deep (Not h))
+      | Forall (vs, h) -> exists vs (nnf_deep (Not h)))
+
+type quantifier_block = E of int list | A of int list
+
+(* Rename helper for a total function given as hashtable with identity
+   default. *)
+let renaming_of table i = match Hashtbl.find_opt table i with Some j -> j | None -> i
+
+let prenex f =
+  let counter = ref (max_var f + 1) in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  (* Returns (prefix, matrix); all bound variables freshly renamed. *)
+  let rec go f =
+    match f with
+    | True | False | Atom _ -> ([], f)
+    | And fs ->
+        let parts = List.map go fs in
+        (List.concat_map fst parts, conj (List.map snd parts))
+    | Or fs ->
+        let parts = List.map go fs in
+        (List.concat_map fst parts, disj (List.map snd parts))
+    | Exists (vs, g) -> quantify (fun ws -> E ws) vs g
+    | Forall (vs, g) -> quantify (fun ws -> A ws) vs g
+    | Not _ -> assert false (* removed by nnf_deep *)
+  and quantify block vs g =
+    let table = Hashtbl.create 4 in
+    let ws = List.map (fun v -> let w = fresh () in Hashtbl.add table v w; w) vs in
+    let prefix, matrix = go (rename g (renaming_of table)) in
+    (* The renaming of [vs] must happen before recursing on inner
+       quantifiers; since [rename] runs first, inner binders are
+       untouched (their names are distinct by freshness). *)
+    (block ws :: prefix, matrix)
+  in
+  go (nnf_deep f)
+
+let of_prenex (prefix, matrix) =
+  List.fold_right
+    (fun block acc -> match block with E vs -> exists vs acc | A vs -> forall vs acc)
+    prefix matrix
+
+let rec subst f i u =
+  match f with
+  | True | False -> f
+  | Atom a -> atom (Atom.subst a i u)
+  | And fs -> conj (List.map (fun f -> subst f i u) fs)
+  | Or fs -> disj (List.map (fun f -> subst f i u) fs)
+  | Not f -> neg (subst f i u)
+  | Exists (vs, g) -> if List.mem i vs then f else Exists (vs, subst g i u)
+  | Forall (vs, g) -> if List.mem i vs then f else Forall (vs, subst g i u)
+
+let rec map_atoms g = function
+  | True -> True
+  | False -> False
+  | Atom a -> g a
+  | And fs -> conj (List.map (map_atoms g) fs)
+  | Or fs -> disj (List.map (map_atoms g) fs)
+  | Not f -> neg (map_atoms g f)
+  | Exists (vs, f) -> exists vs (map_atoms g f)
+  | Forall (vs, f) -> forall vs (map_atoms g f)
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Atom x, Atom y -> Atom.equal x y
+  | And xs, And ys | Or xs, Or ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Not x, Not y -> equal x y
+  | Exists (vs, x), Exists (ws, y) | Forall (vs, x), Forall (ws, y) -> vs = ws && equal x y
+  | _ -> false
+
+let rec pp_named name fmt f =
+  let pp = pp_named name in
+  let pp_list sep fmt fs =
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f " %s@ " sep)
+      (fun f g ->
+        match g with
+        | And _ | Or _ | Exists _ | Forall _ -> Format.fprintf f "(%a)" pp g
+        | _ -> pp f g)
+      fmt fs
+  in
+  match f with
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom a -> Atom.pp_named name fmt a
+  | And fs -> Format.fprintf fmt "@[%a@]" (pp_list "/\\") fs
+  | Or fs -> Format.fprintf fmt "@[%a@]" (pp_list "\\/") fs
+  | Not f -> Format.fprintf fmt "~(%a)" pp f
+  | Exists (vs, f) ->
+      Format.fprintf fmt "@[exists %s.@ %a@]" (String.concat " " (List.map name vs)) pp f
+  | Forall (vs, f) ->
+      Format.fprintf fmt "@[forall %s.@ %a@]" (String.concat " " (List.map name vs)) pp f
+
+let pp fmt f = pp_named (Printf.sprintf "x%d") fmt f

@@ -1,0 +1,86 @@
+(** First-order formulas over R_lin (FO+LIN).
+
+    The constraint-database query language: boolean combinations and
+    quantification over atomic linear constraints.  Quantifier-free
+    formulas in disjunctive normal form are the "generalized relations"
+    of the paper; {!Dnf} performs that conversion and {!Scdb_qe} removes
+    quantifiers. *)
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of int list * t
+  | Forall of int list * t
+
+(** {1 Smart constructors} (perform cheap simplifications) *)
+
+val tru : t
+val fls : t
+val atom : Atom.t -> t
+val conj : t list -> t
+val disj : t list -> t
+val neg : t -> t
+val exists : int list -> t -> t
+val forall : int list -> t -> t
+val implies : t -> t -> t
+
+(** {1 Inspection} *)
+
+val free_vars : t -> int list
+(** Ascending, without duplicates. *)
+
+val max_var : t -> int
+(** Largest variable occurring anywhere (free or bound), or [-1]. *)
+
+val is_quantifier_free : t -> bool
+
+val size : t -> int
+(** Number of syntax nodes — the "description size" of the paper. *)
+
+val atoms : t -> Atom.t list
+(** All atoms, in syntactic order (with duplicates). *)
+
+(** {1 Semantics} *)
+
+val eval : t -> Rational.t array -> bool
+(** Exact evaluation of a {e quantifier-free} formula.
+    @raise Invalid_argument on quantifiers. *)
+
+val eval_float : ?slack:float -> t -> Vec.t -> bool
+(** Float evaluation of a quantifier-free formula. *)
+
+(** {1 Transformations} *)
+
+val nnf : t -> t
+(** Negation normal form; [Not] disappears (pushed into atoms),
+    [Forall] becomes [¬∃¬]. The result has only [True], [False],
+    [Atom], [And], [Or], [Exists]. *)
+
+val nnf_deep : t -> t
+(** Quantifier-aware negation normal form: like {!nnf} but using the
+    quantifier dualities [¬∃ = ∀¬] and [¬∀ = ∃¬], so [Not] disappears
+    entirely and both quantifiers may appear. *)
+
+type quantifier_block = E of int list | A of int list
+
+val prenex : t -> quantifier_block list * t
+(** Prenex normal form: a quantifier prefix (outermost first) and a
+    quantifier-free matrix.  Bound variables are renamed to fresh
+    indices above {!max_var}, so no capture can occur.  The result is
+    logically equivalent to the input. *)
+
+val of_prenex : quantifier_block list * t -> t
+
+val subst : t -> int -> Term.t -> t
+val rename : t -> (int -> int) -> t
+
+val map_atoms : (Atom.t -> t) -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_named : (int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+type token =
+  | IDENT of string
+  | NUM of Rational.t
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | DOT
+  | COMMA
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQ
+  | NEQ
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | EXISTS
+  | FORALL
+  | TRUE
+  | FALSE
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "exists" -> Some EXISTS
+  | "forall" -> Some FORALL
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      (* A '.' is a decimal point only when followed by a digit — otherwise
+         it is the quantifier dot, as in [exists z. 1 <= z]. *)
+      if !i + 1 < n && input.[!i] = '.' && is_digit input.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      push (NUM (Rational.of_string (String.sub input start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      push (match keyword word with Some t -> t | None -> IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      let three = if !i + 2 < n then String.sub input !i 3 else "" in
+      if three = "<=>" then raise (Lex_error ("'<=>' not supported", !i))
+      else if two = "<=" then (push LE; i := !i + 2)
+      else if two = ">=" then (push GE; i := !i + 2)
+      else if two = "<>" then (push NEQ; i := !i + 2)
+      else if two = "!=" then (push NEQ; i := !i + 2)
+      else if two = "->" then (push IMPLIES; i := !i + 2)
+      else if two = "=>" then (push IMPLIES; i := !i + 2)
+      else if two = "/\\" then (push AND; i := !i + 2)
+      else if two = "\\/" then (push OR; i := !i + 2)
+      else if two = "&&" then (push AND; i := !i + 2)
+      else if two = "||" then (push OR; i := !i + 2)
+      else begin
+        (match c with
+        | '+' -> push PLUS
+        | '-' -> push MINUS
+        | '*' -> push STAR
+        | '/' -> push SLASH
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | '.' -> push DOT
+        | ',' -> push COMMA
+        | '<' -> push LT
+        | '>' -> push GT
+        | '=' -> push EQ
+        | '~' | '!' -> push NOT
+        | '&' -> push AND
+        | '|' -> push OR
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i
+      end
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let pp_token fmt t =
+  let s =
+    match t with
+    | IDENT s -> Printf.sprintf "identifier %S" s
+    | NUM q -> Printf.sprintf "number %s" (Rational.to_string q)
+    | PLUS -> "'+'"
+    | MINUS -> "'-'"
+    | STAR -> "'*'"
+    | SLASH -> "'/'"
+    | LPAREN -> "'('"
+    | RPAREN -> "')'"
+    | DOT -> "'.'"
+    | COMMA -> "','"
+    | LE -> "'<='"
+    | LT -> "'<'"
+    | GE -> "'>='"
+    | GT -> "'>'"
+    | EQ -> "'='"
+    | NEQ -> "'<>'"
+    | AND -> "'/\\'"
+    | OR -> "'\\/'"
+    | NOT -> "'~'"
+    | IMPLIES -> "'->'"
+    | EXISTS -> "'exists'"
+    | FORALL -> "'forall'"
+    | TRUE -> "'true'"
+    | FALSE -> "'false'"
+    | EOF -> "end of input"
+  in
+  Format.pp_print_string fmt s

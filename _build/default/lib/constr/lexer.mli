@@ -1,0 +1,36 @@
+(** Tokenizer for the FO+LIN text syntax (see {!Parser}). *)
+
+type token =
+  | IDENT of string
+  | NUM of Rational.t
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | DOT
+  | COMMA
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQ
+  | NEQ
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | EXISTS
+  | FORALL
+  | TRUE
+  | FALSE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> token list
+(** @raise Lex_error on an unrecognized character. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,31 @@
+(** Recursive-descent parser for FO+LIN formulas.
+
+    Grammar (lowest to highest precedence):
+    {v
+    formula    ::= 'exists' ident+ '.' formula
+                 | 'forall' ident+ '.' formula
+                 | implication
+    implication::= disjunction ('->' formula)?
+    disjunction::= conjunction ('\/' conjunction)*
+    conjunction::= unary ('/\' unary)*
+    unary      ::= '~' unary | '(' formula ')' | 'true' | 'false' | atom
+    atom       ::= expr (relop expr)+            (chains allowed: 0 <= x <= 1)
+    relop      ::= '<=' | '<' | '>=' | '>' | '=' | '<>'
+    expr       ::= ['-'] term (('+'|'-') term)*
+    term       ::= factor (('*'|'/') factor)*    (multiplication must stay linear)
+    factor     ::= number | ident | '(' expr ')' | '-' factor
+    v}
+
+    Free variables are the names passed to {!parse}, bound to indices
+    [0 .. n-1] in order; quantified variables get fresh indices and may
+    shadow free names. *)
+
+exception Parse_error of string
+
+val parse : vars:string list -> string -> Formula.t
+(** @raise Parse_error on syntax errors, unknown variables, or
+    non-linear products. @raise Lexer.Lex_error on bad characters. *)
+
+val parse_relation : vars:string list -> string -> Relation.t
+(** Parse then convert to DNF.  The input must be quantifier-free.
+    The relation's dimension is [List.length vars]. *)

@@ -1,0 +1,103 @@
+type t = { dim : int; tuples : Dnf.tuple list }
+
+let check_vars dim tuples =
+  List.iter
+    (fun tuple ->
+      List.iter
+        (fun a ->
+          if Atom.max_var a >= dim then
+            invalid_arg
+              (Printf.sprintf "Relation.make: variable x%d out of dimension %d" (Atom.max_var a) dim))
+        tuple)
+    tuples
+
+let make ~dim tuples =
+  check_vars dim tuples;
+  { dim; tuples = List.filter_map Dnf.simplify_tuple tuples }
+
+let of_formula ~dim f = make ~dim (Dnf.of_formula f)
+
+let to_formula r = Dnf.to_formula r.tuples
+let dim r = r.dim
+let tuples r = r.tuples
+let size r = List.fold_left (fun acc t -> acc + List.length t) 0 r.tuples
+
+let mem r x = List.exists (fun t -> Dnf.tuple_holds t x) r.tuples
+let mem_float ?slack r x = List.exists (fun t -> Dnf.tuple_holds_float ?slack t x) r.tuples
+
+let union a b =
+  if a.dim <> b.dim then invalid_arg "Relation.union: dimension mismatch";
+  { dim = a.dim; tuples = a.tuples @ b.tuples }
+
+let inter a b =
+  if a.dim <> b.dim then invalid_arg "Relation.inter: dimension mismatch";
+  let tuples =
+    List.concat_map (fun ta -> List.filter_map (fun tb -> Dnf.simplify_tuple (ta @ tb)) b.tuples) a.tuples
+  in
+  { dim = a.dim; tuples }
+
+let complement_tuple tuple r =
+  (* tuple ∧ ¬(∨ tuples of r): push the negation through DNF. *)
+  let negated =
+    Formula.conj
+      (List.map
+         (fun t -> Formula.neg (Dnf.tuple_to_formula t))
+         r.tuples)
+  in
+  let f = Formula.conj [ Dnf.tuple_to_formula tuple; negated ] in
+  let tuples = Dnf.of_formula f in
+  if tuples = [] then None else Some { dim = r.dim; tuples }
+
+let diff a b =
+  if a.dim <> b.dim then invalid_arg "Relation.diff: dimension mismatch";
+  let pieces = List.filter_map (fun t -> complement_tuple t b) a.tuples in
+  { dim = a.dim; tuples = List.concat_map (fun r -> r.tuples) pieces }
+
+let is_syntactically_empty r = r.tuples = []
+
+let box lo hi =
+  let d = Array.length lo in
+  if Array.length hi <> d then invalid_arg "Relation.box: dimension mismatch";
+  let atoms = ref [] in
+  for i = d - 1 downto 0 do
+    (* lo_i <= x_i <= hi_i *)
+    atoms := Atom.le (Term.var i) (Term.const hi.(i)) :: Atom.ge (Term.var i) (Term.const lo.(i)) :: !atoms
+  done;
+  make ~dim:d [ !atoms ]
+
+let unit_cube d = box (Array.make d Rational.zero) (Array.make d Rational.one)
+let cube d r = box (Array.make d (Rational.neg r)) (Array.make d r)
+
+let standard_simplex d =
+  let nonneg = List.init d (fun i -> Atom.ge (Term.var i) Term.zero) in
+  let sum = List.fold_left (fun acc i -> Term.add acc (Term.var i)) Term.zero (List.init d Fun.id) in
+  make ~dim:d [ Atom.le sum (Term.const Rational.one) :: nonneg ]
+
+let cross_polytope d r =
+  (* Σ εᵢ xᵢ <= r for every sign pattern ε. *)
+  let rec patterns i acc =
+    if i = d then [ acc ]
+    else patterns (i + 1) ((1, i) :: acc) @ patterns (i + 1) ((-1, i) :: acc)
+  in
+  let facet signs =
+    let term =
+      List.fold_left
+        (fun acc (s, i) -> Term.add acc (Term.monomial (Rational.of_int s) i))
+        Term.zero signs
+    in
+    Atom.le term (Term.const r)
+  in
+  make ~dim:d [ List.map facet (patterns 0 []) ]
+
+let halfspace ~dim term = make ~dim [ [ Atom.make term Atom.Le ] ]
+
+
+let to_text r =
+  if r.tuples = [] then "false"
+  else Format.asprintf "%a" Formula.pp (Dnf.to_formula r.tuples)
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>dim %d:@ %a@]" r.dim
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun f t ->
+         Format.fprintf f "| %a" Formula.pp (Dnf.tuple_to_formula t)))
+    r.tuples

@@ -1,0 +1,1 @@
+lib/core/bisection_gen.ml: Array Float List Option Polytope Rng Vec Volume

@@ -1,0 +1,1 @@
+lib/core/bisection_gen.mli: Polytope Rng Vec

@@ -1,0 +1,1 @@
+lib/core/boost.ml: Array Float Observable Stdlib

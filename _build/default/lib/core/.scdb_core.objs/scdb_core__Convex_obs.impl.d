@@ -1,0 +1,1 @@
+lib/core/convex_obs.ml: Affine Grid Hit_and_run Observable Params Polytope Relation Rounding Vec Volume Walk

@@ -1,0 +1,1 @@
+lib/core/convex_obs.mli: Observable Polytope Relation Rng Volume

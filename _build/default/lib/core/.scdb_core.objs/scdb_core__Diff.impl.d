@@ -1,0 +1,1 @@
+lib/core/diff.ml: Chernoff Float Inter Observable Params Relation

@@ -1,0 +1,1 @@
+lib/core/fixed_dim.ml: Array Float Gridvol Hashtbl Observable Params Relation Vec Volume_exact

@@ -1,0 +1,1 @@
+lib/core/fixed_dim.mli: Observable Rational Relation

@@ -1,0 +1,1 @@
+lib/core/inter.ml: Array Chernoff Float List Observable Params Relation Stdlib

@@ -1,0 +1,1 @@
+lib/core/observable.ml: Hashtbl List Params Relation Rng Stdlib Vec

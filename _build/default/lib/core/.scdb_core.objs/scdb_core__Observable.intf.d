@@ -1,0 +1,1 @@
+lib/core/observable.mli: Params Relation Rng Vec

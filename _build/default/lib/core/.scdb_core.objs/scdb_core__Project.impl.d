@@ -1,0 +1,1 @@
+lib/core/project.ml: Array Chernoff Convex_obs Float Fun Hashtbl List Observable Option Params Polytope Rational Rng Stdlib Vec Volume Volume_exact

@@ -1,0 +1,1 @@
+lib/core/project.mli: Observable Params Polytope Rng Vec

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Array Float Fun List Observable Option Params Relation Rng Scdb_hull Vec

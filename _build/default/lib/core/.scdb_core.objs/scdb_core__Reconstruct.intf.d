@@ -1,0 +1,1 @@
+lib/core/reconstruct.mli: Observable Relation Rng Scdb_hull Vec

@@ -1,0 +1,1 @@
+lib/core/sat_encode.ml: Array Atom Convex_obs Fun List Rational Relation Rng Term Union

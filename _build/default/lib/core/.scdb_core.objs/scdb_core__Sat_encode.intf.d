@@ -1,0 +1,1 @@
+lib/core/sat_encode.mli: Convex_obs Observable Rational Relation Rng

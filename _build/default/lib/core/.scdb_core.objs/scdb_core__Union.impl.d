@@ -1,0 +1,1 @@
+lib/core/union.ml: Array Chernoff List Observable Params Relation Rng Stdlib

@@ -1,0 +1,1 @@
+lib/core/union.mli: Observable

@@ -1,0 +1,64 @@
+let volume rng ~budget poly =
+  if Polytope.is_empty poly then 0.0
+  else
+    match Volume.estimate rng ~budget:(Volume.Practical budget) poly with
+    | Some r -> Float.max 0.0 r.Volume.volume
+    | None -> 0.0
+
+let sample rng ?(volume_budget = 400) ?(bisections = 8) poly =
+  match Polytope.bounding_box poly with
+  | None -> None
+  | Some (lo0, hi0) ->
+      let d = Polytope.dim poly in
+      let body = ref poly in
+      let cell_lo = Vec.copy lo0 and cell_hi = Vec.copy hi0 in
+      let ok = ref true in
+      (* Narrow each coordinate to a thin slab by volume-weighted coin
+         flips; the slab (not a point) is kept so that the remaining
+         body stays full-dimensional — the geometric form of JVV
+         self-reducibility. *)
+      for coord = 0 to d - 1 do
+        if !ok then begin
+          for _ = 1 to bisections do
+            if !ok then begin
+              let mid = 0.5 *. (cell_lo.(coord) +. cell_hi.(coord)) in
+              let left = Polytope.add_halfspace !body (Vec.basis d coord) mid in
+              let right = Polytope.add_halfspace !body (Vec.neg (Vec.basis d coord)) (-.mid) in
+              let vl = volume rng ~budget:volume_budget left in
+              let vr = volume rng ~budget:volume_budget right in
+              if vl +. vr <= 0.0 then ok := false
+              else if Rng.float rng < vl /. (vl +. vr) then begin
+                cell_hi.(coord) <- mid;
+                body := left
+              end
+              else begin
+                cell_lo.(coord) <- mid;
+                body := right
+              end
+            end
+          done
+        end
+      done;
+      if not !ok then None
+      else begin
+        (* Uniform point of the final cell ∩ body by rejection, falling
+           back to the Chebyshev centre of the residual body. *)
+        let rec draw tries =
+          if tries = 0 then Option.map fst (Polytope.chebyshev !body)
+          else begin
+            let p = Rng.in_box rng cell_lo cell_hi in
+            if Polytope.mem ~slack:1e-12 poly p then Some p else draw (tries - 1)
+          end
+        in
+        draw 64
+      end
+
+let sample_many rng ?volume_budget ?bisections poly ~n =
+  let rec go acc k budget_guard =
+    if k = 0 || budget_guard = 0 then List.rev acc
+    else
+      match sample rng ?volume_budget ?bisections poly with
+      | Some p -> go (p :: acc) (k - 1) budget_guard
+      | None -> go acc k (budget_guard - 1)
+  in
+  go [] n (4 * n)

@@ -1,0 +1,29 @@
+(** Generation from approximate counting, Jerrum–Valiant–Vazirani style.
+
+    The paper builds on [19]'s equivalence between almost uniform
+    generation and approximate counting for self-reducible problems.
+    Convex bodies are "self-reducible" geometrically: fixing a
+    coordinate range splits the body into two convex halves whose
+    volumes the estimator can compare.  This module implements the
+    counting→generation direction: draw each coordinate by recursive
+    bisection, weighting each half by its estimated volume.
+
+    It is polynomially slower than the walk (one volume estimation per
+    bisection step) and exists to demonstrate the reduction; the walk
+    samplers are the production path. *)
+
+val sample :
+  Rng.t ->
+  ?volume_budget:int ->
+  ?bisections:int ->
+  Polytope.t ->
+  Vec.t option
+(** One approximate sample.  [bisections] (default 8) halvings per
+    coordinate — the output is uniform over a grid of [2^bisections]
+    slabs per axis, matching the γ-grid discretization of the paper.
+    [volume_budget] is the per-phase sample count of the inner
+    estimator (default 400).  [None] if the body is empty or
+    unbounded. *)
+
+val sample_many :
+  Rng.t -> ?volume_budget:int -> ?bisections:int -> Polytope.t -> n:int -> Vec.t list

@@ -1,0 +1,19 @@
+let runs_for ~delta =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Boost.runs_for";
+  let n = int_of_float (ceil (18.0 *. log (1.0 /. delta))) in
+  let n = Stdlib.max 1 n in
+  if n mod 2 = 0 then n + 1 else n
+
+let median_volume rng obs ~eps ~delta =
+  let runs = runs_for ~delta in
+  let values =
+    Array.init runs (fun _ -> Observable.volume obs rng ~eps ~delta:0.25)
+  in
+  Array.sort Float.compare values;
+  values.(runs / 2)
+
+let boost_observable obs =
+  {
+    obs with
+    Observable.volume = (fun rng ~eps ~delta -> median_volume rng obs ~eps ~delta);
+  }

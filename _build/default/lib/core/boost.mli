@@ -1,0 +1,22 @@
+(** Confidence boosting by medians.
+
+    The paper assumes the "classical" [ln(1/δ)] complexity dependence:
+    an estimator correct within ratio [1+ε] with probability ≥ 3/4 can
+    be boosted to confidence [1−δ] by taking the median of
+    [O(ln(1/δ))] independent runs — a median is correct unless half
+    the runs fail simultaneously.  This wraps any volume estimator or
+    observable with that construction. *)
+
+val runs_for : delta:float -> int
+(** Odd number of repetitions [≈ 18·ln(1/δ)] such that the median of
+    that many 3/4-confident runs fails with probability ≤ δ
+    (Chernoff on Bernoulli(1/4) failures). *)
+
+val median_volume :
+  Rng.t -> Observable.t -> eps:float -> delta:float -> float
+(** Median of [runs_for ~delta] runs of the observable's estimator,
+    each invoked at constant confidence (δ = 1/4). *)
+
+val boost_observable : Observable.t -> Observable.t
+(** Same observable with its volume estimator replaced by the
+    median-boosted version. *)

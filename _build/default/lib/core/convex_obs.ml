@@ -1,0 +1,72 @@
+type sampler = Grid_walk | Hit_and_run
+
+type config = {
+  sampler : sampler;
+  volume_budget : Volume.budget;
+  walk_steps : int option;
+}
+
+let default_config = { sampler = Grid_walk; volume_budget = Volume.Rigorous; walk_steps = None }
+
+let practical_config =
+  { sampler = Hit_and_run; volume_budget = Volume.Practical 2000; walk_steps = None }
+
+let of_polytope ?(config = default_config) ?relation rng poly =
+  match Rounding.round rng poly with
+  | None -> None
+  | Some rounded ->
+      let dim = Polytope.dim poly in
+      let body = rounded.Rounding.rounded in
+      let transform = rounded.Rounding.transform in
+      let r_sup = rounded.Rounding.r_sup in
+      let sample walk_rng params =
+        let gamma = Params.gamma params and eps = Params.eps params in
+        let steps =
+          match config.walk_steps with
+          | Some s -> s
+          | None -> (
+              match config.sampler with
+              | Grid_walk -> Walk.default_steps ~dim ~eps
+              | Hit_and_run -> Hit_and_run.default_steps ~dim)
+        in
+        (* Walk on the γ-grid of the rounded body (where DFK mixing
+           applies), then map the vertex back through the rounding
+           transform. *)
+        let point =
+          match config.sampler with
+          | Grid_walk ->
+              let grid = Grid.step_for ~gamma ~dim ~scale:r_sup in
+              Walk.sample walk_rng ~grid
+                ~mem:(fun x -> Polytope.mem body x)
+                ~start:(Vec.create dim) ~steps
+          | Hit_and_run ->
+              Hit_and_run.sample_polytope walk_rng body ~start:(Vec.create dim) ~steps
+        in
+        Some (Affine.apply_inverse transform point)
+      in
+      let volume vol_rng ~eps ~delta =
+        (* The body is already rounded; estimate there and undo the
+           transform's volume scale. *)
+        let sampler =
+          match config.sampler with Grid_walk -> Volume.Grid_walk | Hit_and_run -> Volume.Hit_and_run
+        in
+        match
+          Volume.estimate vol_rng ~eps ~delta ~sampler ~budget:config.volume_budget
+            ?walk_steps:config.walk_steps body
+        with
+        | Some report -> report.Volume.volume /. Affine.volume_scale transform
+        | None -> raise (Observable.Estimation_failed "convex volume estimation failed")
+      in
+      let mem =
+        match relation with
+        | Some r -> fun x -> Relation.mem_float ~slack:1e-9 r x
+        | None -> fun x -> Polytope.mem ~slack:1e-9 poly x
+      in
+      Some (Observable.make ?relation ~dim ~mem ~sample ~volume ())
+
+let make ?config rng relation =
+  match Relation.tuples relation with
+  | [ tuple ] ->
+      let poly = Polytope.of_tuple ~dim:(Relation.dim relation) tuple in
+      of_polytope ?config ~relation rng poly
+  | _ -> invalid_arg "Convex_obs.make: relation must be a single generalized tuple"

@@ -1,0 +1,35 @@
+(** The Dyer–Frieze–Kannan base case: convex well-bounded relations are
+    observable.
+
+    Builds an {!Observable.t} for a single generalized tuple: the
+    generator walks a γ-grid on the well-rounded image of the body (the
+    paper's construction), and the estimator is the multi-phase
+    {!Scdb_sampling.Volume} scheme. *)
+
+type sampler = Grid_walk  (** the paper's lattice walk *) | Hit_and_run  (** continuous variant *)
+
+type config = {
+  sampler : sampler;
+  volume_budget : Volume.budget;
+  walk_steps : int option; (* override the default mixing schedule *)
+}
+
+val default_config : config
+(** Grid walk, rigorous budget, default mixing schedule. *)
+
+val practical_config : config
+(** Hit-and-run with a fixed per-phase budget — what the experiments use
+    when wall-clock matters more than certified constants. *)
+
+val make : ?config:config -> Rng.t -> Relation.t -> Observable.t option
+(** Observable for a relation that must consist of exactly one
+    generalized tuple (i.e. be convex).  The [Rng.t] drives the
+    well-rounding preprocessing.  [None] when the body is empty,
+    unbounded, or lower-dimensional.
+    @raise Invalid_argument if the relation has more than one tuple. *)
+
+val of_polytope :
+  ?config:config -> ?relation:Relation.t -> Rng.t -> Polytope.t -> Observable.t option
+(** Same, from an explicit float polytope.  When [relation] is given it
+    is stored for reporting and used as the membership oracle;
+    otherwise membership tests the polytope directly. *)

@@ -1,0 +1,33 @@
+let diff ?(poly_degree = 3) a b =
+  if Observable.dim a <> Observable.dim b then invalid_arg "Diff.diff: dimension mismatch";
+  let dim = Observable.dim a in
+  let a = Observable.with_cached_volume a in
+  let relation = Observable.combine_relations Relation.diff a b in
+  let mem x = Observable.mem a x && not (Observable.mem b x) in
+  let sample rng params =
+    let budget = Inter.budget_for ~dim ~poly_degree ~delta:(Params.delta params) in
+    let rec attempt k =
+      if k = 0 then None
+      else
+        match Observable.sample a rng (Params.third_eps params) with
+        | None -> attempt (k - 1)
+        | Some x -> if Observable.mem b x then attempt (k - 1) else Some x
+    in
+    attempt budget
+  in
+  let volume rng ~eps ~delta =
+    let eps2 = eps /. 2.0 in
+    let mu_a = Observable.volume a rng ~eps:eps2 ~delta:(delta /. 4.0) in
+    let p_floor = 1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree) in
+    let params = Params.make ~gamma:0.1 ~eps:eps2 ~delta:(delta /. 4.0) () in
+    let draw r =
+      match Observable.sample a r params with
+      | Some x -> not (Observable.mem b x)
+      | None -> false
+    in
+    let fraction =
+      Chernoff.estimate_fraction_adaptive rng ~eps:eps2 ~delta:(delta /. 4.0) ~p_floor draw
+    in
+    mu_a *. fraction
+  in
+  Observable.make ?relation ~dim ~mem ~sample ~volume ()

@@ -1,0 +1,10 @@
+(** Difference of observable relations (Proposition 4.2).
+
+    Sample from the minuend and keep the points outside the
+    subtrahend.  Neither connected nor convex in general, yet
+    observable whenever [S₁ − S₂] is poly-related to [S₁]. *)
+
+val diff : ?poly_degree:int -> Observable.t -> Observable.t -> Observable.t
+(** [diff a b] is the observable for [a − b].  [poly_degree] plays the
+    same budget role as in {!Inter}.
+    @raise Invalid_argument on dimension mismatch. *)

@@ -1,0 +1,62 @@
+let budget_for ~dim ~poly_degree ~delta =
+  let d = Float.max 2.0 (float_of_int dim) in
+  let bound = (d ** float_of_int poly_degree) *. log (1.0 /. delta) in
+  Stdlib.max 32 (int_of_float (ceil bound))
+
+let inter ?(poly_degree = 3) children =
+  if children = [] then invalid_arg "Inter.inter: empty list";
+  let dim = Observable.dim (List.hd children) in
+  List.iter
+    (fun c -> if Observable.dim c <> dim then invalid_arg "Inter.inter: dimension mismatch")
+    children;
+  let children = Array.of_list (List.map Observable.with_cached_volume children) in
+  let m = Array.length children in
+  let relation =
+    Array.fold_left
+      (fun acc c ->
+        match (acc, Observable.relation c) with
+        | Some r, Some rc -> Some (Relation.inter r rc)
+        | _ -> None)
+      (Observable.relation children.(0))
+      (Array.sub children 1 (m - 1))
+  in
+  let mem x = Array.for_all (fun c -> Observable.mem c x) children in
+  (* Index of the smallest operand by estimated volume. *)
+  let smallest rng ~eps ~delta =
+    let mu = Array.map (fun c -> Observable.volume c rng ~eps ~delta) children in
+    let j = ref 0 in
+    Array.iteri (fun i v -> if v < mu.(!j) then j := i) mu;
+    (!j, mu.(!j))
+  in
+  let sample rng params =
+    let eps3 = Params.eps params /. 3.0 in
+    let delta = Params.delta params in
+    let j, _ = smallest rng ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
+    let budget = budget_for ~dim ~poly_degree ~delta in
+    let rec attempt k =
+      if k = 0 then None
+      else
+        match Observable.sample children.(j) rng (Params.third_eps params) with
+        | None -> attempt (k - 1)
+        | Some x -> if mem x then Some x else attempt (k - 1)
+    in
+    attempt budget
+  in
+  let volume rng ~eps ~delta =
+    (* μ(T) = μ(S_j) · P[x ∈ T | x ~ S_j], with the poly-relatedness
+       promise lower-bounding the acceptance probability. *)
+    let eps2 = eps /. 2.0 in
+    let j, mu_j = smallest rng ~eps:eps2 ~delta:(delta /. float_of_int (4 * m)) in
+    let p_floor = 1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree) in
+    let params = Params.make ~gamma:0.1 ~eps:eps2 ~delta:(delta /. 4.0) () in
+    let draw r =
+      match Observable.sample children.(j) r params with Some x -> mem x | None -> false
+    in
+    let fraction =
+      Chernoff.estimate_fraction_adaptive rng ~eps:eps2 ~delta:(delta /. 4.0) ~p_floor draw
+    in
+    mu_j *. fraction
+  in
+  Observable.make ?relation ~dim ~mem ~sample ~volume ()
+
+let inter2 ?poly_degree a b = inter ?poly_degree [ a; b ]

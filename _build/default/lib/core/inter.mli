@@ -1,0 +1,20 @@
+(** Intersection of observable relations (Proposition 4.1,
+    Corollary 4.3).
+
+    Sample from the smallest operand and keep the points lying in all
+    others.  This is efficient exactly when the intersection is
+    {e poly-related} to that operand — the paper's sufficient
+    condition; when it fails (an exponentially thin intersection) the
+    rejection loop exhausts its budget and the generator reports
+    failure, which is the behaviour experiment E6 measures.  The
+    restriction is necessary unless P = NP (SAT encoding of §4.1.3). *)
+
+val inter : ?poly_degree:int -> Observable.t list -> Observable.t
+(** [poly_degree] is the exponent [k] of the poly-relatedness promise
+    [μ(min Sᵢ)/μ(T) ≤ d^k] (default 3); it sizes the rejection budget
+    [O(d^k · ln(1/δ))] and the volume-estimator sample count.
+    @raise Invalid_argument on an empty list or mixed dimensions. *)
+
+val inter2 : ?poly_degree:int -> Observable.t -> Observable.t -> Observable.t
+
+val budget_for : dim:int -> poly_degree:int -> delta:float -> int

@@ -1,0 +1,49 @@
+exception Estimation_failed of string
+
+type t = {
+  dim : int;
+  relation : Relation.t option;
+  mem : Vec.t -> bool;
+  sample : Rng.t -> Params.t -> Vec.t option;
+  volume : Rng.t -> eps:float -> delta:float -> float;
+}
+
+let make ?relation ~dim ~mem ~sample ~volume () =
+  (match relation with
+  | Some r when Relation.dim r <> dim -> invalid_arg "Observable.make: relation dimension mismatch"
+  | _ -> ());
+  { dim; relation; mem; sample; volume }
+
+let of_relation_parts ~relation ~mem ~sample ~volume =
+  { dim = Relation.dim relation; relation = Some relation; mem; sample; volume }
+
+let dim t = t.dim
+let relation t = t.relation
+let mem t x = t.mem x
+let sample t rng params = t.sample rng params
+let volume t rng ~eps ~delta = t.volume rng ~eps ~delta
+
+let sample_exn t rng params =
+  let attempts = Stdlib.max 4 (int_of_float (ceil (20.0 *. log (1.0 /. Params.delta params)))) in
+  let rec go n =
+    if n = 0 then raise (Estimation_failed "generator failed on every retry")
+    else match t.sample rng params with Some x -> x | None -> go (n - 1)
+  in
+  go attempts
+
+let sample_many t rng params ~n = List.init n (fun _ -> sample_exn t rng params)
+
+let with_cached_volume t =
+  let cache : (float * float, float) Hashtbl.t = Hashtbl.create 4 in
+  let volume rng ~eps ~delta =
+    match Hashtbl.find_opt cache (eps, delta) with
+    | Some v -> v
+    | None ->
+        let v = t.volume rng ~eps ~delta in
+        Hashtbl.replace cache (eps, delta) v;
+        v
+  in
+  { t with volume }
+
+let combine_relations f a b =
+  match (a.relation, b.relation) with Some ra, Some rb -> Some (f ra rb) | _ -> None

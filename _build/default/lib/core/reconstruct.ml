@@ -1,0 +1,61 @@
+module Hull_lp = Scdb_hull.Hull_lp
+module Hull2d = Scdb_hull.Hull2d
+
+type t = { dim : int; hulls : Hull_lp.t list }
+
+let mem t x = List.exists (fun h -> Hull_lp.mem h x) t.hulls
+
+let samples_for_lemma41 ~eps ~delta ~dim ~vertices =
+  let d = float_of_int dim and r = float_of_int vertices in
+  4.0 *. r *. r *. d *. d /. (eps ** 4.0) /. (d ** ((2.0 *. d) -. 2.0)) *. log (1.0 /. delta)
+
+let default_params = Params.make ~gamma:0.05 ~eps:0.15 ~delta:0.1 ()
+
+let convex_hull_estimate rng obs ~n =
+  let points = Observable.sample_many obs rng default_params ~n in
+  { dim = Observable.dim obs; hulls = [ Hull_lp.of_points (Array.of_list points) ] }
+
+let union_estimate rng pieces ~n =
+  match pieces with
+  | [] -> invalid_arg "Reconstruct.union_estimate: no pieces"
+  | first :: _ ->
+      let dim = Observable.dim first in
+      List.iter
+        (fun p -> if Observable.dim p <> dim then invalid_arg "Reconstruct.union_estimate: dimension mismatch")
+        pieces;
+      let hulls =
+        List.map
+          (fun piece ->
+            let points = Observable.sample_many piece rng default_params ~n in
+            Hull_lp.of_points (Array.of_list points))
+          pieces
+      in
+      { dim; hulls }
+
+let to_relation_2d t =
+  if t.dim <> 2 then None
+  else begin
+    let tuples =
+      List.map (fun h -> Hull2d.to_tuple (Array.to_list (Hull_lp.points h))) t.hulls
+    in
+    if List.exists Option.is_none tuples then None
+    else Some (Relation.make ~dim:2 (List.filter_map Fun.id tuples))
+  end
+
+let symmetric_difference_mc rng ?(samples = 20_000) t reference ~lo ~hi =
+  let vol_box =
+    let v = ref 1.0 in
+    for i = 0 to Vec.dim lo - 1 do
+      v := !v *. Float.max 0.0 (hi.(i) -. lo.(i))
+    done;
+    !v
+  in
+  if vol_box = 0.0 then 0.0
+  else begin
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      let x = Rng.in_box rng lo hi in
+      if mem t x <> reference x then incr hits
+    done;
+    vol_box *. float_of_int !hits /. float_of_int samples
+  end

@@ -1,0 +1,42 @@
+(** Shape reconstruction from uniform samples (§4.3: Lemma 4.1,
+    Algorithms 3–5, Theorem 4.4).
+
+    An (ε,δ)-estimator for a relation [S] outputs a set [Ŝ] with
+    [μ(S Δ Ŝ) <= ε·μ(S)] with probability [1−δ], using only point
+    membership — no quantifier elimination.  For convex [S] the convex
+    hull of [N] uniform samples works (Affentranger–Wieacker rate);
+    positive existential queries are reconstructed as unions of such
+    hulls, one per disjunct. *)
+
+type t = {
+  dim : int;
+  hulls : Scdb_hull.Hull_lp.t list; (* one per reconstructed disjunct *)
+}
+(** The reconstructed set: the union of the hulls. *)
+
+val mem : t -> Vec.t -> bool
+
+val samples_for_lemma41 : eps:float -> delta:float -> dim:int -> vertices:int -> float
+(** The sample count of Lemma 4.1,
+    [N = O(4r²d² / (ε⁴ d^{2d−2}) · ln(1/δ))] — returned as a float
+    because the constant-free bound is astronomically conservative;
+    experiments size N empirically and verify the rate instead. *)
+
+val convex_hull_estimate : Rng.t -> Observable.t -> n:int -> t
+(** Algorithm 3: [n] uniform samples, hull kept implicit (LP
+    membership).  Use [to_relation_2d] to materialize in the plane. *)
+
+val union_estimate : Rng.t -> Observable.t list -> n:int -> t
+(** Algorithms 4–5: one hull per observable piece (each piece must be
+    convex for the guarantee to hold — e.g. projections of convex
+    relations, intersections of convex relations), [n] samples each. *)
+
+val to_relation_2d : t -> Relation.t option
+(** Materialize a planar reconstruction as a generalized relation
+    (union of one generalized tuple per hull).  [None] if any hull is
+    degenerate or the dimension is not 2. *)
+
+val symmetric_difference_mc :
+  Rng.t -> ?samples:int -> t -> (Vec.t -> bool) -> lo:Vec.t -> hi:Vec.t -> float
+(** Monte-Carlo volume of [t Δ reference] inside a box — the quality
+    measure [μ(S Δ Ŝ)] of Definition 4.1. *)

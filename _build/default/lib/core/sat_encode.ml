@@ -1,0 +1,107 @@
+type cnf = int list list
+
+let check_literal ~nvars l =
+  let v = abs l in
+  if l = 0 || v > nvars then invalid_arg "Sat_encode: bad literal"
+
+let quarter = Rational.of_ints 1 4
+let three_quarters = Rational.of_ints 3 4
+
+(* The unit-cube atoms 0 <= x_i <= 1 for all variables. *)
+let cube_atoms nvars =
+  List.concat_map
+    (fun i -> [ Atom.ge (Term.var i) Term.zero; Atom.le (Term.var i) (Term.const Rational.one) ])
+    (List.init nvars Fun.id)
+
+let literal_tuple ~nvars l =
+  check_literal ~nvars l;
+  let i = abs l - 1 in
+  let slab =
+    if l > 0 then [ Atom.gt (Term.var i) (Term.const three_quarters); Atom.lt (Term.var i) (Term.const Rational.one) ]
+    else [ Atom.gt (Term.var i) Term.zero; Atom.lt (Term.var i) (Term.const quarter) ]
+  in
+  slab @ cube_atoms nvars
+
+let literal_relation ~nvars l = Relation.make ~dim:nvars [ literal_tuple ~nvars l ]
+
+let clause_relation ~nvars clause =
+  if clause = [] then invalid_arg "Sat_encode.clause_relation: empty clause";
+  Relation.make ~dim:nvars (List.map (literal_tuple ~nvars) clause)
+
+let clause_observables ?config rng ~nvars cnf =
+  List.map
+    (fun clause ->
+      let slabs =
+        List.filter_map
+          (fun l -> Convex_obs.make ?config rng (literal_relation ~nvars l))
+          clause
+      in
+      if slabs = [] then invalid_arg "Sat_encode.clause_observables: unbuildable clause";
+      Union.union slabs)
+    cnf
+
+(* Cell decomposition: each coordinate lies in F=(0,1/4), M=(1/4,3/4) or
+   T=(3/4,1), with measures 1/4, 1/2, 1/4. *)
+let exact_volume ~nvars cnf =
+  List.iter (List.iter (check_literal ~nvars)) cnf;
+  let measure = function 0 -> quarter | 1 -> Rational.half | _ -> quarter in
+  let cell = Array.make nvars 0 in
+  let total = ref Rational.zero in
+  let satisfied () =
+    List.for_all
+      (fun clause ->
+        List.exists
+          (fun l ->
+            let i = abs l - 1 in
+            if l > 0 then cell.(i) = 2 else cell.(i) = 0)
+          clause)
+      cnf
+  in
+  let rec scan i =
+    if i = nvars then begin
+      if satisfied () then begin
+        let m = Array.fold_left (fun acc c -> Rational.mul acc (measure c)) Rational.one cell in
+        total := Rational.add !total m
+      end
+    end
+    else
+      for v = 0 to 2 do
+        cell.(i) <- v;
+        scan (i + 1)
+      done
+  in
+  scan 0;
+  !total
+
+let count_models ~nvars cnf =
+  List.iter (List.iter (check_literal ~nvars)) cnf;
+  let count = ref 0 in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    let sat =
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let bit = mask land (1 lsl (abs l - 1)) <> 0 in
+              if l > 0 then bit else not bit)
+            clause)
+        cnf
+    in
+    if sat then incr count
+  done;
+  !count
+
+let is_satisfiable ~nvars cnf = count_models ~nvars cnf > 0
+
+let random_3cnf rng ~nvars ~clauses =
+  if nvars < 3 then invalid_arg "Sat_encode.random_3cnf: need at least 3 variables";
+  List.init clauses (fun _ ->
+      (* Three distinct variables, random polarities. *)
+      let rec pick acc =
+        if List.length acc = 3 then acc
+        else begin
+          let v = 1 + Rng.int rng nvars in
+          if List.mem v acc then pick acc else pick (v :: acc)
+        end
+      in
+      List.map (fun v -> if Rng.bool rng then v else -v) (pick []))

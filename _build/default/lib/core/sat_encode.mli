@@ -1,0 +1,38 @@
+(** The geometric SAT encoding of §4.1.3.
+
+    Literal [xᵢ] becomes the slab [3/4 < xᵢ < 1], literal [¬xᵢ] the
+    slab [0 < xᵢ < 1/4] (inside the ambient unit cube); a clause is the
+    union of its literal slabs and a CNF instance the intersection of
+    its clauses.  A relative volume estimator for arbitrary
+    intersections would decide SAT — hence the poly-relatedness
+    restriction in Proposition 4.1 is necessary unless P = NP.
+
+    Clauses are lists of non-zero literals: [+i] for variable [i],
+    [-i] for its negation ([i] is 1-based). *)
+
+type cnf = int list list
+
+val literal_relation : nvars:int -> int -> Relation.t
+(** The slab of one literal, inside [0,1]^nvars. *)
+
+val clause_relation : nvars:int -> int list -> Relation.t
+(** Union of the clause's literal slabs. *)
+
+val clause_observables :
+  ?config:Convex_obs.config -> Rng.t -> nvars:int -> cnf -> Observable.t list
+(** One observable per clause (a {!Union} of convex slab observables) —
+    feeding these to {!Inter.inter} exercises the paper's whole algebra
+    on a SAT instance. *)
+
+val exact_volume : nvars:int -> cnf -> Rational.t
+(** Exact volume of the intersection, by the 3^n cell decomposition
+    (each coordinate lies in (0,¼), (¼,¾) or (¾,1)).  Exponential in
+    [nvars]; intended for ground truth with [nvars <= 12]. *)
+
+val count_models : nvars:int -> cnf -> int
+(** Brute-force model count (2^n). *)
+
+val is_satisfiable : nvars:int -> cnf -> bool
+
+val random_3cnf : Rng.t -> nvars:int -> clauses:int -> cnf
+(** Random 3-CNF with distinct variables per clause. *)

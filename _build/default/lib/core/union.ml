@@ -1,0 +1,74 @@
+let trials_for ~m ~delta =
+  Stdlib.max 4 (int_of_float (ceil (float_of_int m *. log (1.0 /. delta))))
+
+let union children =
+  if children = [] then invalid_arg "Union.union: empty list";
+  let dim = Observable.dim (List.hd children) in
+  List.iter
+    (fun c -> if Observable.dim c <> dim then invalid_arg "Union.union: dimension mismatch")
+    children;
+  let children = Array.of_list (List.map Observable.with_cached_volume children) in
+  let m = Array.length children in
+  let relation =
+    Array.fold_left
+      (fun acc c ->
+        match (acc, Observable.relation c) with
+        | Some r, Some rc -> Some (Relation.union r rc)
+        | _ -> None)
+      (Observable.relation children.(0))
+      (Array.sub children 1 (m - 1))
+  in
+  let mem x = Array.exists (fun c -> Observable.mem c x) children in
+  (* j(x): index of the first operand containing x. *)
+  let first_index x =
+    let rec go i = if i >= m then None else if Observable.mem children.(i) x then Some i else go (i + 1) in
+    go 0
+  in
+  let volumes rng ~eps ~delta =
+    Array.map (fun c -> Observable.volume c rng ~eps ~delta) children
+  in
+  let sample rng params =
+    let eps3 = Params.eps params /. 3.0 in
+    let delta = Params.delta params in
+    let sub_delta = delta /. float_of_int (4 * m) in
+    let mu = volumes rng ~eps:eps3 ~delta:sub_delta in
+    if Array.for_all (fun v -> v <= 0.0) mu then None
+    else begin
+    let trials = trials_for ~m ~delta in
+    let rec attempt k =
+      if k = 0 then None
+      else begin
+        let j = Rng.categorical rng mu in
+        match Observable.sample children.(j) rng (Params.third_eps params) with
+        | None -> attempt (k - 1)
+        | Some x -> if first_index x = Some j then Some x else attempt (k - 1)
+      end
+    in
+    attempt trials
+    end
+  in
+  let volume rng ~eps ~delta =
+    (* Karp–Luby estimator: μ(∪) = (Σ μ̂ᵢ) · P[trial accepted], and the
+       acceptance probability is at least 1/m. *)
+    let eps3 = eps /. 3.0 in
+    let mu = volumes rng ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
+    let total = Array.fold_left ( +. ) 0.0 mu in
+    if total <= 0.0 then 0.0
+    else begin
+      let params = Params.make ~gamma:0.1 ~eps:eps3 ~delta:(delta /. 4.0) () in
+      let n =
+        Chernoff.samples_for_ratio ~eps:eps3 ~delta:(delta /. 4.0) ~p_lower:(1.0 /. float_of_int m)
+      in
+      let accepted = ref 0 in
+      for _ = 1 to n do
+        let j = Rng.categorical rng mu in
+        match Observable.sample children.(j) rng params with
+        | None -> ()
+        | Some x -> if first_index x = Some j then incr accepted
+      done;
+      total *. float_of_int !accepted /. float_of_int n
+    end
+  in
+  Observable.make ?relation ~dim ~mem ~sample ~volume ()
+
+let union2 a b = union [ a; b ]

@@ -1,0 +1,21 @@
+(** Union of observable relations (Theorem 4.1/4.2, Corollary 4.2).
+
+    The paper's Algorithm 1, the geometric analogue of the Karp–Luby
+    #DNF sampler: choose an operand with probability proportional to
+    its estimated volume, draw a point from it, and keep the point only
+    when the chosen operand is the {e first} one containing it — which
+    makes every point of the union counted exactly once.  A direct walk
+    on the union would fail: it may be disconnected, or connected by
+    thin tubes that the walk crosses exponentially rarely. *)
+
+val union : Observable.t list -> Observable.t
+(** m-ary union (Corollary 4.2).  Child volume estimators are cached
+    per (ε,δ).  @raise Invalid_argument on an empty list or mixed
+    dimensions. *)
+
+val union2 : Observable.t -> Observable.t -> Observable.t
+(** Binary case of Theorem 4.1. *)
+
+val trials_for : m:int -> delta:float -> int
+(** Retry budget: per-trial success probability is at least [1/m], so
+    [⌈m·ln(1/δ)⌉] trials fail with probability below [δ]. *)

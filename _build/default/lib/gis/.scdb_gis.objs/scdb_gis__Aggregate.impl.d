@@ -1,0 +1,1 @@
+lib/gis/aggregate.ml: Eval Inter List Observable Params Relation Result Scdb_polytope

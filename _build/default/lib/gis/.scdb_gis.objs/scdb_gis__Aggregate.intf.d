@@ -1,0 +1,1 @@
+lib/gis/aggregate.mli: Convex_obs Instance Query Relation Rng Vec

@@ -1,0 +1,1 @@
+lib/gis/eval.ml: Array Atom Convex_obs Diff Formula Fun Hashtbl Instance List Observable Printf Project Query Reconstruct Relation Scdb_polytope Scdb_qe Union

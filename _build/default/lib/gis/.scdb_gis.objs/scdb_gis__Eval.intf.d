@@ -1,0 +1,1 @@
+lib/gis/eval.mli: Convex_obs Formula Instance Observable Query Reconstruct Relation Rng

@@ -1,0 +1,1 @@
+lib/gis/instance.ml: List Map Printf Relation Schema String

@@ -1,0 +1,1 @@
+lib/gis/instance.mli: Relation Schema

@@ -1,0 +1,1 @@
+lib/gis/planner.ml: Aggregate Float Instance List Printf Query Relation Result Stdlib

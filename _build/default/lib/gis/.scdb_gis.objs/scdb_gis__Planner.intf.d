@@ -1,0 +1,1 @@
+lib/gis/planner.mli: Convex_obs Instance Query Rng

@@ -1,0 +1,1 @@
+lib/gis/query.ml: Atom Format Hashtbl Int Lexer List Parser Printf Rational Scdb_constr Schema Set Stdlib String Term

@@ -1,0 +1,1 @@
+lib/gis/query.mli: Atom Format Schema

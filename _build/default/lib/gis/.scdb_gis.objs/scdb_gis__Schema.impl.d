@@ -1,0 +1,1 @@
+lib/gis/schema.ml: Format List

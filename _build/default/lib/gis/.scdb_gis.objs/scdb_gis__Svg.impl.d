@@ -1,0 +1,1 @@
+lib/gis/svg.ml: Array Buffer Fun List Printf Relation Scdb_polytope String Vec

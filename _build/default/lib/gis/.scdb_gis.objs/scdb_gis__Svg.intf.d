@@ -1,0 +1,1 @@
+lib/gis/svg.mli: Relation Vec

@@ -1,0 +1,1 @@
+lib/gis/synth.ml: Array Atom Fun Instance List Rational Relation Rng Schema Term Vec

@@ -1,0 +1,1 @@
+lib/gis/synth.mli: Instance Rational Relation Rng Schema Vec

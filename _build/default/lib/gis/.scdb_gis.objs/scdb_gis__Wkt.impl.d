@@ -1,0 +1,1 @@
+lib/gis/wkt.ml: Array List Printf Relation Result Scdb_hull Scdb_polytope String Vec

@@ -1,0 +1,1 @@
+lib/gis/wkt.mli: Relation Vec

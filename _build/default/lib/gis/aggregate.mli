@@ -1,0 +1,30 @@
+(** Approximate aggregates over query results.
+
+    The paper's motivating application: GIS workloads ask for areas,
+    coverage fractions and range counts where an approximate answer at
+    a fraction of the symbolic cost is the right trade.  Every
+    aggregate here can run in three modes — exact (fixed dimension),
+    grid (Lemma 3.2) or sampling (the paper's estimators) — so callers
+    and experiments can compare them. *)
+
+type mode =
+  | Exact  (** Lasserre + inclusion–exclusion: exponential in dim, exact. *)
+  | Grid of float  (** Fixed-dimension γ-grid decomposition. *)
+  | Sampling of { eps : float; delta : float }  (** The paper's estimators. *)
+
+val volume :
+  ?config:Convex_obs.config -> Rng.t -> Instance.t -> free_dim:int -> mode -> Query.t ->
+  (float, string) result
+(** Volume (area in 2-D) of the query result. *)
+
+val coverage :
+  ?config:Convex_obs.config -> Rng.t -> Instance.t -> free_dim:int -> mode ->
+  window:Relation.t -> Query.t -> (float, string) result
+(** Fraction of [window] covered by the query result:
+    [vol(result ∩ window) / vol(window)]. *)
+
+val average :
+  ?config:Convex_obs.config -> Rng.t -> Instance.t -> free_dim:int ->
+  samples:int -> Query.t -> f:(Vec.t -> float) -> (float, string) result
+(** Monte-Carlo average of [f] over the (approximately uniform) result
+    set — AVG-style aggregates. *)

@@ -1,0 +1,53 @@
+(** Query evaluation: the symbolic baseline and the approximate planner.
+
+    Two execution strategies for FO+LIN queries over an instance:
+
+    - {!symbolic}: unfold relation atoms and run Fourier–Motzkin
+      quantifier elimination — exact, but doubly exponential in the
+      number of eliminated variables (the cost the paper wants to
+      avoid);
+    - {!compile}: build an {!Scdb_core.Observable.t} by composing the
+      paper's generators — union for [∨], intersection for [∧],
+      difference for guarded [¬], fiber-compensated projection for
+      [∃] — giving sampling and volume estimation without any symbolic
+      blowup. *)
+
+val unfold : Instance.t -> Query.t -> Formula.t
+(** Replace every relation atom by its instance definition (variables
+    renamed into the query's).  The result is FO+LIN.
+    @raise Invalid_argument on unpopulated relation names. *)
+
+val symbolic : Instance.t -> free_dim:int -> Query.t -> Relation.t
+(** Exact evaluation: unfold, eliminate quantifiers, normalize. *)
+
+val observable_of_relation :
+  ?config:Convex_obs.config -> Rng.t -> Relation.t -> Observable.t option
+(** Union of per-tuple DFK observables (empty / lower-dimensional
+    tuples are dropped); [None] when nothing full-dimensional
+    remains. *)
+
+val compile :
+  ?config:Convex_obs.config ->
+  ?poly_degree:int ->
+  Rng.t ->
+  Instance.t ->
+  free_dim:int ->
+  Query.t ->
+  (Observable.t, string) result
+(** The approximate planner.  Supported fragment: disjunctions of
+    pieces [∃ z̄. (positive conjunction [∧ ¬guards])], where guards may
+    not mention the quantified variables and pieces with quantifiers
+    must be purely positive (the paper's Theorem 4.4 fragment plus
+    guarded difference).  Returns [Error reason] outside the
+    fragment. *)
+
+val reconstruct :
+  ?config:Convex_obs.config ->
+  ?samples_per_piece:int ->
+  Rng.t ->
+  Instance.t ->
+  free_dim:int ->
+  Query.t ->
+  (Reconstruct.t, string) result
+(** Algorithm 5: reconstruct a positive existential query as a union of
+    convex hulls, one per compiled piece. *)

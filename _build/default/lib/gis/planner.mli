@@ -1,0 +1,38 @@
+(** Cost-based choice between evaluation strategies.
+
+    The paper's point is asymptotic: symbolic evaluation (quantifier
+    elimination + exact volume) is exact but exponential in dimension
+    and doubly exponential in eliminated variables, while sampling is
+    polynomial but approximate.  This planner encodes that trade as a
+    concrete cost model and picks a strategy per query, the way a
+    database optimizer would. *)
+
+type strategy =
+  | Use_exact  (** symbolic QE + Lasserre volume *)
+  | Use_grid of float  (** fixed-dimension γ-grid *)
+  | Use_sampling of { eps : float; delta : float }
+
+type estimate = {
+  strategy : strategy;
+  predicted_cost : float; (* abstract work units; comparable across strategies *)
+  reason : string;
+}
+
+val plan :
+  ?eps:float -> ?delta:float -> Instance.t -> free_dim:int -> Query.t -> estimate
+(** Choose a strategy for evaluating the volume of the query result.
+    [eps]/[delta] (defaults 0.25) are the accuracy targets should
+    sampling be selected. *)
+
+val cost_exact : Instance.t -> free_dim:int -> Query.t -> float
+(** Predicted work for the symbolic route: DNF tuple count estimate ×
+    Lasserre recursion bound [m^d], plus the Fourier–Motzkin factor
+    [m^{2^k}] for [k] quantified variables (capped to avoid overflow). *)
+
+val cost_grid : free_dim:int -> extent_cells:int -> float
+val cost_sampling : free_dim:int -> pieces:int -> eps:float -> delta:float -> float
+
+val run : ?eps:float -> ?delta:float ->
+  ?config:Convex_obs.config -> Rng.t -> Instance.t -> free_dim:int -> Query.t ->
+  (float * estimate, string) result
+(** Plan, then execute via {!Aggregate.volume} with the chosen mode. *)

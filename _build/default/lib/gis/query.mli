@@ -1,0 +1,41 @@
+(** FO+LIN queries over a database schema.
+
+    The query language of the paper: atoms are either relation symbols
+    applied to variables or linear constraints, closed under boolean
+    connectives and quantification.  Variables are integers; the free
+    variables of the query are [0 .. free_dim-1]. *)
+
+type t =
+  | Rel of string * int list (* R(x_{i₁}, …, x_{iₖ}) *)
+  | Constr of Atom.t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of int list * t
+
+val rel : string -> int list -> t
+val constr : Atom.t -> t
+val conj : t list -> t
+val disj : t list -> t
+val neg : t -> t
+val exists : int list -> t -> t
+
+val relation_names : t -> string list
+(** Distinct, in first-occurrence order. *)
+
+val free_vars : t -> int list
+val max_var : t -> int
+val is_positive_existential : t -> bool
+(** No negation, no universal quantification — the fragment of
+    Theorem 4.4's reconstruction. *)
+
+val well_formed : Schema.t -> t -> (unit, string) result
+(** Arity check of every relation atom against the schema. *)
+
+val parse : schema:Schema.t -> vars:string list -> string -> t
+(** Text syntax: the FO+LIN grammar of {!Scdb_constr.Parser} extended
+    with relation atoms [Name(x, y, …)] whose arguments are variable
+    names.  Relation names must start with an uppercase letter.
+    @raise Scdb_constr.Parser.Parse_error on syntax or arity errors. *)
+
+val pp : Format.formatter -> t -> unit

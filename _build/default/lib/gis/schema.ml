@@ -1,0 +1,17 @@
+type t = (string * int) list (* reversed declaration order *)
+
+let empty = []
+
+let add t ~name ~arity =
+  if arity <= 0 then invalid_arg "Schema.add: non-positive arity";
+  if List.mem_assoc name t then invalid_arg ("Schema.add: duplicate relation " ^ name);
+  (name, arity) :: t
+
+let of_list l = List.fold_left (fun acc (name, arity) -> add acc ~name ~arity) empty l
+
+let arity t name = List.assoc_opt name t
+let mem t name = List.mem_assoc name t
+let names t = List.rev_map fst t
+
+let pp fmt t =
+  List.iter (fun (name, arity) -> Format.fprintf fmt "%s/%d@ " name arity) (List.rev t)

@@ -1,0 +1,20 @@
+(** Relational database schemas for spatial constraint databases.
+
+    A schema names the generalized relations an instance must provide
+    and fixes the arity (spatial dimension) of each. *)
+
+type t
+
+val empty : t
+
+val add : t -> name:string -> arity:int -> t
+(** @raise Invalid_argument on duplicate names or non-positive arity. *)
+
+val of_list : (string * int) list -> t
+
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+val names : t -> string list
+(** In declaration order. *)
+
+val pp : Format.formatter -> t -> unit

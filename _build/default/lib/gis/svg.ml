@@ -1,0 +1,60 @@
+module P = Scdb_polytope.Polytope
+module P2 = Scdb_polytope.Polygon2d
+
+type style = { fill : string; stroke : string; opacity : float }
+
+let default_style = { fill = "#cccccc"; stroke = "#222222"; opacity = 0.8 }
+
+type shape =
+  | Polygon of style * Vec.t list
+  | Points of string * float * Vec.t list
+
+type element = shape list
+
+let relation ?(style = default_style) r =
+  if Relation.dim r <> 2 then invalid_arg "Svg.relation: 2-D relations only";
+  List.filter_map
+    (fun tuple ->
+      let poly = P.of_tuple ~dim:2 tuple in
+      match P2.vertices poly with [] -> None | vs -> Some (Polygon (style, vs)))
+    (Relation.tuples r)
+
+let points ?(colour = "#d62728") ?(radius = 2.0) pts = [ Points (colour, radius, pts) ]
+
+let polygon ?(style = default_style) vertices = [ Polygon (style, vertices) ]
+
+let render ~width ~height ~lo ~hi elements =
+  let buf = Buffer.create 4096 in
+  let sx = float_of_int width /. (hi.(0) -. lo.(0)) in
+  let sy = float_of_int height /. (hi.(1) -. lo.(1)) in
+  let px p = (p.(0) -. lo.(0)) *. sx in
+  let py p = float_of_int height -. ((p.(1) -. lo.(1)) *. sy) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+       width height width height);
+  Buffer.add_string buf "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  List.iter
+    (List.iter (function
+      | Polygon (style, vs) ->
+          let coords =
+            String.concat " " (List.map (fun v -> Printf.sprintf "%.2f,%.2f" (px v) (py v)) vs)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polygon points=\"%s\" fill=\"%s\" stroke=\"%s\" fill-opacity=\"%.2f\"/>\n" coords
+               style.fill style.stroke style.opacity)
+      | Points (colour, radius, pts) ->
+          List.iter
+            (fun p ->
+              Buffer.add_string buf
+                (Printf.sprintf "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.1f\" fill=\"%s\"/>\n" (px p)
+                   (py p) radius colour))
+            pts))
+    elements;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

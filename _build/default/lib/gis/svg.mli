@@ -1,0 +1,31 @@
+(** SVG rendering of planar relations, sample clouds and hulls.
+
+    A constraint database about maps deserves pictures: this renders
+    2-D generalized relations (per-tuple polygons), point clouds from
+    the generators, and reconstruction hulls into a standalone SVG
+    document — the visual analogue of the paper's Fig. 1. *)
+
+type style = { fill : string; stroke : string; opacity : float }
+
+val default_style : style
+(** Grey fill, black stroke. *)
+
+type element
+
+val relation : ?style:style -> Relation.t -> element
+(** One polygon per full-dimensional tuple (2-D relations only;
+    @raise Invalid_argument otherwise). *)
+
+val points : ?colour:string -> ?radius:float -> Vec.t list -> element
+
+val polygon : ?style:style -> Vec.t list -> element
+(** Explicit polygon (e.g. a reconstruction hull), given its vertices
+    in order. *)
+
+val render :
+  width:int -> height:int -> lo:Vec.t -> hi:Vec.t -> element list -> string
+(** SVG document; world coordinates [[lo,hi]] are mapped to the
+    viewport (y axis flipped so north is up). *)
+
+val write_file : string -> string -> unit
+(** [write_file path doc]. *)

@@ -1,0 +1,100 @@
+let q = Rational.of_float
+
+(* Atom u·x <= rhs from float data. *)
+let halfplane_atom u rhs =
+  let term = ref (Term.const (Rational.neg (q rhs))) in
+  Array.iteri (fun i c -> term := Term.add !term (Term.monomial (q c) i)) u;
+  Atom.make !term Atom.Le
+
+let box_atoms centre radius =
+  let d = Vec.dim centre in
+  List.concat_map
+    (fun i ->
+      [
+        halfplane_atom (Vec.basis d i) (centre.(i) +. radius);
+        halfplane_atom (Vec.neg (Vec.basis d i)) (radius -. centre.(i));
+      ])
+    (List.init d Fun.id)
+
+let random_convex_parcel rng ~centre ~radius ~facets =
+  let d = Vec.dim centre in
+  let cuts =
+    List.init facets (fun _ ->
+        let u = Rng.unit_vector rng d in
+        let offset = Rng.uniform rng (0.55 *. radius) radius in
+        halfplane_atom u (Vec.dot u centre +. offset))
+  in
+  Relation.make ~dim:d [ cuts @ box_atoms centre radius ]
+
+let parcel_grid rng ~rows ~cols ~cell ~jitter =
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun j ->
+          let centre = [| (float_of_int j +. 0.5) *. cell; (float_of_int i +. 0.5) *. cell |] in
+          let inset = Rng.uniform rng 0.0 jitter in
+          let radius = cell *. (0.45 -. inset) in
+          random_convex_parcel rng ~centre ~radius ~facets:(5 + Rng.int rng 4))
+        (List.init cols Fun.id))
+    (List.init rows Fun.id)
+
+let lakes rng ~extent ~count =
+  let blobs =
+    List.init count (fun _ ->
+        let centre =
+          [| Rng.uniform rng (0.2 *. extent) (0.8 *. extent); Rng.uniform rng (0.2 *. extent) (0.8 *. extent) |]
+        in
+        let radius = Rng.uniform rng (0.05 *. extent) (0.15 *. extent) in
+        random_convex_parcel rng ~centre ~radius ~facets:7)
+  in
+  List.fold_left Relation.union (List.hd blobs) (List.tl blobs)
+
+let road ~from ~to_ ~width =
+  let x0, y0 = from and x1, y1 = to_ in
+  let dx = x1 -. x0 and dy = y1 -. y0 in
+  let len = sqrt ((dx *. dx) +. (dy *. dy)) in
+  if len = 0.0 then invalid_arg "Synth.road: degenerate endpoints";
+  let d = [| dx /. len; dy /. len |] in
+  let n = [| -.d.(1); d.(0) |] in
+  let p0 = [| x0; y0 |] in
+  let atoms =
+    [
+      halfplane_atom (Vec.neg d) (-.Vec.dot d p0) (* d·x >= d·p0 *);
+      halfplane_atom d (Vec.dot d p0 +. len);
+      halfplane_atom n (Vec.dot n p0 +. (width /. 2.0));
+      halfplane_atom (Vec.neg n) ((width /. 2.0) -. Vec.dot n p0);
+    ]
+  in
+  Relation.make ~dim:2 [ atoms ]
+
+let elevation_prism ~base ~height =
+  if Relation.dim base <> 2 then invalid_arg "Synth.elevation_prism: base must be 2-D";
+  let z_atoms =
+    [ Atom.ge (Term.var 2) Term.zero; Atom.le (Term.var 2) (Term.const height) ]
+  in
+  Relation.make ~dim:3 (List.map (fun tuple -> tuple @ z_atoms) (Relation.tuples base))
+
+let land_use_schema =
+  Schema.of_list [ ("Parcels", 2); ("Lakes", 2); ("Roads", 2); ("Terrain", 3) ]
+
+let land_use_instance rng ~extent =
+  let cell = extent /. 3.0 in
+  let parcels = parcel_grid rng ~rows:3 ~cols:3 ~cell ~jitter:0.05 in
+  let parcels_rel = List.fold_left Relation.union (List.hd parcels) (List.tl parcels) in
+  let lakes_rel = lakes rng ~extent ~count:2 in
+  let road_rel =
+    road ~from:(0.05 *. extent, 0.1 *. extent) ~to_:(0.95 *. extent, 0.9 *. extent)
+      ~width:(0.04 *. extent)
+  in
+  let terrain =
+    List.mapi
+      (fun k p ->
+        elevation_prism ~base:p ~height:(Rational.of_ints (3 + (k mod 4)) 2))
+      parcels
+  in
+  let terrain_rel = List.fold_left Relation.union (List.hd terrain) (List.tl terrain) in
+  let inst = Instance.create land_use_schema in
+  let inst = Instance.set inst "Parcels" parcels_rel in
+  let inst = Instance.set inst "Lakes" lakes_rel in
+  let inst = Instance.set inst "Roads" road_rel in
+  Instance.set inst "Terrain" terrain_rel

@@ -1,0 +1,37 @@
+(** Synthetic GIS data generators.
+
+    The paper has no published dataset (it is a theory paper), so the
+    examples and experiments run on synthetic land-use maps with
+    analytically known ground truth: convex parcels, lakes, thin road
+    corridors and 3-D elevation prisms, all as generalized relations
+    with exact rational coefficients. *)
+
+val random_convex_parcel :
+  Rng.t -> centre:Vec.t -> radius:float -> facets:int -> Relation.t
+(** One generalized tuple: a bounded convex polygon/polytope around
+    [centre], cut by [facets] random halfplanes plus a bounding box
+    (guaranteeing well-boundedness). *)
+
+val parcel_grid :
+  Rng.t -> rows:int -> cols:int -> cell:float -> jitter:float -> Relation.t list
+(** [rows·cols] disjoint convex parcels, one per grid cell, each inset
+    by a random jitter — a stylized cadastral map on
+    [[0, cols·cell] × [0, rows·cell]]. *)
+
+val lakes : Rng.t -> extent:float -> count:int -> Relation.t
+(** A union of random convex "lakes" inside [[0,extent]²]. *)
+
+val road : from:float * float -> to_:float * float -> width:float -> Relation.t
+(** A thin rectangle (corridor) between two points. *)
+
+val elevation_prism : base:Relation.t -> height:Rational.t -> Relation.t
+(** 3-D prism: the 2-D base extruded to [0 <= z <= height].
+    @raise Invalid_argument if the base is not 2-D. *)
+
+val land_use_schema : Schema.t
+(** [Parcels/2, Lakes/2, Roads/2, Terrain/3]. *)
+
+val land_use_instance : Rng.t -> extent:float -> Instance.t
+(** A populated instance of {!land_use_schema} over [[0,extent]²]:
+    a 3×3 parcel grid, two lakes, one diagonal road, and terrain prisms
+    over the parcels. *)

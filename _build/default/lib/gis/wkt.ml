@@ -1,0 +1,114 @@
+module P = Scdb_polytope.Polytope
+module P2 = Scdb_polytope.Polygon2d
+module H2 = Scdb_hull.Hull2d
+
+let ring_of_points pts =
+  match pts with
+  | [] -> "()"
+  | first :: _ ->
+      let coord p = Printf.sprintf "%g %g" p.(0) p.(1) in
+      "(" ^ String.concat ", " (List.map coord (pts @ [ first ])) ^ ")"
+
+let of_relation r =
+  if Relation.dim r <> 2 then invalid_arg "Wkt.of_relation: 2-D relations only";
+  let rings =
+    List.filter_map
+      (fun tuple ->
+        match P2.vertices (P.of_tuple ~dim:2 tuple) with
+        | [] -> None
+        | vs -> Some (ring_of_points vs))
+      (Relation.tuples r)
+  in
+  match rings with
+  | [] -> "POLYGON EMPTY"
+  | [ ring ] -> "POLYGON (" ^ ring ^ ")"
+  | rings -> "MULTIPOLYGON (" ^ String.concat ", " (List.map (fun ring -> "(" ^ ring ^ ")") rings) ^ ")"
+
+(* ------------------------- parsing ------------------------- *)
+
+type token = Word of string | Num of float | LP | RP | Comma
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_word c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') in
+  let is_num c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' in
+  (try
+     while !i < n do
+       let c = s.[!i] in
+       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+       else if c = '(' then begin out := LP :: !out; incr i end
+       else if c = ')' then begin out := RP :: !out; incr i end
+       else if c = ',' then begin out := Comma :: !out; incr i end
+       else if is_word c then begin
+         let start = !i in
+         while !i < n && is_word s.[!i] do incr i done;
+         out := Word (String.uppercase_ascii (String.sub s start (!i - start))) :: !out
+       end
+       else if is_num c then begin
+         let start = !i in
+         while !i < n && is_num s.[!i] do incr i done;
+         out := Num (float_of_string (String.sub s start (!i - start))) :: !out
+       end
+       else raise Exit
+     done;
+     ()
+   with Exit | Failure _ -> out := [ Word "<LEX-ERROR>" ]);
+  List.rev !out
+
+let parse_ring tokens =
+  (* LP num num { ',' num num } RP  ->  point list and remaining tokens *)
+  let rec points acc = function
+    | Num x :: Num y :: Comma :: rest -> points ([| x; y |] :: acc) rest
+    | Num x :: Num y :: RP :: rest -> Ok (List.rev ([| x; y |] :: acc), rest)
+    | _ -> Error "malformed coordinate ring"
+  in
+  match tokens with LP :: rest -> points [] rest | _ -> Error "expected '('"
+
+let ring_to_tuple pts =
+  (* closed ring: first = last; require convexity *)
+  let pts =
+    match (pts, List.rev pts) with
+    | first :: _, last :: _ when Vec.dist first last < 1e-12 -> List.tl (List.rev pts) |> List.rev
+    | _ -> pts
+  in
+  if List.length pts < 3 then Error "ring has fewer than 3 distinct points"
+  else begin
+    let hull = H2.hull pts in
+    if List.length hull <> List.length pts then Error "ring is not convex"
+    else
+      match H2.to_tuple pts with
+      | Some tuple -> Ok tuple
+      | None -> Error "degenerate ring"
+  end
+
+let to_relation s =
+  let ( let* ) = Result.bind in
+  match tokenize s with
+  | Word "POLYGON" :: Word "EMPTY" :: [] -> Ok (Relation.make ~dim:2 [])
+  | Word "POLYGON" :: rest ->
+      (* POLYGON ((ring)) — outer ring only *)
+      let* inner =
+        match rest with LP :: more -> Ok more | _ -> Error "expected '(' after POLYGON"
+      in
+      let* pts, after = parse_ring inner in
+      let* () = (match after with RP :: [] -> Ok () | _ -> Error "holes are not supported") in
+      let* tuple = ring_to_tuple pts in
+      Ok (Relation.make ~dim:2 [ tuple ])
+  | Word "MULTIPOLYGON" :: LP :: rest ->
+      let rec rings acc tokens =
+        match tokens with
+        | LP :: more -> (
+            let* pts, after = parse_ring more in
+            let* () = (match after with RP :: _ -> Ok () | _ -> Error "holes are not supported") in
+            let* tuple = ring_to_tuple pts in
+            match after with
+            | RP :: Comma :: more' -> rings (tuple :: acc) more'
+            | RP :: RP :: [] -> Ok (List.rev (tuple :: acc))
+            | _ -> Error "malformed MULTIPOLYGON")
+        | _ -> Error "expected '(' starting a polygon"
+      in
+      let* tuples = rings [] rest in
+      Ok (Relation.make ~dim:2 tuples)
+  | _ -> Error "expected POLYGON or MULTIPOLYGON"

@@ -1,0 +1,20 @@
+(** Well-Known Text interop for planar relations.
+
+    The OGC exchange format GIS tools speak: [POLYGON ((x y, …))] and
+    [MULTIPOLYGON (((…)), ((…)))].  Exported geometry comes from the
+    per-tuple vertex enumeration; imported polygons must be convex
+    (generalized tuples are convex — a non-convex ring is rejected, as
+    the constraint model would silently convexify it otherwise). *)
+
+val of_relation : Relation.t -> string
+(** [POLYGON] for one tuple, [MULTIPOLYGON] otherwise; empty tuples are
+    skipped, [POLYGON EMPTY] when nothing remains.
+    @raise Invalid_argument on non-2-D relations. *)
+
+val to_relation : string -> (Relation.t, string) result
+(** Parse a WKT [POLYGON]/[MULTIPOLYGON] (outer rings only, no holes)
+    into a 2-D relation, one generalized tuple per ring.  Rings must be
+    closed and convex; [Error] explains violations. *)
+
+val ring_of_points : Vec.t list -> string
+(** One parenthesized coordinate ring (closing the loop). *)

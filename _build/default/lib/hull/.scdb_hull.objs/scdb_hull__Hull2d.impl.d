@@ -1,0 +1,1 @@
+lib/hull/hull2d.ml: Array Atom Float List Option Rational Relation Term Vec

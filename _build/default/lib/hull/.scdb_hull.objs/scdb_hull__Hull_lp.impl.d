@@ -1,0 +1,1 @@
+lib/hull/hull_lp.ml: Array Float Hull2d Scdb_lp Scdb_rng Vec

@@ -1,0 +1,1 @@
+lib/hull/hull_lp.mli: Scdb_rng Vec

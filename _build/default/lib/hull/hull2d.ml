@@ -1,0 +1,85 @@
+let cross o a b = ((a.(0) -. o.(0)) *. (b.(1) -. o.(1))) -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+let hull points =
+  List.iter (fun p -> if Vec.dim p <> 2 then invalid_arg "Hull2d.hull: not 2-D") points;
+  let sorted =
+    List.sort_uniq
+      (fun a b ->
+        let c = Float.compare a.(0) b.(0) in
+        if c <> 0 then c else Float.compare a.(1) b.(1))
+      points
+  in
+  match sorted with
+  | [] | [ _ ] | [ _; _ ] -> sorted
+  | _ ->
+      let build pts =
+        List.fold_left
+          (fun acc p ->
+            let rec pop = function
+              | b :: a :: rest when cross a b p <= 1e-12 -> pop (a :: rest)
+              | acc -> acc
+            in
+            p :: pop acc)
+          [] pts
+      in
+      let lower = build sorted in
+      let upper = build (List.rev sorted) in
+      (* Each chain ends with its last point duplicated at the start of
+         the other; drop the duplicates and orient counter-clockwise. *)
+      let strip = function [] -> [] | _ :: rest -> rest in
+      List.rev_append (strip lower) (List.rev (strip upper))
+
+let shoelace vs =
+  match vs with
+  | [] | [ _ ] | [ _; _ ] -> 0.0
+  | first :: _ ->
+      let rec go acc = function
+        | [ last ] -> acc +. ((last.(0) *. first.(1)) -. (first.(0) *. last.(1)))
+        | v :: (w :: _ as rest) -> go (acc +. ((v.(0) *. w.(1)) -. (w.(0) *. v.(1)))) rest
+        | [] -> acc
+      in
+      Float.abs (go 0.0 vs) /. 2.0
+
+let area points = shoelace (hull points)
+
+let edges vs =
+  match vs with
+  | [] | [ _ ] -> []
+  | first :: _ ->
+      let rec go acc = function
+        | [ last ] -> (last, first) :: acc
+        | v :: (w :: _ as rest) -> go ((v, w) :: acc) rest
+        | [] -> acc
+      in
+      go [] vs
+
+let to_tuple points =
+  match hull points with
+  | [] | [ _ ] | [ _; _ ] -> None
+  | vs ->
+      (* CCW orientation: the interior is to the left of each directed
+         edge (v,w), i.e. cross(v,w,x) >= 0, rewritten as an atom. *)
+      let atom (v, w) =
+        let dx = w.(0) -. v.(0) and dy = w.(1) -. v.(1) in
+        (* -dy·x + dx·y >= -dy·v0 + dx·v1 *)
+        let q = Rational.of_float in
+        let lhs = Term.add (Term.monomial (q (-.dy)) 0) (Term.monomial (q dx) 1) in
+        let rhs = Term.const (q ((-.dy *. v.(0)) +. (dx *. v.(1)))) in
+        Atom.ge lhs rhs
+      in
+      Some (List.map atom (edges vs))
+
+let to_relation points = Option.map (fun t -> Relation.make ~dim:2 [ t ]) (to_tuple points)
+
+let mem points x =
+  match hull points with
+  | [] -> false
+  | [ p ] -> Vec.dist p x < 1e-9
+  | [ p; q ] ->
+      (* Degenerate segment: collinear and within the bounding box. *)
+      Float.abs (cross p q x) < 1e-7
+      && x.(0) >= Float.min p.(0) q.(0) -. 1e-9
+      && x.(0) <= Float.max p.(0) q.(0) +. 1e-9
+      && x.(1) >= Float.min p.(1) q.(1) -. 1e-9
+      && x.(1) <= Float.max p.(1) q.(1) +. 1e-9
+  | vs -> List.for_all (fun (v, w) -> cross v w x >= -1e-9) (edges vs)

@@ -1,0 +1,23 @@
+(** Planar convex hulls (Andrew's monotone chain, O(n log n)).
+
+    The reconstruction algorithms produce explicit polygons in the
+    plane; higher dimensions stay implicit through {!Hull_lp}. *)
+
+val hull : Vec.t list -> Vec.t list
+(** Hull vertices in counter-clockwise order, collinear points removed.
+    Returns the input (deduplicated) when fewer than 3 distinct
+    points. @raise Invalid_argument on non-2-D input. *)
+
+val area : Vec.t list -> float
+(** Shoelace area of [hull points]. *)
+
+val to_tuple : Vec.t list -> Dnf.tuple option
+(** The hull polygon as a generalized tuple (one [≤] atom per edge);
+    [None] when the hull is degenerate (fewer than 3 vertices). *)
+
+val to_relation : Vec.t list -> Relation.t option
+(** 2-D relation of the hull polygon. *)
+
+val mem : Vec.t list -> Vec.t -> bool
+(** Is the point inside the hull of the given points (boundary
+    included)?  O(n) half-plane checks against the hull edges. *)

@@ -1,0 +1,1 @@
+lib/linalg/affine.ml: Array Float Format Mat Vec

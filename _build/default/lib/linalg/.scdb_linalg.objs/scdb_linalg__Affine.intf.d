@@ -1,0 +1,1 @@
+lib/linalg/affine.mli: Format Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/exact_mat.ml: Array Format List Rational Scdb_num

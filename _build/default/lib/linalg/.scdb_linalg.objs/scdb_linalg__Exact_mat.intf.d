@@ -1,0 +1,1 @@
+lib/linalg/exact_mat.mli: Format Rational Scdb_num

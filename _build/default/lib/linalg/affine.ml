@@ -1,0 +1,45 @@
+type t = { mat : Mat.t; offset : Vec.t; inv_mat : Mat.t; det : float }
+
+let make a b =
+  match Mat.inv a with
+  | None -> None
+  | Some inv_mat ->
+      let det = Mat.det a in
+      if det = 0.0 then None else Some { mat = a; offset = Vec.copy b; inv_mat; det }
+
+let identity d = { mat = Mat.identity d; offset = Vec.create d; inv_mat = Mat.identity d; det = 1.0 }
+
+let translation b = { (identity (Vec.dim b)) with offset = Vec.copy b }
+
+let scaling factors =
+  if Array.exists (fun f -> f = 0.0) factors then None
+  else begin
+    let d = Vec.dim factors in
+    let inv = Vec.map (fun f -> 1.0 /. f) factors in
+    let det = Array.fold_left ( *. ) 1.0 factors in
+    Some { mat = Mat.diag factors; offset = Vec.create d; inv_mat = Mat.diag inv; det }
+  end
+
+let apply t x = Vec.add (Mat.mul_vec t.mat x) t.offset
+let apply_inverse t y = Mat.mul_vec t.inv_mat (Vec.sub y t.offset)
+
+let compose f g =
+  {
+    mat = Mat.mul f.mat g.mat;
+    offset = Vec.add (Mat.mul_vec f.mat g.offset) f.offset;
+    inv_mat = Mat.mul g.inv_mat f.inv_mat;
+    det = f.det *. g.det;
+  }
+
+let inverse t =
+  {
+    mat = t.inv_mat;
+    offset = Vec.neg (Mat.mul_vec t.inv_mat t.offset);
+    inv_mat = t.mat;
+    det = 1.0 /. t.det;
+  }
+
+let volume_scale t = Float.abs t.det
+let dim t = Vec.dim t.offset
+
+let pp fmt t = Format.fprintf fmt "@[<v>A =@ %a@ b = %a@]" Mat.pp t.mat Vec.pp t.offset

@@ -1,0 +1,35 @@
+(** Invertible affine transformations [x ↦ A x + b].
+
+    The Dyer–Frieze–Kannan pipeline rounds a convex body by an affine
+    map; volumes then rescale by [|det A|], so the transform carries its
+    determinant and inverse. *)
+
+type t = private {
+  mat : Mat.t;
+  offset : Vec.t;
+  inv_mat : Mat.t;
+  det : float; (* det mat, non-zero *)
+}
+
+val make : Mat.t -> Vec.t -> t option
+(** [make a b] is the map [x ↦ a x + b]; [None] if [a] is singular. *)
+
+val identity : int -> t
+val translation : Vec.t -> t
+
+val scaling : Vec.t -> t option
+(** Diagonal scaling; [None] if any factor is zero. *)
+
+val apply : t -> Vec.t -> Vec.t
+val apply_inverse : t -> Vec.t -> Vec.t
+
+val compose : t -> t -> t
+(** [compose f g] applies [g] first: [(compose f g) x = f (g x)]. *)
+
+val inverse : t -> t
+
+val volume_scale : t -> float
+(** [|det A|]: the factor by which the map multiplies volumes. *)
+
+val dim : t -> int
+val pp : Format.formatter -> t -> unit

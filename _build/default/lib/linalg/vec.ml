@@ -1,0 +1,82 @@
+type t = float array
+
+let create d = Array.make d 0.0
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let basis d i =
+  let v = create d in
+  v.(i) <- 1.0;
+  v
+
+let check_dims a b = if Array.length a <> Array.length b then invalid_arg "Vec: dimension mismatch"
+
+let add a b =
+  check_dims a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale s a = Array.map (fun x -> s *. x) a
+let neg a = scale (-1.0) a
+
+let axpy a x y =
+  check_dims x y;
+  Array.mapi (fun i xi -> (a *. xi) +. y.(i)) x
+
+let dot a b =
+  check_dims a b;
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 a
+
+let dist a b = norm (sub a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0.0 then invalid_arg "Vec.normalize: zero vector";
+  scale (1.0 /. n) a
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let equal_eps eps a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i x -> if Float.abs (x -. b.(i)) > eps then ok := false) a;
+       !ok
+     end
+
+let lerp a b t = map2 (fun x y -> ((1.0 -. t) *. x) +. (t *. y)) a b
+
+let project_out v coords =
+  let drop = Array.make (Array.length v) false in
+  List.iter (fun i -> drop.(i) <- true) coords;
+  let kept = ref [] in
+  for i = Array.length v - 1 downto 0 do
+    if not drop.(i) then kept := v.(i) :: !kept
+  done;
+  of_list !kept
+
+let keep v coords = of_list (List.map (fun i -> v.(i)) coords)
+
+let pp fmt v =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") (fun f x -> Format.fprintf f "%g" x))
+    (to_list v)

@@ -1,0 +1,55 @@
+(** Dense float vectors.
+
+    A thin, allocation-conscious layer over [float array]; all geometric
+    code (polytopes, walks, hulls) speaks this type.  Operations never
+    mutate their arguments unless the name says so. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val copy : t -> t
+val of_list : float list -> t
+val to_list : t -> float list
+
+val basis : int -> int -> t
+(** [basis d i] is the [i]-th standard basis vector of dimension [d]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val axpy : float -> t -> t -> t
+(** [axpy a x y = a*x + y]. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Squared Euclidean norm. *)
+
+val norm : t -> float
+val norm_inf : t -> float
+val dist : t -> t -> float
+
+val normalize : t -> t
+(** @raise Invalid_argument on the zero vector. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val equal_eps : float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t = (1-t)*a + t*b]. *)
+
+val project_out : t -> int list -> t
+(** [project_out v coords] removes the listed coordinate indices,
+    keeping the order of the remaining ones. *)
+
+val keep : t -> int list -> t
+(** [keep v coords] retains exactly the listed coordinates, in order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lp/exact_simplex.ml: Option Rational Scdb_num Simplex

@@ -1,0 +1,1 @@
+lib/lp/exact_simplex.mli: Rational Scdb_num

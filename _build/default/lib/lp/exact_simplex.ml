@@ -1,0 +1,29 @@
+open Scdb_num
+
+module Rational_field = struct
+  include Rational
+
+  let is_zero = Rational.is_zero
+end
+
+module S = Simplex.Make (Rational_field)
+
+type outcome =
+  | Infeasible
+  | Unbounded
+  | Optimal of { value : Rational.t; point : Rational.t array }
+
+let maximize ~a ~b ~c =
+  match S.solve_free ~a ~b ~c with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal { value; point } -> Optimal { value; point }
+
+let feasible_point ~a ~b = S.feasible ~a ~b
+let is_feasible ~a ~b = Option.is_some (feasible_point ~a ~b)
+
+let implied ~a ~b ~row ~rhs =
+  match maximize ~a ~b ~c:row with
+  | Infeasible -> true
+  | Unbounded -> false
+  | Optimal { value; _ } -> Rational.compare value rhs <= 0

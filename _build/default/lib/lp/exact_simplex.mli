@@ -1,0 +1,25 @@
+(** Exact linear programming over the rationals.
+
+    Same algorithm as the float instance but over {!Scdb_num.Rational},
+    so feasibility/optimality answers are certified.  Used by
+    Fourier–Motzkin redundancy removal and by ground-truth checks in
+    tests. *)
+
+open Scdb_num
+
+type outcome =
+  | Infeasible
+  | Unbounded
+  | Optimal of { value : Rational.t; point : Rational.t array }
+
+val maximize : a:Rational.t array array -> b:Rational.t array -> c:Rational.t array -> outcome
+(** Maximize [c·x] over [{x | A x <= b}] with free variables. *)
+
+val feasible_point : a:Rational.t array array -> b:Rational.t array -> Rational.t array option
+
+val is_feasible : a:Rational.t array array -> b:Rational.t array -> bool
+
+val implied : a:Rational.t array array -> b:Rational.t array -> row:Rational.t array -> rhs:Rational.t -> bool
+(** [implied ~a ~b ~row ~rhs] holds iff [row·x <= rhs] is satisfied by
+    every solution of [A x <= b] (decided by maximizing [row·x]).
+    An infeasible system implies everything. *)

@@ -1,0 +1,84 @@
+module Float_field = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let compare = Float.compare
+  let of_int = float_of_int
+  let is_zero x = Float.abs x < 1e-9
+  let pp fmt x = Format.fprintf fmt "%g" x
+end
+
+module S = Simplex.Make (Float_field)
+
+type outcome = Infeasible | Unbounded | Optimal of { value : float; point : Vec.t }
+
+let lift = function
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal { value; point } -> Optimal { value; point }
+
+let maximize ~a ~b ~c = lift (S.solve_free ~a ~b ~c)
+
+let minimize ~a ~b ~c =
+  match maximize ~a ~b ~c:(Vec.neg c) with
+  | Optimal { value; point } -> Optimal { value = -.value; point }
+  | other -> other
+
+let feasible_point ~a ~b = S.feasible ~a ~b
+
+let bound ~a ~b ~dir =
+  match maximize ~a ~b ~c:dir with Optimal { value; _ } -> Some value | _ -> None
+
+let chebyshev ~a ~b =
+  let m, d = Mat.dims a in
+  if m = 0 then None
+  else begin
+    (* Variables (x, r): maximize r s.t. a_i·x + ||a_i|| r <= b_i, r >= 0. *)
+    let rows =
+      Array.init (m + 1) (fun i ->
+          if i < m then Array.init (d + 1) (fun j -> if j < d then a.(i).(j) else Vec.norm a.(i))
+          else Array.init (d + 1) (fun j -> if j < d then 0.0 else -1.0))
+    in
+    let rhs = Array.init (m + 1) (fun i -> if i < m then b.(i) else 0.0) in
+    let c = Vec.init (d + 1) (fun j -> if j < d then 0.0 else 1.0) in
+    match maximize ~a:rows ~b:rhs ~c with
+    | Optimal { value; point } when value >= 0.0 -> Some (Array.sub point 0 d, value)
+    | _ -> None
+  end
+
+let in_hull ~points x =
+  let k = Array.length points in
+  if k = 0 then false
+  else begin
+    let d = Vec.dim x in
+    (* Feasibility of {λ >= 0, Σλ = 1, Σ λ_i p_i = x} written as
+       inequalities in the free-variable solver: we encode equalities as
+       pairs of inequalities and non-negativity as -λ_i <= 0. *)
+    let rows = ref [] and rhs = ref [] in
+    let push row r =
+      rows := row :: !rows;
+      rhs := r :: !rhs
+    in
+    (* coordinate equalities *)
+    for coord = 0 to d - 1 do
+      let row = Array.init k (fun i -> points.(i).(coord)) in
+      push row x.(coord);
+      push (Vec.neg row) (-.x.(coord))
+    done;
+    (* Σλ = 1 *)
+    let ones = Array.make k 1.0 in
+    push ones 1.0;
+    push (Vec.neg ones) (-1.0);
+    (* λ >= 0 *)
+    for i = 0 to k - 1 do
+      push (Vec.scale (-1.0) (Vec.basis k i)) 0.0
+    done;
+    let a = Array.of_list (List.rev !rows) and b = Array.of_list (List.rev !rhs) in
+    Option.is_some (feasible_point ~a ~b)
+  end

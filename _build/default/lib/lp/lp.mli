@@ -1,0 +1,27 @@
+(** Floating-point linear programming over systems [A x <= b].
+
+    Convenience layer over {!Simplex} used throughout the geometry code:
+    feasibility, directional bounds, Chebyshev centres and convex-hull
+    membership. *)
+
+type outcome = Infeasible | Unbounded | Optimal of { value : float; point : Vec.t }
+
+val maximize : a:Mat.t -> b:Vec.t -> c:Vec.t -> outcome
+(** Maximize [c·x] over [{x | A x <= b}] with free variables. *)
+
+val minimize : a:Mat.t -> b:Vec.t -> c:Vec.t -> outcome
+
+val feasible_point : a:Mat.t -> b:Vec.t -> Vec.t option
+
+val bound : a:Mat.t -> b:Vec.t -> dir:Vec.t -> float option
+(** [bound ~a ~b ~dir] is [max dir·x] over the system, [None] when the
+    system is infeasible or unbounded in that direction. *)
+
+val chebyshev : a:Mat.t -> b:Vec.t -> (Vec.t * float) option
+(** Centre and radius of a largest inscribed ball of [{x | A x <= b}];
+    [None] if infeasible, radius [infinity] flagged as [None] too (the
+    set must be bounded to have a finite Chebyshev ball). *)
+
+val in_hull : points:Vec.t array -> Vec.t -> bool
+(** Membership of a point in the convex hull of finitely many points,
+    decided by LP feasibility. *)

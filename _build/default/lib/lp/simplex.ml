@@ -1,0 +1,234 @@
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+  val of_int : int -> t
+  val is_zero : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type 'num outcome =
+  | Infeasible
+  | Unbounded
+  | Optimal of { value : 'num; point : 'num array }
+
+module Make (F : FIELD) = struct
+  let neg_one = F.neg F.one
+  let is_pos x = (not (F.is_zero x)) && F.compare x F.zero > 0
+  let is_neg x = (not (F.is_zero x)) && F.compare x F.zero < 0
+
+  (* A tableau in equality form: [rows.(i)] holds the coefficients of all
+     columns, [rhs.(i)] the right-hand side (kept non-negative), and
+     [basis.(i)] the index of the basic variable of row [i]. *)
+  type tableau = {
+    mutable rows : F.t array array;
+    mutable rhs : F.t array;
+    mutable basis : int array;
+    mutable ncols : int;
+  }
+
+  let pivot t obj obj_rhs ~row ~col =
+    let p = t.rows.(row).(col) in
+    let inv_p = F.div F.one p in
+    let prow = t.rows.(row) in
+    for j = 0 to t.ncols - 1 do
+      prow.(j) <- F.mul prow.(j) inv_p
+    done;
+    t.rhs.(row) <- F.mul t.rhs.(row) inv_p;
+    let eliminate coeffs rhs_ref =
+      let f = coeffs.(col) in
+      if not (F.is_zero f) then begin
+        for j = 0 to t.ncols - 1 do
+          coeffs.(j) <- F.sub coeffs.(j) (F.mul f prow.(j))
+        done;
+        rhs_ref := F.sub !rhs_ref (F.mul f t.rhs.(row))
+      end
+    in
+    Array.iteri
+      (fun i coeffs ->
+        if i <> row then begin
+          let r = ref t.rhs.(i) in
+          eliminate coeffs r;
+          t.rhs.(i) <- !r
+        end)
+      t.rows;
+    let r = ref !obj_rhs in
+    eliminate obj r;
+    obj_rhs := !r;
+    t.basis.(row) <- col
+
+  (* Bland's rule pivot loop on the current objective row [obj]
+     (convention: entries are [z_j - c_j]; entering columns are the
+     strictly negative ones).  [allowed] filters entering candidates. *)
+  let optimize t obj obj_rhs ~allowed =
+    let m = Array.length t.rows in
+    let iteration_cap = 2000 + (200 * (m + t.ncols) * (m + t.ncols)) in
+    let rec loop iter =
+      if iter > iteration_cap then failwith "Simplex.optimize: iteration limit (numerical cycling?)";
+      (* Entering column: smallest index with negative reduced cost. *)
+      let enter = ref (-1) in
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && is_neg obj.(j) then begin
+             enter := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Optimal
+      else begin
+        let col = !enter in
+        (* Leaving row: minimal ratio, ties by smallest basic index. *)
+        let best = ref (-1) in
+        let best_ratio = ref F.zero in
+        for i = 0 to m - 1 do
+          let a = t.rows.(i).(col) in
+          if is_pos a then begin
+            let ratio = F.div t.rhs.(i) a in
+            if
+              !best < 0
+              || F.compare ratio !best_ratio < 0
+              || (F.compare ratio !best_ratio = 0 && t.basis.(i) < t.basis.(!best))
+            then begin
+              best := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !best < 0 then `Unbounded
+        else begin
+          pivot t obj obj_rhs ~row:!best ~col;
+          loop (iter + 1)
+        end
+      end
+    in
+    loop 0
+
+  (* Objective row [z_j - c_j] for cost vector [cost] under the current
+     basis, together with the current objective value. *)
+  let price_out t cost =
+    let m = Array.length t.rows in
+    let obj = Array.make t.ncols F.zero in
+    for j = 0 to t.ncols - 1 do
+      let s = ref (F.neg cost.(j)) in
+      for i = 0 to m - 1 do
+        let cb = cost.(t.basis.(i)) in
+        if not (F.is_zero cb) then s := F.add !s (F.mul cb t.rows.(i).(j))
+      done;
+      obj.(j) <- !s
+    done;
+    let value = ref F.zero in
+    for i = 0 to m - 1 do
+      let cb = cost.(t.basis.(i)) in
+      if not (F.is_zero cb) then value := F.add !value (F.mul cb t.rhs.(i))
+    done;
+    (obj, ref !value)
+
+  let solve_standard ~a ~b ~c =
+    let m = Array.length a in
+    let n = Array.length c in
+    (* Columns: n structural, m slacks, then one artificial per negative
+       right-hand side. *)
+    let negative_rows = ref [] in
+    Array.iteri (fun i bi -> if is_neg bi then negative_rows := i :: !negative_rows) b;
+    let artificial_of = Array.make m (-1) in
+    let n_art = List.length !negative_rows in
+    List.iteri (fun k i -> artificial_of.(i) <- n + m + k) (List.rev !negative_rows);
+    let ncols = n + m + n_art in
+    let rows =
+      Array.init m (fun i ->
+          let row = Array.make ncols F.zero in
+          let flip = artificial_of.(i) >= 0 in
+          for j = 0 to n - 1 do
+            row.(j) <- (if flip then F.neg a.(i).(j) else a.(i).(j))
+          done;
+          row.(n + i) <- (if flip then neg_one else F.one);
+          if flip then row.(artificial_of.(i)) <- F.one;
+          row)
+    in
+    let rhs = Array.init m (fun i -> if artificial_of.(i) >= 0 then F.neg b.(i) else b.(i)) in
+    let basis = Array.init m (fun i -> if artificial_of.(i) >= 0 then artificial_of.(i) else n + i) in
+    let t = { rows; rhs; basis; ncols } in
+    let is_artificial j = j >= n + m in
+    let infeasible = ref false in
+    if n_art > 0 then begin
+      (* Phase 1: maximize -(sum of artificials). *)
+      let cost1 = Array.init ncols (fun j -> if is_artificial j then neg_one else F.zero) in
+      let obj, obj_rhs = price_out t cost1 in
+      (match optimize t obj obj_rhs ~allowed:(fun _ -> true) with
+      | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+      | `Optimal -> if is_neg !obj_rhs then infeasible := true);
+      if not !infeasible then begin
+        (* Drive remaining basic artificials out, or drop redundant rows. *)
+        let keep = Array.make m true in
+        for i = 0 to m - 1 do
+          if is_artificial t.basis.(i) then begin
+            let col = ref (-1) in
+            (try
+               for j = 0 to (n + m) - 1 do
+                 if not (F.is_zero t.rows.(i).(j)) then begin
+                   col := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !col >= 0 then begin
+              let dummy_obj = Array.make ncols F.zero and dummy_rhs = ref F.zero in
+              pivot t dummy_obj dummy_rhs ~row:i ~col:!col
+            end
+            else keep.(i) <- false
+          end
+        done;
+        (* Rebuild without artificial columns and redundant rows. *)
+        let live = ref [] in
+        for i = m - 1 downto 0 do
+          if keep.(i) then live := i :: !live
+        done;
+        let live = Array.of_list !live in
+        t.rows <- Array.map (fun i -> Array.sub t.rows.(i) 0 (n + m)) live;
+        t.rhs <- Array.map (fun i -> t.rhs.(i)) live;
+        t.basis <- Array.map (fun i -> t.basis.(i)) live;
+        t.ncols <- n + m
+      end
+    end;
+    if !infeasible then Infeasible
+    else begin
+      (* Phase 2: maximize the real objective. *)
+      let cost2 = Array.init t.ncols (fun j -> if j < n then c.(j) else F.zero) in
+      let obj, obj_rhs = price_out t cost2 in
+      match optimize t obj obj_rhs ~allowed:(fun _ -> true) with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = Array.make n F.zero in
+          Array.iteri (fun i v -> if v < n then x.(v) <- t.rhs.(i)) t.basis;
+          let value = ref F.zero in
+          for j = 0 to n - 1 do
+            value := F.add !value (F.mul c.(j) x.(j))
+          done;
+          Optimal { value = !value; point = x }
+    end
+
+  let solve_free ~a ~b ~c =
+    let n = Array.length c in
+    let a' = Array.map (fun row -> Array.init (2 * n) (fun j -> if j < n then row.(j) else F.neg row.(j - n))) a in
+    let c' = Array.init (2 * n) (fun j -> if j < n then c.(j) else F.neg c.(j - n)) in
+    match solve_standard ~a:a' ~b ~c:c' with
+    | Infeasible -> Infeasible
+    | Unbounded -> Unbounded
+    | Optimal { value; point } ->
+        Optimal { value; point = Array.init n (fun j -> F.sub point.(j) point.(n + j)) }
+
+  let feasible ~a ~b =
+    let n = if Array.length a = 0 then 0 else Array.length a.(0) in
+    match solve_free ~a ~b ~c:(Array.make n F.zero) with
+    | Infeasible -> None
+    | Unbounded -> None (* cannot happen with a zero objective *)
+    | Optimal { point; _ } -> Some point
+end

@@ -1,0 +1,43 @@
+(** Two-phase primal simplex, functorized over an ordered field.
+
+    One implementation serves both the floating-point instance (fast,
+    tolerance-based) and the exact rational instance (slow, certified).
+    Bland's rule is used throughout, so the method terminates on every
+    input, including degenerate ones. *)
+
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+  val of_int : int -> t
+
+  val is_zero : t -> bool
+  (** Exact zero test, or a tolerance test for inexact fields. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type 'num outcome =
+  | Infeasible
+  | Unbounded
+  | Optimal of { value : 'num; point : 'num array }
+
+module Make (F : FIELD) : sig
+  val solve_standard : a:F.t array array -> b:F.t array -> c:F.t array -> F.t outcome
+  (** Maximize [c·x] subject to [A x <= b], [x >= 0].
+      [a] has one row per constraint. *)
+
+  val solve_free : a:F.t array array -> b:F.t array -> c:F.t array -> F.t outcome
+  (** Maximize [c·x] subject to [A x <= b] with free (sign-unrestricted)
+      variables, by the standard [x = x⁺ − x⁻] split. *)
+
+  val feasible : a:F.t array array -> b:F.t array -> F.t array option
+  (** A point of [{x | A x <= b}] (free variables), if any. *)
+end

@@ -1,0 +1,1 @@
+lib/num/bigint.ml: Array Buffer Format Hashtbl List Printf Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/num/interval.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/num/rational.ml: Bigint Float Format Hashtbl Int64 String

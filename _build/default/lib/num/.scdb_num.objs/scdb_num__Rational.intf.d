@@ -1,0 +1,1 @@
+lib/num/rational.mli: Bigint Format

@@ -1,0 +1,478 @@
+(* Arbitrary-precision integers, sign-magnitude, limbs in base 2^15.
+
+   The limb base is chosen small enough that schoolbook products
+   ([< 2^30]) and long sums of them stay far below [max_int] on 64-bit
+   platforms, which keeps every inner loop in plain [int] arithmetic. *)
+
+let base_bits = 15
+let base = 1 lsl base_bits (* 32768 *)
+let base_mask = base - 1
+
+type t = {
+  sign : int; (* -1, 0 or 1; 0 iff mag = [||] *)
+  mag : int array; (* little-endian limbs in [0, base), no trailing zeros *)
+}
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned) primitives                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Number of significant limbs of [m] when trailing zeros may exist. *)
+let significant m =
+  let i = ref (Array.length m) in
+  while !i > 0 && m.(!i - 1) = 0 do
+    decr i
+  done;
+  !i
+
+let trim m =
+  let n = significant m in
+  if n = Array.length m then m else Array.sub m 0 n
+
+let make_mag_signed sign m =
+  let m = trim m in
+  if Array.length m = 0 then zero else { sign; mag = m }
+
+let ucompare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let uadd a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(lr - 1) <- !carry;
+  trim r
+
+(* Requires [a >= b] limb-wise magnitude. *)
+let usub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  trim r
+
+let umul_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let s = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- s land base_mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land base_mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    trim r
+  end
+
+let karatsuba_threshold = 32
+
+(* Split magnitude at limb [k]: low part (limbs < k), high part. *)
+let split m k =
+  let l = Array.length m in
+  if l <= k then (m, [||]) else (trim (Array.sub m 0 k), Array.sub m k (l - k))
+
+let rec umul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then umul_school a b
+  else begin
+    let k = (if la > lb then la else lb) / 2 in
+    let a0, a1 = split a k and b0, b1 = split b k in
+    let z0 = umul a0 b0 in
+    let z2 = umul a1 b1 in
+    let z1 = usub (umul (uadd a0 a1) (uadd b0 b1)) (uadd z0 z2) in
+    (* result = z0 + z1*base^k + z2*base^(2k) *)
+    let lr = la + lb + 1 in
+    let r = Array.make lr 0 in
+    Array.blit z0 0 r 0 (Array.length z0);
+    let add_at ofs src =
+      let carry = ref 0 in
+      let ls = Array.length src in
+      for i = 0 to ls - 1 do
+        let s = r.(ofs + i) + src.(i) + !carry in
+        r.(ofs + i) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (ofs + ls) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    in
+    add_at k z1;
+    add_at (2 * k) z2;
+    trim r
+  end
+
+(* Multiply magnitude by a small non-negative int ([< base]). *)
+let umul_small m x =
+  if x = 0 then [||]
+  else begin
+    let l = Array.length m in
+    let r = Array.make (l + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to l - 1 do
+      let s = (m.(i) * x) + !carry in
+      r.(i) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    r.(l) <- !carry;
+    trim r
+  end
+
+(* Divide magnitude by a small positive int ([< base]); returns (quot, rem). *)
+let udiv_small m x =
+  let l = Array.length m in
+  let q = Array.make l 0 in
+  let r = ref 0 in
+  for i = l - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor m.(i) in
+    q.(i) <- cur / x;
+    r := cur mod x
+  done;
+  (trim q, !r)
+
+(* Shift magnitude left by [n] bits. *)
+let ushift_left m n =
+  if Array.length m = 0 || n = 0 then m
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let l = Array.length m in
+    let r = Array.make (l + limbs + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to l - 1 do
+      let s = (m.(i) lsl bits) lor !carry in
+      r.(i + limbs) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    r.(l + limbs) <- !carry;
+    trim r
+  end
+
+let ushift_right m n =
+  if Array.length m = 0 || n = 0 then m
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let l = Array.length m in
+    if limbs >= l then [||]
+    else begin
+      let lr = l - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = m.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < l then (m.(i + limbs + 1) lsl (base_bits - bits)) land base_mask else 0 in
+        r.(i) <- if bits = 0 then m.(i + limbs) else lo lor hi
+      done;
+      trim r
+    end
+  end
+
+(* Knuth algorithm D long division of magnitudes; returns (quot, rem).
+   Requires [Array.length v >= 2] after trimming and [u >= 0], [v > 0]. *)
+let udivmod_knuth u v =
+  let n = Array.length v in
+  (* Normalize so that the top limb of v is >= base/2. *)
+  let shift =
+    let top = v.(n - 1) in
+    let s = ref 0 in
+    let t = ref top in
+    while !t < base / 2 do
+      incr s;
+      t := !t lsl 1
+    done;
+    !s
+  in
+  let u' = ushift_left u shift and v' = ushift_left v shift in
+  let m = Array.length u' - n in
+  if m < 0 then ([||], u)
+  else begin
+    let rem = Array.make (Array.length u' + 1) 0 in
+    Array.blit u' 0 rem 0 (Array.length u');
+    let q = Array.make (m + 1) 0 in
+    let vtop = v'.(n - 1) in
+    let vsec = if n >= 2 then v'.(n - 2) else 0 in
+    for j = m downto 0 do
+      (* Estimate quotient digit from the top two limbs of the current
+         remainder window against the top limb of the divisor. *)
+      let num = (rem.(j + n) lsl base_bits) lor rem.(j + n - 1) in
+      let qhat = ref (num / vtop) in
+      let rhat = ref (num mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - (!qhat * vtop)
+      end;
+      while
+        !rhat < base
+        && (!qhat * vsec) > ((!rhat lsl base_bits) lor (if j + n - 2 >= 0 then rem.(j + n - 2) else 0))
+      do
+        decr qhat;
+        rhat := !rhat + vtop
+      done;
+      (* Multiply-subtract v'*qhat from the remainder window. *)
+      if !qhat > 0 then begin
+        let borrow = ref 0 and carry = ref 0 in
+        for i = 0 to n - 1 do
+          let p = (!qhat * v'.(i)) + !carry in
+          carry := p lsr base_bits;
+          let s = rem.(j + i) - (p land base_mask) - !borrow in
+          if s < 0 then begin
+            rem.(j + i) <- s + base;
+            borrow := 1
+          end
+          else begin
+            rem.(j + i) <- s;
+            borrow := 0
+          end
+        done;
+        let s = rem.(j + n) - !carry - !borrow in
+        if s < 0 then begin
+          (* qhat was one too large: add back. *)
+          rem.(j + n) <- s + base;
+          decr qhat;
+          let carry = ref 0 in
+          for i = 0 to n - 1 do
+            let s = rem.(j + i) + v'.(i) + !carry in
+            rem.(j + i) <- s land base_mask;
+            carry := s lsr base_bits
+          done;
+          rem.(j + n) <- (rem.(j + n) + !carry) land base_mask
+        end
+        else rem.(j + n) <- s
+      end;
+      q.(j) <- !qhat
+    done;
+    let r = ushift_right (trim (Array.sub rem 0 n)) shift in
+    (trim q, r)
+  end
+
+let udivmod u v =
+  match Array.length v with
+  | 0 -> raise Division_by_zero
+  | 1 ->
+      let q, r = udiv_small u v.(0) in
+      (q, if r = 0 then [||] else [| r |])
+  | _ -> if ucompare u v < 0 then ([||], u) else udivmod_knuth u v
+
+(* ------------------------------------------------------------------ *)
+(* Signed interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let of_int x =
+  if x = 0 then zero
+  else begin
+    let sign = if x < 0 then -1 else 1 in
+    (* Avoid [abs min_int] overflow by carving limbs with Euclidean steps. *)
+    let rec limbs x acc = if x = 0 then List.rev acc else limbs (x lsr base_bits) ((x land base_mask) :: acc) in
+    let mag_of_pos x = Array.of_list (limbs x []) in
+    if x = min_int then begin
+      (* min_int = -2^62 on 64-bit: build from shifted one. *)
+      let m = ushift_left [| 1 |] (Sys.int_size - 1) in
+      { sign = -1; mag = m }
+    end
+    else { sign; mag = mag_of_pos (abs x) }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then ucompare a.mag b.mag
+  else ucompare b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = uadd a.mag b.mag }
+  else begin
+    let c = ucompare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make_mag_signed a.sign (usub a.mag b.mag)
+    else make_mag_signed b.sign (usub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = umul a.mag b.mag }
+
+let mul_int a x =
+  if x = 0 || a.sign = 0 then zero
+  else if x = min_int then mul a (of_int x)
+  else begin
+    let s = if x < 0 then -a.sign else a.sign in
+    let ax = if x < 0 then -x else x in
+    if ax < base then { sign = s; mag = umul_small a.mag ax }
+    else mul a (of_int x)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = udivmod a.mag b.mag in
+    let qs = a.sign * b.sign and rs = a.sign in
+    (make_mag_signed qs q, make_mag_signed rs r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (sub q one, add r b)
+  else (add q one, sub r b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b.sign = 0 then a else gcd b (rem a b)
+
+let lcm a b = if a.sign = 0 || b.sign = 0 then zero else abs (mul (div a (gcd a b)) b)
+
+let pow b n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n = if n = 0 then acc else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1) else go acc (mul b b) (n lsr 1) in
+  go one b n
+
+let shift_left a n =
+  if n < 0 then invalid_arg "Bigint.shift_left";
+  if a.sign = 0 then zero else { a with mag = ushift_left a.mag n }
+
+let shift_right a n =
+  if n < 0 then invalid_arg "Bigint.shift_right";
+  if a.sign = 0 then zero else make_mag_signed a.sign (ushift_right a.mag n)
+
+let succ a = add a one
+let pred a = sub a one
+
+let num_bits a =
+  let l = Array.length a.mag in
+  if l = 0 then 0
+  else begin
+    let top = a.mag.(l - 1) in
+    let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + 1) in
+    ((l - 1) * base_bits) + bits top 0
+  end
+
+let fits_int a = num_bits a <= Sys.int_size - 2
+
+let to_int_opt a =
+  if not (fits_int a) then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) a.mag 0 in
+    Some (if a.sign < 0 then -v else v)
+  end
+
+let to_int a =
+  match to_int_opt a with Some v -> v | None -> failwith "Bigint.to_int: overflow"
+
+let to_float a =
+  let v = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) a.mag 0.0 in
+  if a.sign < 0 then -.v else v
+
+let to_string a =
+  if a.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let chunks = ref [] in
+    let m = ref a.mag in
+    while Array.length !m > 0 do
+      let q, r = udiv_small !m 10000 in
+      chunks := r :: !chunks;
+      m := q
+    done;
+    if a.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+    | [] -> ()
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let negative, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref [||] in
+  let i = ref start in
+  while !i < len do
+    let chunk_len = Stdlib.min 4 (len - !i) in
+    let chunk = String.sub s !i chunk_len in
+    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") chunk;
+    let v = int_of_string chunk in
+    let scale = match chunk_len with 1 -> 10 | 2 -> 100 | 3 -> 1000 | _ -> 10000 in
+    acc := uadd (umul_small !acc scale) (if v = 0 then [||] else [| v land base_mask; v lsr base_bits |]);
+    i := !i + chunk_len
+  done;
+  make_mag_signed (if negative then -1 else 1) !acc
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

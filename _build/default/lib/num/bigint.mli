@@ -1,0 +1,104 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation with little-endian limbs in base [2^15].
+    All operations are purely functional.  This module exists because the
+    exact pipeline (Fourier–Motzkin elimination, exact simplex) produces
+    coefficients whose bit-size grows quickly, far beyond native [int]. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val to_float : t -> float
+(** Nearest float; may overflow to [infinity] for huge values. *)
+
+val of_string : string -> t
+(** Decimal, with optional leading [-] or [+].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val hash : t -> int
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: [divmod a b = (q, r)] with [a = q*b + r],
+    [|r| < |b|] and [sign r = sign a] (or [r = 0]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: remainder is always non-negative. *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow b n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+(** Multiply by [2^n], [n >= 0]. *)
+
+val shift_right : t -> int -> t
+(** Arithmetic shift towards zero on the magnitude: [|a| / 2^n] with the
+    sign of [a] (truncated division by [2^n]). *)
+
+val succ : t -> t
+val pred : t -> t
+
+(** {1 Size} *)
+
+val num_bits : t -> int
+(** Bit length of the magnitude; [num_bits zero = 0]. *)
+
+val fits_int : t -> bool
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

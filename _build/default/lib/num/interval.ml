@@ -1,0 +1,34 @@
+type t = { lo : float; hi : float }
+
+(* Outward rounding by one ulp per operation: cheap and sound (the true
+   result of a float op is within one ulp of the computed one). *)
+let down x = if Float.is_finite x then Float.pred x else x
+let up x = if Float.is_finite x then Float.succ x else x
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then invalid_arg "Interval.make";
+  { lo; hi }
+
+let point x = make x x
+let zero = point 0.0
+
+let add a b = { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
+let sub a b = { lo = down (a.lo -. b.hi); hi = up (a.hi -. b.lo) }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let mul a b =
+  let products = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
+  {
+    lo = down (List.fold_left Float.min infinity products);
+    hi = up (List.fold_left Float.max neg_infinity products);
+  }
+
+let scale s a = mul (point s) a
+
+let contains a x = a.lo <= x && x <= a.hi
+
+let sign a = if a.hi < 0.0 then `Negative else if a.lo > 0.0 then `Positive else `Zero_in
+
+let width a = a.hi -. a.lo
+
+let pp fmt a = Format.fprintf fmt "[%g, %g]" a.lo a.hi

@@ -1,0 +1,33 @@
+(** Outward-rounded float interval arithmetic.
+
+    The membership oracles evaluate linear constraints in floating
+    point; an interval evaluation with outward rounding turns "probably
+    inside" into a certified three-way answer (inside / outside /
+    undecided within rounding error).  Used by the certified membership
+    variant of {!Scdb_constr.Atom}. *)
+
+type t = private { lo : float; hi : float }
+(** Invariant: [lo <= hi]; both finite unless the interval is
+    everything. *)
+
+val make : float -> float -> t
+(** @raise Invalid_argument if [lo > hi] or a bound is NaN. *)
+
+val point : float -> t
+val zero : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val contains : t -> float -> bool
+
+val sign : t -> [ `Negative | `Positive | `Zero_in ]
+(** Certified sign: [`Negative] iff [hi < 0], [`Positive] iff [lo > 0],
+    otherwise zero lies in the interval and the sign is undecided. *)
+
+val width : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let canonical num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let make = canonical
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int i = of_bigint (Bigint.of_int i)
+let of_ints a b = canonical (Bigint.of_int a) (Bigint.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let half = of_ints 1 2
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rational.of_float: not finite";
+  if f = 0.0 then zero
+  else begin
+    let mantissa, exponent = Float.frexp f in
+    (* mantissa * 2^53 is integral for finite floats. *)
+    let scaled = Int64.of_float (mantissa *. 9007199254740992.0) in
+    let num = Bigint.of_string (Int64.to_string scaled) in
+    let e = exponent - 53 in
+    if e >= 0 then of_bigint (Bigint.shift_left num e)
+    else canonical num (Bigint.shift_left Bigint.one (-e))
+  end
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash t = Hashtbl.hash (Bigint.hash t.num, Bigint.hash t.den)
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if Bigint.sign t.num < 0 then { num = Bigint.neg t.den; den = Bigint.neg t.num }
+  else { num = t.den; den = t.num }
+
+let add a b =
+  canonical
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = canonical (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = mul a (inv b)
+let mul_int a i = canonical (Bigint.mul_int a.num i) a.den
+
+let floor t = fst (Bigint.ediv_rem t.num t.den)
+
+let ceil t =
+  let q, r = Bigint.ediv_rem t.num t.den in
+  if Bigint.is_zero r then q else Bigint.succ q
+
+let pow t n =
+  if n >= 0 then { num = Bigint.pow t.num n; den = Bigint.pow t.den n }
+  else inv { num = Bigint.pow t.num (-n); den = Bigint.pow t.den (-n) }
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+      let num = Bigint.of_string (String.sub s 0 i) in
+      let den = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      canonical num den
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_bigint (Bigint.of_string s)
+      | Some i ->
+          let int_part = String.sub s 0 i in
+          let frac_part = String.sub s (i + 1) (String.length s - i - 1) in
+          let negative = String.length int_part > 0 && int_part.[0] = '-' in
+          let digits = int_part ^ frac_part in
+          let digits = if digits = "" || digits = "-" || digits = "+" then digits ^ "0" else digits in
+          let num = Bigint.of_string digits in
+          let den = Bigint.pow (Bigint.of_int 10) (String.length frac_part) in
+          let q = canonical num den in
+          if negative && Bigint.sign q.num > 0 then neg q else q)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

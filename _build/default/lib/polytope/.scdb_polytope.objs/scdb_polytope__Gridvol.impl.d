@@ -1,0 +1,1 @@
+lib/polytope/gridvol.ml: Array Float Fun List Option Polytope Relation Scdb_rng Stdlib Vec

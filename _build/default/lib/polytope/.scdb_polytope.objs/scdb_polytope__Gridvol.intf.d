@@ -1,0 +1,1 @@
+lib/polytope/gridvol.mli: Relation Scdb_rng Vec

@@ -1,0 +1,1 @@
+lib/polytope/polygon2d.ml: Array Float List Polytope Vec

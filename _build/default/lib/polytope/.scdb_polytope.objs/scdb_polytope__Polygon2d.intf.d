@@ -1,0 +1,1 @@
+lib/polytope/polygon2d.mli: Dnf Polytope Vec

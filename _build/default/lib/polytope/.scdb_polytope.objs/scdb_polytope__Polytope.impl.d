@@ -1,0 +1,1 @@
+lib/polytope/polytope.ml: Affine Array Atom Float Format List Mat Option Rational Scdb_lp Term Vec

@@ -1,0 +1,1 @@
+lib/polytope/polytope.mli: Affine Dnf Format Mat Vec

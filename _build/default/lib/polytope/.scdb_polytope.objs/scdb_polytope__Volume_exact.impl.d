@@ -1,0 +1,1 @@
+lib/polytope/volume_exact.ml: Array Atom Fun Hashtbl List Rational Relation Scdb_lp Term

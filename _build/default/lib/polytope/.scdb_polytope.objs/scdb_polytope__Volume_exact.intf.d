@@ -1,0 +1,1 @@
+lib/polytope/volume_exact.mli: Dnf Rational Relation

@@ -1,0 +1,36 @@
+(** Fixed-dimension grid decomposition (the paper's Lemmas 3.1–3.2).
+
+    Cut the bounding box of a generalized relation into cubes of side
+    [gamma], enumerate the cubes whose centre lies in the relation, and
+    use them for volume ([count · γ^d]) and for uniform sampling (pick a
+    member cube uniformly, then a uniform point inside it).  The cost is
+    [(R/γ)^d] membership tests — polynomial for fixed [d], exponential
+    otherwise, which is precisely the trade-off experiment E8
+    demonstrates against the random-walk pipeline. *)
+
+type t
+(** An enumerated grid decomposition of a relation. *)
+
+val relation_bbox : Relation.t -> (Vec.t * Vec.t) option
+(** Bounding box of a generalized relation (per-tuple LP bounds, then
+    the union box); [None] if empty or unbounded. *)
+
+val build : gamma:float -> Relation.t -> t option
+(** Enumerate member cells.  [None] when the relation is empty or
+    unbounded.  @raise Invalid_argument if the grid would exceed
+    [10^8] cells. *)
+
+val cell_count : t -> int
+(** Number of cells whose centre belongs to the relation. *)
+
+val cells_scanned : t -> int
+(** Total number of membership tests performed — the [(R/γ)^d] cost. *)
+
+val volume : t -> float
+(** [cell_count · γ^d]. *)
+
+val sample : t -> Scdb_rng.Rng.t -> Vec.t
+(** Uniform over the union of member cells.
+    @raise Invalid_argument if there are no member cells. *)
+
+val gamma : t -> float

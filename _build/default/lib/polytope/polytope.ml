@@ -1,0 +1,141 @@
+type t = { dim : int; a : Mat.t; b : Vec.t }
+
+let make ~dim a b =
+  let m, d = Mat.dims a in
+  if m <> Vec.dim b then invalid_arg "Polytope.make: row count mismatch";
+  if m > 0 && d <> dim then invalid_arg "Polytope.make: dimension mismatch";
+  { dim; a = Mat.copy a; b = Vec.copy b }
+
+let of_tuple ~dim tuple =
+  let rows =
+    List.concat_map
+      (fun (atom : Atom.t) ->
+        match atom.op with
+        | Atom.Le | Atom.Lt -> [ Atom.to_halfspace dim atom ]
+        | Atom.Eq ->
+            let w, c = Term.to_float_row dim atom.term in
+            [ (w, -.c); (Vec.neg w, c) ])
+      tuple
+  in
+  {
+    dim;
+    a = Array.of_list (List.map fst rows);
+    b = Array.of_list (List.map snd rows);
+  }
+
+let to_tuple t =
+  Array.to_list
+    (Array.mapi
+       (fun i row ->
+         let term = ref (Term.const (Rational.neg (Rational.of_float t.b.(i)))) in
+         Array.iteri (fun j c -> term := Term.add !term (Term.monomial (Rational.of_float c) j)) row;
+         Atom.make !term Atom.Le)
+       t.a)
+
+let box lo hi =
+  let d = Vec.dim lo in
+  let a = Array.init (2 * d) (fun i -> if i < d then Vec.basis d i else Vec.neg (Vec.basis d (i - d))) in
+  let b = Array.init (2 * d) (fun i -> if i < d then hi.(i) else -.lo.(i - d)) in
+  { dim = d; a; b }
+
+let unit_cube d = box (Vec.create d) (Array.make d 1.0)
+let cube d r = box (Array.make d (-.r)) (Array.make d r)
+
+let simplex d =
+  let a = Array.init (d + 1) (fun i -> if i < d then Vec.neg (Vec.basis d i) else Array.make d 1.0) in
+  let b = Array.init (d + 1) (fun i -> if i < d then 0.0 else 1.0) in
+  { dim = d; a; b }
+
+let cross_polytope d r =
+  let rec signs i acc = if i = d then [ acc ] else signs (i + 1) (1.0 :: acc) @ signs (i + 1) (-1.0 :: acc) in
+  let rows = List.map (fun s -> Vec.of_list (List.rev s)) (signs 0 []) in
+  { dim = d; a = Array.of_list rows; b = Array.make (1 lsl d) r }
+
+let dim t = t.dim
+let num_constraints t = Array.length t.b
+
+let violation t x =
+  let worst = ref neg_infinity in
+  Array.iteri (fun i row -> worst := Float.max !worst (Vec.dot row x -. t.b.(i))) t.a;
+  if Array.length t.a = 0 then 0.0 else !worst
+
+let mem ?(slack = 0.0) t x = violation t x <= slack
+
+let add_halfspace t w c =
+  { t with a = Array.append t.a [| Vec.copy w |]; b = Array.append t.b [| c |] }
+
+let inter p q =
+  if p.dim <> q.dim then invalid_arg "Polytope.inter: dimension mismatch";
+  { dim = p.dim; a = Array.append p.a q.a; b = Array.append p.b q.b }
+
+let transform f t =
+  (* y = A_f x + b_f  ⇒  x = A_f⁻¹ (y − b_f); a_i·x <= b_i becomes
+     (a_i A_f⁻¹)·y <= b_i + (a_i A_f⁻¹)·b_f. *)
+  let inv = (f : Affine.t).inv_mat in
+  let a' = Array.map (fun row -> Mat.mul_vec (Mat.transpose inv) row) t.a in
+  let b' = Array.mapi (fun i row' -> t.b.(i) +. Vec.dot row' f.offset) a' in
+  { t with a = a'; b = b' }
+
+let translate v t = transform (Affine.translation v) t
+
+let chebyshev t = Scdb_lp.Lp.chebyshev ~a:t.a ~b:t.b
+
+let bounding_box t =
+  let d = t.dim in
+  let lo = Vec.create d and hi = Vec.create d in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    if !ok then begin
+      match
+        ( Scdb_lp.Lp.bound ~a:t.a ~b:t.b ~dir:(Vec.basis d i),
+          Scdb_lp.Lp.bound ~a:t.a ~b:t.b ~dir:(Vec.neg (Vec.basis d i)) )
+      with
+      | Some up, Some down ->
+          hi.(i) <- up;
+          lo.(i) <- -.down
+      | _ -> ok := false
+    end
+  done;
+  if !ok then Some (lo, hi) else None
+
+let is_empty t = Option.is_none (Scdb_lp.Lp.feasible_point ~a:t.a ~b:t.b)
+
+let is_bounded t = is_empty t || Option.is_some (bounding_box t)
+
+let sandwich t =
+  match chebyshev t with
+  | None -> None
+  | Some (centre, r_inf) -> (
+      match bounding_box t with
+      | None -> None
+      | Some (lo, hi) ->
+          (* Enclosing radius: farthest box corner from the centre. *)
+          let r_sup = ref 0.0 in
+          for i = 0 to t.dim - 1 do
+            let e = Float.max (Float.abs (hi.(i) -. centre.(i))) (Float.abs (centre.(i) -. lo.(i))) in
+            r_sup := !r_sup +. (e *. e)
+          done;
+          Some (centre, r_inf, sqrt !r_sup))
+
+let line_intersection t x dir =
+  (* a_i·(x + s·dir) <= b_i  ⇔  s·(a_i·dir) <= b_i − a_i·x. *)
+  let tmin = ref neg_infinity and tmax = ref infinity in
+  Array.iteri
+    (fun i row ->
+      let denom = Vec.dot row dir in
+      let slack = t.b.(i) -. Vec.dot row x in
+      if Float.abs denom < 1e-14 then begin
+        if slack < 0.0 then begin
+          tmin := infinity;
+          tmax := neg_infinity
+        end
+      end
+      else if denom > 0.0 then tmax := Float.min !tmax (slack /. denom)
+      else tmin := Float.max !tmin (slack /. denom))
+    t.a;
+  if !tmin > !tmax then None else Some (!tmin, !tmax)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>polytope in R^%d:@ " t.dim;
+  Array.iteri (fun i row -> Format.fprintf fmt "%a . x <= %g@ " Vec.pp row t.b.(i)) t.a;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,72 @@
+(** Convex polyhedra in halfspace representation [{x | A x <= b}].
+
+    The float-level geometric object behind a generalized tuple: the
+    samplers walk inside it, the LP layer measures it, and the affine
+    rounding maps it.  Strictness of the original constraints is
+    deliberately dropped — all volume statements in the paper are
+    insensitive to boundaries. *)
+
+type t = private { dim : int; a : Mat.t; b : Vec.t }
+
+val make : dim:int -> Mat.t -> Vec.t -> t
+(** @raise Invalid_argument on shape mismatch. *)
+
+val of_tuple : dim:int -> Dnf.tuple -> t
+(** Halfspaces of a generalized tuple; equality atoms become two
+    opposite inequalities. *)
+
+val to_tuple : t -> Dnf.tuple
+(** Back to exact atoms (coefficients via {!Scdb_num.Rational.of_float},
+    so the round-trip is exact on dyadic data). *)
+
+val box : Vec.t -> Vec.t -> t
+val unit_cube : int -> t
+val cube : int -> float -> t
+(** [cube d r] is [[-r,r]^d]. *)
+
+val simplex : int -> t
+(** Standard simplex [{x >= 0, Σ x <= 1}]. *)
+
+val cross_polytope : int -> float -> t
+(** L1 ball of radius [r]: [2^d] facets. *)
+
+val dim : t -> int
+val num_constraints : t -> int
+
+val mem : ?slack:float -> t -> Vec.t -> bool
+
+val violation : t -> Vec.t -> float
+(** [max_i (a_i·x − b_i)]: non-positive iff the point is inside. *)
+
+val add_halfspace : t -> Vec.t -> float -> t
+(** Intersect with [{x | w·x <= c}]. *)
+
+val inter : t -> t -> t
+
+val transform : Affine.t -> t -> t
+(** Image under an invertible affine map:
+    [transform f p = {f x | x ∈ p}]. *)
+
+val translate : Vec.t -> t -> t
+
+val chebyshev : t -> (Vec.t * float) option
+(** Centre and radius of a largest inscribed ball; [None] if empty or
+    the LP is unbounded (unbounded polyhedron). *)
+
+val bounding_box : t -> (Vec.t * Vec.t) option
+(** Componentwise LP bounds; [None] if empty or unbounded. *)
+
+val is_empty : t -> bool
+val is_bounded : t -> bool
+
+val sandwich : t -> (Vec.t * float * float) option
+(** [(centre, r_inf, r_sup)]: an inscribed ball radius and an enclosing
+    ball radius around the Chebyshev centre — the well-boundedness
+    witnesses of the paper.  [None] for empty or unbounded bodies. *)
+
+val line_intersection : t -> Vec.t -> Vec.t -> (float * float) option
+(** [line_intersection p x dir]: the parameter interval [(tmin, tmax)]
+    of [{t | x + t·dir ∈ p}], or [None] when empty.  Central to
+    hit-and-run sampling. *)
+
+val pp : Format.formatter -> t -> unit

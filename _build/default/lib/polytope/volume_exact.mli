@@ -1,0 +1,30 @@
+(** Exact volume of bounded polyhedra and generalized relations.
+
+    Lasserre's recursion over exact rationals: the d-volume of
+    [{A x <= b}] is [1/d · Σᵢ bᵢ/|a_{i,k}| · vol(facet i)] once facet
+    [i] is parametrized by solving its hyperplane for coordinate [k]
+    (the Euclidean norms cancel, keeping everything rational).
+
+    Exponential in the dimension and polynomial for fixed dimension —
+    exactly the role the Bieri–Nef sweep-plane algorithm plays in the
+    paper's Lemma 3.1.  Serves as ground truth for every estimator
+    test and experiment. *)
+
+exception Unbounded
+
+val volume_system : dim:int -> Rational.t array array -> Rational.t array -> Rational.t
+(** Exact volume of [{x ∈ R^dim | A x <= b}].
+    @raise Unbounded if the polyhedron is unbounded. *)
+
+val volume_tuple : dim:int -> Dnf.tuple -> Rational.t
+(** Volume of the convex set of one generalized tuple. *)
+
+val volume_relation : ?max_tuples:int -> Relation.t -> Rational.t
+(** Volume of a finite union of tuples, by inclusion–exclusion over the
+    (possibly overlapping) tuples.  Cost is [2^t] exact volume calls for
+    [t] tuples; [max_tuples] (default 16) guards the blowup.
+    @raise Invalid_argument if the relation has more tuples than that.
+    @raise Unbounded if some non-empty intersection is unbounded. *)
+
+val float_volume_tuple : dim:int -> Dnf.tuple -> float
+val float_volume_relation : ?max_tuples:int -> Relation.t -> float

@@ -1,0 +1,1 @@
+lib/qe/fourier_motzkin.ml: Atom Dnf Formula Fun Hashtbl List Rational Redundancy Relation Term

@@ -1,0 +1,1 @@
+lib/qe/fourier_motzkin.mli: Dnf Formula Relation

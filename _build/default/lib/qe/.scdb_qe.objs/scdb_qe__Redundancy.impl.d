@@ -1,0 +1,1 @@
+lib/qe/redundancy.ml: Array Atom List Rational Scdb_lp Term

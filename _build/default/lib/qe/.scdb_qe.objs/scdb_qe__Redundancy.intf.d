@@ -1,0 +1,1 @@
+lib/qe/redundancy.mli: Atom Dnf Rational

@@ -1,0 +1,115 @@
+type stats = { constraints_generated : int; max_tuple_size : int }
+
+let empty_stats = { constraints_generated = 0; max_tuple_size = 0 }
+
+let observe stats tuple =
+  let n = List.length tuple in
+  {
+    constraints_generated = stats.constraints_generated + n;
+    max_tuple_size = max stats.max_tuple_size n;
+  }
+
+(* Eliminate [v] from a conjunction of atoms using an equality pivot when
+   available, and lower/upper combination otherwise. *)
+let eliminate_var_tuple_raw v tuple =
+  let has_v a = not (Rational.is_zero (Term.coeff (a : Atom.t).term v)) in
+  let eq_pivot =
+    List.find_opt (fun a -> (a : Atom.t).op = Atom.Eq && has_v a) tuple
+  in
+  match eq_pivot with
+  | Some pivot ->
+      (* c·v + rest = 0  ⇒  v := -rest / c. *)
+      let c = Term.coeff (pivot : Atom.t).term v in
+      let rest = Term.sub pivot.term (Term.monomial c v) in
+      let replacement = Term.scale (Rational.neg (Rational.inv c)) rest in
+      List.filter_map
+        (fun a ->
+          if a == pivot then None
+          else
+            let a' = Atom.subst a v replacement in
+            if Atom.is_trivially_true a' then None else Some a')
+        tuple
+  | None ->
+      let uppers = ref [] and lowers = ref [] and rest = ref [] in
+      List.iter
+        (fun (a : Atom.t) ->
+          let c = Term.coeff a.term v in
+          let s = Rational.sign c in
+          if s = 0 then rest := a :: !rest
+          else begin
+            (* write the atom as  c·v + r  op  0 *)
+            let r = Term.sub a.term (Term.monomial c v) in
+            if s > 0 then uppers := (c, r, a.op) :: !uppers else lowers := (c, r, a.op) :: !lowers
+          end)
+        tuple;
+      let combined =
+        (* (c1 v + r1 op1 0, c1>0)  ∧  (c2 v + r2 op2 0, c2<0)
+           ⇒  (−c2)·r1 + c1·r2  op  0,   strict iff either was strict. *)
+        List.concat_map
+          (fun (c1, r1, op1) ->
+            List.filter_map
+              (fun (c2, r2, op2) ->
+                let term =
+                  Term.add (Term.scale (Rational.neg c2) r1) (Term.scale c1 r2)
+                in
+                let op = if op1 = Atom.Lt || op2 = Atom.Lt then Atom.Lt else Atom.Le in
+                let a = Atom.make term op in
+                if Atom.is_trivially_true a then None else Some a)
+              !lowers)
+          !uppers
+      in
+      List.rev_append !rest combined
+
+let eliminate_var_tuple ?(prune = true) v tuple =
+  let result = eliminate_var_tuple_raw v tuple in
+  if prune then Redundancy.prune result else result
+
+let eliminate_vars_tuple_stats ?(prune = true) vs tuple =
+  List.fold_left
+    (fun (t, stats) v ->
+      let t' = eliminate_var_tuple ~prune v t in
+      (t', observe stats t'))
+    (tuple, observe empty_stats tuple)
+    vs
+
+let eliminate_vars_tuple ?prune vs tuple = fst (eliminate_vars_tuple_stats ?prune vs tuple)
+
+let eliminate_tuples ?prune vs tuples =
+  List.filter_map
+    (fun tuple ->
+      let t = eliminate_vars_tuple ?prune vs tuple in
+      match Dnf.simplify_tuple t with
+      | None -> None
+      | Some t -> if Redundancy.is_empty t then None else Some t)
+    tuples
+
+let rec eliminate ?(prune = true) f =
+  match (f : Formula.t) with
+  | True | False | Atom _ -> f
+  | And fs -> Formula.conj (List.map (eliminate ~prune) fs)
+  | Or fs -> Formula.disj (List.map (eliminate ~prune) fs)
+  | Not g -> Formula.neg (eliminate ~prune g)
+  | Exists (vs, g) ->
+      let g' = eliminate ~prune g in
+      let tuples = Dnf.of_formula g' in
+      Dnf.to_formula (eliminate_tuples ~prune vs tuples)
+  | Forall (vs, g) ->
+      eliminate ~prune (Formula.neg (Formula.exists vs (Formula.neg g)))
+
+let project ?prune r ~keep =
+  let dim = Relation.dim r in
+  List.iter
+    (fun i -> if i < 0 || i >= dim then invalid_arg "Fourier_motzkin.project: coordinate out of range")
+    keep;
+  let drop = List.filter (fun i -> not (List.mem i keep)) (List.init dim Fun.id) in
+  let renaming =
+    let table = Hashtbl.create 8 in
+    List.iteri (fun pos i -> Hashtbl.add table i pos) keep;
+    fun i ->
+      match Hashtbl.find_opt table i with
+      | Some pos -> pos
+      | None -> invalid_arg "Fourier_motzkin.project: residual variable after elimination"
+  in
+  let tuples = eliminate_tuples ?prune drop (Relation.tuples r) in
+  let tuples = List.map (List.map (fun a -> Atom.rename a renaming)) tuples in
+  Relation.make ~dim:(List.length keep) tuples

@@ -1,0 +1,28 @@
+(** Fourier–Motzkin quantifier elimination over R_lin.
+
+    The classical symbolic projection algorithm, with doubly-exponential
+    worst case in the number of eliminated variables — the baseline the
+    paper's sampling reconstruction (its Algorithm 3) is compared
+    against.  Exact rational arithmetic throughout. *)
+
+type stats = { constraints_generated : int; max_tuple_size : int }
+(** Work counters accumulated by an elimination run. *)
+
+val eliminate_var_tuple : ?prune:bool -> int -> Dnf.tuple -> Dnf.tuple
+(** Eliminate one existentially-quantified variable from a conjunction.
+    Equality atoms with the variable are used as substitutions;
+    otherwise lower/upper bound pairs are combined.  [prune] (default
+    true) runs LP redundancy removal on the result. *)
+
+val eliminate_vars_tuple : ?prune:bool -> int list -> Dnf.tuple -> Dnf.tuple
+
+val eliminate_vars_tuple_stats : ?prune:bool -> int list -> Dnf.tuple -> Dnf.tuple * stats
+
+val eliminate : ?prune:bool -> Formula.t -> Formula.t
+(** Full quantifier elimination: the result is quantifier-free and
+    equivalent.  Universal quantifiers are handled through negation. *)
+
+val project : ?prune:bool -> Relation.t -> keep:int list -> Relation.t
+(** Project a generalized relation onto the listed coordinates (in the
+    given order): eliminate all others and rename the kept variables to
+    [0 .. e-1].  Empty tuples are dropped (exact LP test). *)

@@ -1,0 +1,62 @@
+module Es = Scdb_lp.Exact_simplex
+
+let tuple_dim tuple = 1 + List.fold_left (fun acc a -> max acc (Atom.max_var a)) (-1) tuple
+
+(* Row [w] and rhs [r] with the atom's closure equivalent to [w·x <= r]. *)
+let atom_rows dim a =
+  let term = (a : Atom.t).term in
+  let row = Array.make dim Rational.zero in
+  List.iter (fun (i, c) -> row.(i) <- c) (Term.coeffs term);
+  let rhs = Rational.neg (Term.constant term) in
+  match a.op with
+  | Atom.Le | Atom.Lt -> [ (row, rhs) ]
+  | Atom.Eq -> [ (row, rhs); (Array.map Rational.neg row, Rational.neg rhs) ]
+
+let tuple_to_system tuple =
+  let dim = tuple_dim tuple in
+  let rows = List.concat_map (atom_rows dim) tuple in
+  (Array.of_list (List.map fst rows), Array.of_list (List.map snd rows))
+
+let is_empty tuple =
+  let a, b = tuple_to_system tuple in
+  not (Es.is_feasible ~a ~b)
+
+let is_full_dim_nonempty tuple ~dim =
+  if dim = 0 then not (is_empty tuple)
+  else begin
+    (* Maximize r subject to  w_i·x + ||w_i||₁ r <= b_i, giving an inscribed
+       L∞-style ball; r > 0 iff the open set is non-empty.  The L1 norm of
+       the row keeps the computation rational. *)
+    let a, b = tuple_to_system tuple in
+    let m = Array.length a in
+    let rows =
+      Array.init m (fun i ->
+          let norm1 = Array.fold_left (fun acc c -> Rational.add acc (Rational.abs c)) Rational.zero a.(i) in
+          Array.init (dim + 1) (fun j -> if j < dim then a.(i).(j) else norm1))
+    in
+    let c = Array.init (dim + 1) (fun j -> if j < dim then Rational.zero else Rational.one) in
+    match Es.maximize ~a:rows ~b ~c with
+    | Es.Infeasible -> false
+    | Es.Unbounded -> true
+    | Es.Optimal { value; _ } -> Rational.sign value > 0
+  end
+
+let implies_atom tuple a =
+  let dim = max (tuple_dim tuple) (1 + Atom.max_var a) in
+  let rows = List.concat_map (atom_rows dim) tuple in
+  let sys_a = Array.of_list (List.map fst rows) in
+  let sys_b = Array.of_list (List.map snd rows) in
+  List.for_all (fun (row, rhs) -> Es.implied ~a:sys_a ~b:sys_b ~row ~rhs) (atom_rows dim a)
+
+let prune tuple =
+  (* One pass: keep an atom only if the others do not already imply it.
+     Scanning against the currently-kept set plus the not-yet-processed
+     tail keeps the result order-independent enough and never weakens
+     the system. *)
+  let rec go kept = function
+    | [] -> List.rev kept
+    | a :: rest ->
+        let others = List.rev_append kept rest in
+        if others <> [] && implies_atom others a then go kept rest else go (a :: kept) rest
+  in
+  go [] tuple

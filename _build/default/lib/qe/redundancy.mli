@@ -1,0 +1,28 @@
+(** LP-based simplification of generalized tuples.
+
+    Fourier–Motzkin elimination squares the number of constraints at
+    every step; pruning implied constraints with an exact LP after each
+    round is what keeps the symbolic baseline usable at all. *)
+
+val tuple_to_system : Dnf.tuple -> Rational.t array array * Rational.t array
+(** [(A, b)] with the tuple equivalent (up to strictness) to [A x <= b].
+    Equality atoms become two opposite inequalities.  Variables are
+    [0 .. max_var]. *)
+
+val is_empty : Dnf.tuple -> bool
+(** Exact emptiness of the closure of the tuple (strict constraints
+    relaxed).  A closed-empty tuple is genuinely empty. *)
+
+val is_full_dim_nonempty : Dnf.tuple -> dim:int -> bool
+(** True iff the tuple contains an open ball, decided exactly by a
+    Chebyshev-style LP: the strict/non-strict distinction is then
+    irrelevant for volume purposes. *)
+
+val prune : Dnf.tuple -> Dnf.tuple
+(** Remove atoms implied by the rest (exact LP test).  The resulting
+    tuple defines the same set up to a measure-zero boundary; on
+    full-dimensional tuples the volume is unchanged. *)
+
+val implies_atom : Dnf.tuple -> Atom.t -> bool
+(** Whether every point of the (closed) tuple satisfies the (closed)
+    atom. *)

@@ -1,0 +1,120 @@
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded through splitmix64. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child state by hashing fresh output through splitmix64. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  (* Top 53 bits scaled to [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Rejection to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec go () =
+    let x = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = x mod bound in
+    if x - r > max_int - bound + 1 then go () else r
+  in
+  go ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  (* Marsaglia polar method; discard the second deviate to keep the
+     generator stateless beyond its stream position. *)
+  let rec go () =
+    let u = uniform t (-1.0) 1.0 and v = uniform t (-1.0) 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then go () else u *. sqrt (-2.0 *. log s /. s)
+  in
+  go ()
+
+let gaussian_vec t d = Vec.init d (fun _ -> gaussian t)
+
+let unit_vector t d =
+  let rec go () =
+    let v = gaussian_vec t d in
+    let n = Vec.norm v in
+    if n < 1e-12 then go () else Vec.scale (1.0 /. n) v
+  in
+  go ()
+
+let in_ball t d =
+  let dir = unit_vector t d in
+  let r = float t ** (1.0 /. float_of_int d) in
+  Vec.scale r dir
+
+let in_box t lo hi = Vec.init (Vec.dim lo) (fun i -> uniform t lo.(i) hi.(i))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.categorical: zero total weight";
+  let x = float t *. total in
+  let acc = ref 0.0 and chosen = ref (Array.length weights - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         acc := !acc +. w;
+         if x < !acc then begin
+           chosen := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  !chosen

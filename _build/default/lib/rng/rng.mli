@@ -1,0 +1,56 @@
+(** Deterministic, splittable pseudo-random generator (xoshiro256 star-star).
+
+    Every randomized algorithm in this repository takes an explicit
+    [Rng.t]; experiments and tests construct them from fixed seeds, so
+    all results are reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** New generator from an integer seed (expanded by splitmix64). *)
+
+val split : t -> t
+(** Child generator whose stream is independent of the parent's
+    subsequent outputs. *)
+
+val copy : t -> t
+
+(** {1 Scalar draws} *)
+
+val float : t -> float
+(** Uniform in [[0,1)]. *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** Uniform in [[0, bound)]; [bound > 0]. *)
+
+val bool : t -> bool
+val bits64 : t -> int64
+
+val gaussian : t -> float
+(** Standard normal deviate (Marsaglia polar method). *)
+
+(** {1 Vector draws} *)
+
+val gaussian_vec : t -> int -> Vec.t
+
+val unit_vector : t -> int -> Vec.t
+(** Uniform on the unit sphere of the given dimension. *)
+
+val in_ball : t -> int -> Vec.t
+(** Uniform in the closed unit ball. *)
+
+val in_box : t -> Vec.t -> Vec.t -> Vec.t
+(** Uniform in the axis-parallel box [[lo, hi]]. *)
+
+(** {1 Collections} *)
+
+val shuffle : t -> 'a array -> unit
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val categorical : t -> float array -> int
+(** Draw an index with probability proportional to the (non-negative)
+    weights. @raise Invalid_argument if all weights are zero. *)

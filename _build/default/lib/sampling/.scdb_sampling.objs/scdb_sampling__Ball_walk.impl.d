@@ -1,0 +1,1 @@
+lib/sampling/ball_walk.ml: Polytope Rng Vec

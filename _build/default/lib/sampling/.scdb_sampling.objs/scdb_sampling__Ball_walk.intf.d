@@ -1,0 +1,1 @@
+lib/sampling/ball_walk.mli: Polytope Rng Vec

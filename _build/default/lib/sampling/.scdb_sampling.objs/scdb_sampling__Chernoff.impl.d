@@ -1,0 +1,1 @@
+lib/sampling/chernoff.ml: Array Float Stdlib

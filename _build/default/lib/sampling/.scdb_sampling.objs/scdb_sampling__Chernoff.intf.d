@@ -1,0 +1,1 @@
+lib/sampling/chernoff.mli: Scdb_rng

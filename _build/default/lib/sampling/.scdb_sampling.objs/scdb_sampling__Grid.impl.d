@@ -1,0 +1,1 @@
+lib/sampling/grid.ml: Array Float Fun List Vec

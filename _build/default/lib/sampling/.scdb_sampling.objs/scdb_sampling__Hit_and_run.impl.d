@@ -1,0 +1,1 @@
+lib/sampling/hit_and_run.ml: Float Polytope Rng Vec

@@ -1,0 +1,1 @@
+lib/sampling/mixing.ml: Array Float Stdlib Vec

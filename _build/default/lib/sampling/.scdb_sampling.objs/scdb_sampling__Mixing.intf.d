@@ -1,0 +1,1 @@
+lib/sampling/mixing.mli: Rng Vec

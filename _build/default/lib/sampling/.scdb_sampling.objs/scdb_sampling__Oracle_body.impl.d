@@ -1,0 +1,1 @@
+lib/sampling/oracle_body.ml: Array Float Hit_and_run Mat Vec Volume

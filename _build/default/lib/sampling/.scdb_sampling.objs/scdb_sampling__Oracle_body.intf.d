@@ -1,0 +1,1 @@
+lib/sampling/oracle_body.mli: Hit_and_run Mat Rng Vec

@@ -1,0 +1,1 @@
+lib/sampling/rejection.ml: List Rng

@@ -1,0 +1,1 @@
+lib/sampling/rejection.mli: Rng Vec

@@ -1,0 +1,1 @@
+lib/sampling/rounding.ml: Affine Array Hit_and_run List Mat Option Polytope Vec

@@ -1,0 +1,1 @@
+lib/sampling/rounding.mli: Affine Polytope Rng Vec

@@ -1,0 +1,1 @@
+lib/sampling/volume.ml: Affine Chernoff Float Grid Hit_and_run Polytope Rounding Vec Walk

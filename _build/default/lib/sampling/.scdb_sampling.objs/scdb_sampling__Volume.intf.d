@@ -1,0 +1,1 @@
+lib/sampling/volume.mli: Polytope Rng

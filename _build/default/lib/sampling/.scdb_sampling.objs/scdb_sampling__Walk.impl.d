@@ -1,0 +1,1 @@
+lib/sampling/walk.ml: Array Float Grid Polytope Rng Vec

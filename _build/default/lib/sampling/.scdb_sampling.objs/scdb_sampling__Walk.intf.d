@@ -1,0 +1,1 @@
+lib/sampling/walk.mli: Grid Polytope Rng Vec

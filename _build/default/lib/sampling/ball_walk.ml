@@ -1,0 +1,28 @@
+type stats = { steps : int; accepted : int }
+
+let default_radius ~dim ~r_inscribed = r_inscribed /. sqrt (float_of_int dim)
+
+let walk rng ~mem ~start ~steps ~radius =
+  if not (mem start) then invalid_arg "Ball_walk.walk: start outside the body";
+  let dim = Vec.dim start in
+  let current = ref (Vec.copy start) in
+  let accepted = ref 0 in
+  for _ = 1 to steps do
+    let proposal = Vec.add !current (Vec.scale radius (Rng.in_ball rng dim)) in
+    if mem proposal then begin
+      current := proposal;
+      incr accepted
+    end
+  done;
+  (!current, { steps; accepted = !accepted })
+
+let sample_polytope rng poly ~start ~steps ?radius () =
+  let radius =
+    match radius with
+    | Some r -> r
+    | None -> (
+        match Polytope.chebyshev poly with
+        | Some (_, r) when r > 0.0 -> default_radius ~dim:(Polytope.dim poly) ~r_inscribed:r
+        | _ -> invalid_arg "Ball_walk.sample_polytope: degenerate body")
+  in
+  fst (walk rng ~mem:(fun x -> Polytope.mem poly x) ~start ~steps ~radius)

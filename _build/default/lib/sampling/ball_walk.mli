@@ -1,0 +1,27 @@
+(** Metropolis ball walk on a convex body.
+
+    The third classical sampler (next to the lattice walk and
+    hit-and-run): propose a uniform point in the δ-ball around the
+    current position and move iff it stays inside.  The proposal is
+    symmetric, so the stationary distribution is uniform.  Step size
+    trades acceptance rate against mixing; the default follows the
+    usual δ = Θ(r/√d) rule for a body with inscribed radius r. *)
+
+type stats = { steps : int; accepted : int }
+
+val default_radius : dim:int -> r_inscribed:float -> float
+
+val walk :
+  Rng.t ->
+  mem:(Vec.t -> bool) ->
+  start:Vec.t ->
+  steps:int ->
+  radius:float ->
+  Vec.t * stats
+(** Final position and acceptance statistics.  The start must satisfy
+    [mem]. @raise Invalid_argument otherwise. *)
+
+val sample_polytope :
+  Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> ?radius:float -> unit -> Vec.t
+(** Ball walk with the polytope membership oracle; the default radius
+    uses the Chebyshev radius of the body. *)

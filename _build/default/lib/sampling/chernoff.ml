@@ -1,0 +1,56 @@
+let samples_for_additive ~eps ~delta =
+  if eps <= 0.0 || delta <= 0.0 then invalid_arg "Chernoff.samples_for_additive";
+  int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
+
+let samples_for_ratio ~eps ~delta ~p_lower =
+  if eps <= 0.0 || delta <= 0.0 || p_lower <= 0.0 then invalid_arg "Chernoff.samples_for_ratio";
+  int_of_float (ceil (3.0 *. log (2.0 /. delta) /. (eps *. eps *. p_lower)))
+
+let estimate_fraction rng ~samples f =
+  if samples <= 0 then invalid_arg "Chernoff.estimate_fraction";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if f rng then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000) f =
+  let count n =
+    let hits = ref 0 in
+    for _ = 1 to n do
+      if f rng then incr hits
+    done;
+    !hits
+  in
+  let pilot = 400 in
+  let pilot_hits = count pilot in
+  if pilot_hits = 0 then begin
+    (* No signal yet: spend the floor-based budget before concluding 0. *)
+    let n = Stdlib.min max_samples (samples_for_ratio ~eps ~delta ~p_lower:p_floor) in
+    let hits = count n in
+    float_of_int hits /. float_of_int n
+  end
+  else begin
+    let p_hat = float_of_int pilot_hits /. float_of_int pilot in
+    let n = Stdlib.min max_samples (samples_for_ratio ~eps ~delta ~p_lower:(p_hat /. 2.0)) in
+    let hits = count n in
+    float_of_int hits /. float_of_int n
+  end
+
+let median_of_means rng ~blocks ~block_size f =
+  if blocks <= 0 || block_size <= 0 then invalid_arg "Chernoff.median_of_means";
+  let means =
+    Array.init blocks (fun _ ->
+        let s = ref 0.0 in
+        for _ = 1 to block_size do
+          s := !s +. f rng
+        done;
+        !s /. float_of_int block_size)
+  in
+  Array.sort Float.compare means;
+  let n = blocks in
+  if n mod 2 = 1 then means.(n / 2) else (means.((n / 2) - 1) +. means.(n / 2)) /. 2.0
+
+let repeats_for_confidence ~delta =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Chernoff.repeats_for_confidence";
+  int_of_float (ceil (4.0 *. log (1.0 /. delta)))

@@ -1,0 +1,41 @@
+(** Chernoff/Hoeffding sample-size arithmetic.
+
+    Centralizes every "how many samples do I need" computation, so that
+    the (ε,δ) guarantees quoted in the paper map to one audited place. *)
+
+val samples_for_additive : eps:float -> delta:float -> int
+(** Hoeffding: [n ≥ ln(2/δ)/(2ε²)] draws estimate a Bernoulli mean
+    within additive [ε] with confidence [1−δ]. *)
+
+val samples_for_ratio : eps:float -> delta:float -> p_lower:float -> int
+(** Multiplicative Chernoff: enough draws to estimate a Bernoulli mean
+    [p ≥ p_lower] within ratio [1+ε] with confidence [1−δ]:
+    [n ≥ 3·ln(2/δ)/(ε²·p_lower)]. *)
+
+val estimate_fraction : Scdb_rng.Rng.t -> samples:int -> (Scdb_rng.Rng.t -> bool) -> float
+(** Empirical mean of [samples] Bernoulli draws. *)
+
+val estimate_fraction_adaptive :
+  Scdb_rng.Rng.t ->
+  eps:float ->
+  delta:float ->
+  p_floor:float ->
+  ?max_samples:int ->
+  (Scdb_rng.Rng.t -> bool) ->
+  float
+(** Two-stage estimation of a Bernoulli mean [p] to ratio [1+ε]: a
+    pilot run sizes the main run from the {e observed} rate instead of
+    the worst-case floor [p_floor], so the cost scales with [1/p]
+    rather than [1/p_floor].  Falls back to the floor-based sample
+    count (capped at [max_samples], default 200_000) when the pilot
+    sees no successes; returns [0.] if none are ever seen. *)
+
+val median_of_means :
+  Scdb_rng.Rng.t -> blocks:int -> block_size:int -> (Scdb_rng.Rng.t -> float) -> float
+(** Median of [blocks] means of [block_size] draws each — boosts a
+    constant-confidence estimator to confidence [1−δ] with
+    [blocks = O(ln(1/δ))]. *)
+
+val repeats_for_confidence : delta:float -> int
+(** [⌈4·ln(1/δ)⌉], the paper's "repeat k times" bound for an algorithm
+    succeeding with probability ≥ 1/4 per trial. *)

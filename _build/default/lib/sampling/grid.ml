@@ -1,0 +1,43 @@
+type t = { step : float; dim : int }
+
+let make ~step ~dim =
+  if step <= 0.0 then invalid_arg "Grid.make: non-positive step";
+  { step; dim }
+
+let step_for ~gamma ~dim ~scale =
+  let d = float_of_int dim in
+  make ~step:(gamma *. scale /. (d ** 1.5)) ~dim
+
+let to_point t idx = Vec.init t.dim (fun i -> float_of_int idx.(i) *. t.step)
+
+let of_point t x = Array.init t.dim (fun i -> int_of_float (Float.round (x.(i) /. t.step)))
+
+let round_to_grid t x = to_point t (of_point t x)
+
+let neighbours t idx =
+  List.concat_map
+    (fun i ->
+      let up = Array.copy idx and down = Array.copy idx in
+      up.(i) <- up.(i) + 1;
+      down.(i) <- down.(i) - 1;
+      [ up; down ])
+    (List.init t.dim Fun.id)
+
+let cell_volume t = t.step ** float_of_int t.dim
+
+let count_in_ball t radius =
+  let k = int_of_float (Float.floor (radius /. t.step)) in
+  let count = ref 0 in
+  let idx = Array.make t.dim 0 in
+  let rec scan coord =
+    if coord = t.dim then begin
+      if Vec.norm (to_point t idx) <= radius then incr count
+    end
+    else
+      for v = -k to k do
+        idx.(coord) <- v;
+        scan (coord + 1)
+      done
+  in
+  scan 0;
+  !count

@@ -1,0 +1,35 @@
+(** γ-grids: the discretization of Definition 2.2.
+
+    A grid of step [p] is the lattice [p·Z^d]; the graph induced on a
+    relation [S] has vertex set [G_p ∩ S] and edges between lattice
+    neighbours at distance [p].  The paper requires [p] polynomial in
+    [γ] and [1/d] so that [|V|·p^d] approximates the volume within
+    ratio [1+γ]. *)
+
+type t = private { step : float; dim : int }
+
+val make : step:float -> dim:int -> t
+(** @raise Invalid_argument on non-positive step. *)
+
+val step_for : gamma:float -> dim:int -> scale:float -> t
+(** The paper's schedule [p = O(γ/d^{3/2})], scaled to a body of
+    characteristic size [scale] (e.g. its enclosing radius). *)
+
+val to_point : t -> int array -> Vec.t
+(** Lattice coordinates to a point of [R^d]. *)
+
+val of_point : t -> Vec.t -> int array
+(** Nearest lattice vertex. *)
+
+val round_to_grid : t -> Vec.t -> Vec.t
+(** [to_point t (of_point t x)]. *)
+
+val neighbours : t -> int array -> int array list
+(** The [2d] lattice neighbours. *)
+
+val cell_volume : t -> float
+(** [p^d]. *)
+
+val count_in_ball : t -> float -> int
+(** Number of lattice points in the centred ball of the given radius —
+    exact in small dimension, used by tests. Cost is O((2r/p)^d). *)

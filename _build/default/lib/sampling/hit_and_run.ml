@@ -1,0 +1,45 @@
+type chord = Vec.t -> Vec.t -> (float * float) option
+
+let polytope_chord poly x dir = Polytope.line_intersection poly x dir
+
+let ball_chord ~centre ~radius x dir =
+  (* ||x + t·dir − c||² = r²: quadratic in t. *)
+  let delta = Vec.sub x centre in
+  let a = Vec.norm2 dir in
+  let b = 2.0 *. Vec.dot delta dir in
+  let c = Vec.norm2 delta -. (radius *. radius) in
+  let disc = (b *. b) -. (4.0 *. a *. c) in
+  if disc < 0.0 || a = 0.0 then None
+  else begin
+    let s = sqrt disc in
+    Some (((-.b) -. s) /. (2.0 *. a), ((-.b) +. s) /. (2.0 *. a))
+  end
+
+let intersect_chords chords x dir =
+  let rec go lo hi = function
+    | [] -> if lo > hi then None else Some (lo, hi)
+    | c :: rest -> (
+        match c x dir with
+        | None -> None
+        | Some (l, h) -> go (Float.max lo l) (Float.min hi h) rest)
+  in
+  go neg_infinity infinity chords
+
+let sample rng ~chord ~start ~steps =
+  let dim = Vec.dim start in
+  let current = ref (Vec.copy start) in
+  for _ = 1 to steps do
+    let dir = Rng.unit_vector rng dim in
+    match chord !current dir with
+    | None -> () (* numerically outside; keep position *)
+    | Some (lo, hi) ->
+        if hi > lo && Float.is_finite lo && Float.is_finite hi then
+          current := Vec.axpy (Rng.uniform rng lo hi) dir !current
+  done;
+  !current
+
+let sample_polytope rng poly ~start ~steps = sample rng ~chord:(polytope_chord poly) ~start ~steps
+
+let default_steps ~dim =
+  let d = float_of_int dim in
+  int_of_float (Float.max 60.0 (12.0 *. d *. log (d +. 2.0) *. log (d +. 2.0)))

@@ -1,0 +1,29 @@
+(** Hit-and-run sampler on convex bodies.
+
+    The continuous cousin of the lattice walk: pick a uniform direction,
+    intersect the chord with the body, land uniformly on the chord.
+    Mixes in [O*(d³)] from a warm start and needs no grid, so the
+    multi-phase volume estimator and the rounding procedure both run on
+    it; the lattice walk remains the reference sampler for the paper's
+    grid-based definitions. *)
+
+type chord = Vec.t -> Vec.t -> (float * float) option
+(** [chord x dir] is the parameter interval of the body along
+    [t ↦ x + t·dir], or [None] if the line misses it. *)
+
+val polytope_chord : Polytope.t -> chord
+
+val ball_chord : centre:Vec.t -> radius:float -> chord
+(** Analytic chord of a Euclidean ball. *)
+
+val intersect_chords : chord list -> chord
+(** Chord of the intersection of bodies. *)
+
+val sample : Rng.t -> chord:chord -> start:Vec.t -> steps:int -> Vec.t
+(** Position after [steps] hit-and-run moves from [start] (which must
+    lie in the body: the chord through it must be non-empty). *)
+
+val sample_polytope : Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
+
+val default_steps : dim:int -> int
+(** Practical schedule [max 60 (10·d·ln d · …)] used by the pipeline. *)

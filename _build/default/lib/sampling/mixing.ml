@@ -1,0 +1,45 @@
+let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let autocorrelation xs ~lag =
+  let n = Array.length xs in
+  if lag >= n || n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let var = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    (* Relative threshold: a numerically-constant series has variance at
+       the level of rounding noise, which must read as "no signal". *)
+    if var <= 1e-20 *. float_of_int n *. (1.0 +. (m *. m)) then 0.0
+    else begin
+      let cov = ref 0.0 in
+      for i = 0 to n - lag - 1 do
+        cov := !cov +. ((xs.(i) -. m) *. (xs.(i + lag) -. m))
+      done;
+      !cov /. var
+    end
+  end
+
+let integrated_autocorrelation_time ?max_lag xs =
+  let n = Array.length xs in
+  let max_lag = match max_lag with Some l -> l | None -> Stdlib.min (n / 4) 200 in
+  let tau = ref 1.0 in
+  (try
+     for lag = 1 to max_lag do
+       let rho = autocorrelation xs ~lag in
+       if rho <= 0.0 then raise Exit;
+       tau := !tau +. (2.0 *. rho)
+     done
+   with Exit -> ());
+  Float.max 1.0 !tau
+
+let effective_sample_size ?max_lag xs =
+  float_of_int (Array.length xs) /. integrated_autocorrelation_time ?max_lag xs
+
+let trace rng ~steps ~thin ~init ~next ~f =
+  if thin <= 0 then invalid_arg "Mixing.trace: thin must be positive";
+  let out = Array.make (steps / thin) 0.0 in
+  let state = ref (Vec.copy init) in
+  for i = 1 to steps do
+    state := next rng !state;
+    if i mod thin = 0 && (i / thin) - 1 < Array.length out then out.((i / thin) - 1) <- f !state
+  done;
+  out

@@ -1,0 +1,25 @@
+(** Mixing diagnostics for the walk samplers.
+
+    The paper quotes worst-case mixing bounds (O(d¹⁹), improved to
+    O*(d⁵)); in practice one verifies mixing empirically.  These are
+    the standard MCMC diagnostics: lagged autocorrelation of a scalar
+    functional along the chain, the integrated autocorrelation time,
+    and the effective sample size. *)
+
+val autocorrelation : float array -> lag:int -> float
+(** Sample autocorrelation of the series at the given lag; 0 when the
+    series is too short or constant. *)
+
+val integrated_autocorrelation_time : ?max_lag:int -> float array -> float
+(** [τ = 1 + 2·Σ ρ(k)] with the customary cut at the first negative
+    autocorrelation (Geyer's initial positive sequence, simplified).
+    At least 1. *)
+
+val effective_sample_size : ?max_lag:int -> float array -> float
+(** [n/τ]. *)
+
+val trace :
+  Rng.t -> steps:int -> thin:int -> init:Vec.t ->
+  next:(Rng.t -> Vec.t -> Vec.t) -> f:(Vec.t -> float) -> float array
+(** Drive a chain for [steps] transitions recording [f state] every
+    [thin] steps — the input to the estimators above. *)

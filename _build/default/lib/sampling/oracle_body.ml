@@ -1,0 +1,97 @@
+type t = {
+  dim : int;
+  mem : Vec.t -> bool;
+  inner : Vec.t * float;
+  outer : float;
+}
+
+let make ~dim ~mem ~inner ~outer =
+  if snd inner <= 0.0 || outer < snd inner then invalid_arg "Oracle_body.make: bad witnesses";
+  { dim; mem; inner; outer }
+
+let ellipsoid a =
+  match Mat.cholesky a with
+  | None -> None
+  | Some _ ->
+      let d = Array.length a in
+      let mem x = Vec.dot x (Mat.mul_vec a x) <= 1.0 in
+      (* eigenvalue bounds via the Rayleigh quotient on the axes would be
+         loose; use trace/det-free bounds: the inner radius is
+         1/sqrt(λmax) >= 1/sqrt(trace), the outer is 1/sqrt(λmin) and
+         λmin >= det / (trace/(d-1))^{d-1} — cheaper: power iteration. *)
+      let power m =
+        let v = ref (Vec.init d (fun i -> 1.0 /. sqrt (float_of_int d +. float_of_int i))) in
+        for _ = 1 to 60 do
+          let w = Mat.mul_vec m !v in
+          let n = Vec.norm w in
+          if n > 0.0 then v := Vec.scale (1.0 /. n) w
+        done;
+        Vec.dot !v (Mat.mul_vec m !v)
+      in
+      let lmax = power a in
+      let lmin =
+        match Mat.inv a with Some ai -> 1.0 /. power ai | None -> 0.0
+      in
+      if lmin <= 0.0 then None
+      else
+        Some
+          {
+            dim = d;
+            mem;
+            inner = (Vec.create d, 0.99 /. sqrt lmax);
+            outer = 1.01 /. sqrt lmin;
+          }
+
+let chord body x dir =
+  if not (body.mem x) then None
+  else begin
+    (* Find the boundary crossing along ±dir: double until outside
+       (bounded by the outer radius), then bisect. *)
+    let extent sign =
+      let step = ref (0.25 *. snd body.inner) in
+      let t = ref 0.0 in
+      let guard = 2.2 *. body.outer in
+      while body.mem (Vec.axpy (sign *. (!t +. !step)) dir x) && !t +. !step < guard do
+        t := !t +. !step;
+        step := !step *. 2.0
+      done;
+      (* boundary in ( t, t+step ] *)
+      let lo = ref !t and hi = ref (Float.min (!t +. !step) guard) in
+      for _ = 1 to 24 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if body.mem (Vec.axpy (sign *. mid) dir x) then lo := mid else hi := mid
+      done;
+      !lo
+    in
+    Some (-.extent (-1.0), extent 1.0)
+  end
+
+let sample rng body ~start ~steps = Hit_and_run.sample rng ~chord:(chord body) ~start ~steps
+
+let estimate_volume rng ?(samples_per_phase = 1500) ?steps body =
+  let d = body.dim in
+  let steps = match steps with Some s -> s | None -> Hit_and_run.default_steps ~dim:d in
+  let centre, r0 = body.inner in
+  let rq = body.outer in
+  let q =
+    if rq <= r0 then 0
+    else int_of_float (ceil (float_of_int d *. (log (rq /. r0) /. log 2.0)))
+  in
+  let radius i = r0 *. (2.0 ** (float_of_int i /. float_of_int d)) in
+  let product = ref 1.0 in
+  let start = ref (Vec.copy centre) in
+  for i = 1 to q do
+    let r_small = radius (i - 1) and r_big = Float.min rq (radius i) in
+    let phase_chord =
+      Hit_and_run.intersect_chords [ chord body; Hit_and_run.ball_chord ~centre ~radius:r_big ]
+    in
+    let hits = ref 0 in
+    for _ = 1 to samples_per_phase do
+      let p = Hit_and_run.sample rng ~chord:phase_chord ~start:!start ~steps in
+      start := p;
+      if Vec.dist p centre <= r_small then incr hits
+    done;
+    let ratio = Float.max (float_of_int !hits /. float_of_int samples_per_phase) 1e-9 in
+    product := !product /. ratio
+  done;
+  Volume.ball_volume ~dim:d ~radius:r0 *. !product

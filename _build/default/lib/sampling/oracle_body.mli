@@ -1,0 +1,36 @@
+(** Convex bodies given only by a membership oracle (§5 of the paper).
+
+    The Dyer–Frieze–Kannan generator needs nothing but a membership
+    oracle, so it extends beyond linear constraints: any convex set
+    defined by polynomial constraints (FO+POLY generalized tuples that
+    happen to be convex) is handled by the same machinery.  Chords are
+    recovered from the oracle by exponential search plus bisection,
+    after which hit-and-run and the multi-phase estimator run
+    unchanged. *)
+
+type t = {
+  dim : int;
+  mem : Vec.t -> bool; (* must describe a convex set *)
+  inner : Vec.t * float; (* a point and radius with B(c, r) ⊆ body *)
+  outer : float; (* body ⊆ B(c, outer) *)
+}
+
+val make : dim:int -> mem:(Vec.t -> bool) -> inner:Vec.t * float -> outer:float -> t
+(** Well-boundedness witnesses are required, exactly as in the paper. *)
+
+val ellipsoid : Mat.t -> t option
+(** The convex FO+POLY body [{x | xᵀ A x <= 1}] for symmetric positive
+    definite [A] — the running example of §5.  [None] if [A] is not
+    positive definite.  Exact volume: [ball_volume / sqrt(det A)]. *)
+
+val chord : t -> Hit_and_run.chord
+(** Oracle chord by doubling + bisection (24 oracle calls per end). *)
+
+val sample : Rng.t -> t -> start:Vec.t -> steps:int -> Vec.t
+(** Hit-and-run on the oracle body. *)
+
+val estimate_volume :
+  Rng.t -> ?samples_per_phase:int -> ?steps:int -> t -> float
+(** Multi-phase estimator over the oracle body: concentric-ball phases
+    from the inner witness to the outer radius, ratios by sampling —
+    the DFK scheme verbatim, against the oracle. *)

@@ -1,0 +1,25 @@
+type stats = { attempts : int; accepted : int }
+
+let sample rng ~lo ~hi ~mem ~max_attempts =
+  let rec go n =
+    if n >= max_attempts then None
+    else begin
+      let x = Rng.in_box rng lo hi in
+      if mem x then Some (x, n + 1) else go (n + 1)
+    end
+  in
+  go 0
+
+let sample_many rng ~lo ~hi ~mem ~count ~max_attempts =
+  let rec go acc accepted attempts =
+    if accepted >= count || attempts >= max_attempts then
+      (List.rev acc, { attempts; accepted })
+    else begin
+      let x = Rng.in_box rng lo hi in
+      if mem x then go (x :: acc) (accepted + 1) (attempts + 1)
+      else go acc accepted (attempts + 1)
+    end
+  in
+  go [] 0 0
+
+let acceptance_rate s = if s.attempts = 0 then 0.0 else float_of_int s.accepted /. float_of_int s.attempts

@@ -1,0 +1,81 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then invalid_arg "Stats.mean: empty accumulator";
+  t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+(* Inverse standard-normal CDF (Acklam's rational approximation),
+   accurate to ~1e-9 — plenty for confidence intervals. *)
+let inv_normal_cdf p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.inv_normal_cdf";
+  let a = [| -39.69683028665376; 220.9460984245205; -275.9285104469687; 138.3577518672690; -30.66479806614716; 2.506628277459239 |] in
+  let b = [| -54.47609879822406; 161.5858368580409; -155.6989798598866; 66.80131188771972; -13.28068155288572 |] in
+  let c = [| -0.007784894002430293; -0.3223964580411365; -2.400758277161838; -2.549732539343734; 4.374664141464968; 2.938163982698783 |] in
+  let d = [| 0.007784695709041462; 0.3224671290700398; 2.445134137142996; 3.754408661907416 |] in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+    +. c.(5)
+    |> fun num -> num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5)
+    |> fun num ->
+    num *. q /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+
+let confidence_interval t ~confidence =
+  if confidence <= 0.0 || confidence >= 1.0 then invalid_arg "Stats.confidence_interval";
+  let m = mean t in
+  if t.n < 2 then (m, m)
+  else begin
+    let z = inv_normal_cdf (1.0 -. ((1.0 -. confidence) /. 2.0)) in
+    let half = z *. stddev t /. sqrt (float_of_int t.n) in
+    (m -. half, m +. half)
+  end
+
+let hoeffding_radius ~n ~range ~delta =
+  if n <= 0 || range < 0.0 || delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Stats.hoeffding_radius";
+  range *. sqrt (log (2.0 /. delta) /. (2.0 *. float_of_int n))
+
+let quantile data q =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: out of range";
+  let sorted = Array.copy data in
+  Array.sort Float.compare sorted;
+  let idx = Stdlib.min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))) in
+  sorted.(idx)
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n) in
+    { n; mean; m2 }
+  end

@@ -1,0 +1,36 @@
+(** Streaming statistics and confidence intervals for estimator output.
+
+    Welford's online mean/variance plus normal-approximation and
+    Hoeffding intervals — what a user of the estimators needs to turn
+    raw sample streams into "volume = v ± w at 95%" statements. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two observations. *)
+
+val stddev : t -> float
+
+val confidence_interval : t -> confidence:float -> float * float
+(** Normal-approximation interval for the mean at the given confidence
+    level in (0,1) (e.g. 0.95).  @raise Invalid_argument on empty input
+    or a level outside (0,1). *)
+
+val hoeffding_radius : n:int -> range:float -> delta:float -> float
+(** Distribution-free half-width: [range·sqrt(ln(2/δ)/(2n))] for
+    observations confined to an interval of length [range]. *)
+
+val quantile : float array -> float -> float
+(** Empirical quantile (nearest-rank) of a non-empty array; the array is
+    not modified. @raise Invalid_argument on empty input or q outside
+    [0,1]. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel Welford). *)

@@ -1,0 +1,104 @@
+type sampler = Grid_walk | Hit_and_run
+
+type budget = Rigorous | Practical of int
+
+type report = {
+  volume : float;
+  phases : int;
+  samples_per_phase : int;
+  walk_steps : int;
+  rounding_ratio : float;
+}
+
+let rec ball_volume ~dim ~radius =
+  match dim with
+  | 0 -> 1.0
+  | 1 -> 2.0 *. radius
+  | d -> ball_volume ~dim:(d - 2) ~radius *. 2.0 *. Float.pi *. radius *. radius /. float_of_int d
+
+(* Sample one point of [poly ∩ B(0, radius)], warm-started. *)
+let phase_sample rng ~sampler ~poly ~radius ~walk_steps ~grid_gamma start =
+  match sampler with
+  | Hit_and_run ->
+      let chord =
+        Hit_and_run.intersect_chords
+          [ Hit_and_run.polytope_chord poly; Hit_and_run.ball_chord ~centre:(Vec.create (Polytope.dim poly)) ~radius ]
+      in
+      Hit_and_run.sample rng ~chord ~start ~steps:walk_steps
+  | Grid_walk ->
+      let dim = Polytope.dim poly in
+      let grid = Grid.step_for ~gamma:grid_gamma ~dim ~scale:radius in
+      let mem x = Polytope.mem poly x && Vec.norm x <= radius in
+      (* The origin is interior (inscribed unit ball), so its lattice
+         vertex is a valid start. *)
+      let start = if mem (Grid.round_to_grid grid start) then start else Vec.create dim in
+      Walk.sample rng ~grid ~mem ~start ~steps:walk_steps
+
+let estimate rng ?(eps = 0.25) ?(delta = 0.25) ?(sampler = Hit_and_run) ?(budget = Rigorous)
+    ?walk_steps ?rounding_rounds poly =
+  let d = Polytope.dim poly in
+  if d = 0 then Some { volume = 1.0; phases = 0; samples_per_phase = 0; walk_steps = 0; rounding_ratio = 1.0 }
+  else begin
+    match Rounding.round rng ?rounds:rounding_rounds poly with
+    | None -> None
+    | Some rounded ->
+        let body = rounded.Rounding.rounded in
+        let r0 = rounded.Rounding.r_inf and rq = rounded.Rounding.r_sup in
+        (* Radii rᵢ = r₀·2^{i/d} until the enclosing ball is covered:
+           each K_{i-1} ⊇ shrunk copy of K_i, so the ratio is ≥ 1/2. *)
+        let q =
+          if rq <= r0 then 0
+          else int_of_float (ceil (float_of_int d *. (log (rq /. r0) /. log 2.0)))
+        in
+        let radius i = r0 *. (2.0 ** (float_of_int i /. float_of_int d)) in
+        let samples_per_phase =
+          match budget with
+          | Practical n -> n
+          | Rigorous ->
+              if q = 0 then 0
+              else
+                (* Per-phase ratio target (1+ε)^{1/q} − 1 ≈ ε/q, each
+                   ratio is ≥ 1/2, and the per-phase failure budget is
+                   δ/q. *)
+                let eps_phase = eps /. (2.0 *. float_of_int q) in
+                Chernoff.samples_for_ratio ~eps:eps_phase ~delta:(delta /. float_of_int q)
+                  ~p_lower:0.5
+        in
+        let walk_steps =
+          match walk_steps with
+          | Some s -> s
+          | None -> (
+              match sampler with
+              | Hit_and_run -> Hit_and_run.default_steps ~dim:d
+              | Grid_walk -> Walk.default_steps ~dim:d ~eps)
+        in
+        let product = ref 1.0 in
+        let start = ref (Vec.create d) in
+        for i = 1 to q do
+          let r_small = radius (i - 1) and r_big = Float.min rq (radius i) in
+          let hits = ref 0 in
+          for _ = 1 to samples_per_phase do
+            let p =
+              phase_sample rng ~sampler ~poly:body ~radius:r_big ~walk_steps ~grid_gamma:eps !start
+            in
+            start := p;
+            if Vec.norm p <= r_small then incr hits
+          done;
+          let ratio =
+            if samples_per_phase = 0 then 1.0
+            else Float.max (float_of_int !hits /. float_of_int samples_per_phase) 1e-9
+          in
+          product := !product /. ratio
+        done;
+        let inner = ball_volume ~dim:d ~radius:r0 in
+        let vol_rounded = inner *. !product in
+        let volume = vol_rounded /. Affine.volume_scale rounded.Rounding.transform in
+        Some
+          {
+            volume;
+            phases = q;
+            samples_per_phase;
+            walk_steps;
+            rounding_ratio = Rounding.aspect_ratio rounded;
+          }
+  end

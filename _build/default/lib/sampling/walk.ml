@@ -1,0 +1,45 @@
+type oracle = Vec.t -> bool
+
+let default_steps ~dim ~eps =
+  let d = float_of_int dim in
+  int_of_float (Float.max 200.0 (8.0 *. d *. d *. d *. log (1.0 /. eps)))
+
+let step rng grid mem current =
+  (* Lazy symmetric walk: stay with probability 1/2, otherwise try a
+     uniformly random lattice neighbour and move only if it remains in
+     the body. *)
+  if Rng.bool rng then current
+  else begin
+    let dim = (grid : Grid.t).dim in
+    let coord = Rng.int rng dim in
+    let delta = if Rng.bool rng then 1 else -1 in
+    let candidate = Array.copy current in
+    candidate.(coord) <- candidate.(coord) + delta;
+    if mem (Grid.to_point grid candidate) then candidate else current
+  end
+
+let walk rng ~grid ~mem ~start ~steps =
+  if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.walk: start outside the body";
+  let current = ref start in
+  for _ = 1 to steps do
+    current := step rng grid mem !current
+  done;
+  !current
+
+let sample rng ~grid ~mem ~start ~steps =
+  let start_idx = Grid.of_point grid start in
+  Grid.to_point grid (walk rng ~grid ~mem ~start:start_idx ~steps)
+
+let sample_polytope rng ~grid poly ~start ~steps =
+  sample rng ~grid ~mem:(fun x -> Polytope.mem poly x) ~start ~steps
+
+let trajectory rng ~grid ~mem ~start ~steps =
+  if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.trajectory: start outside the body";
+  let rec go acc current n =
+    if n = 0 then acc
+    else begin
+      let next = step rng grid mem current in
+      go (next :: acc) next (n - 1)
+    end
+  in
+  go [ start ] start steps

@@ -1,0 +1,33 @@
+(** The Dyer–Frieze–Kannan lattice walk.
+
+    Lazy simple random walk on the graph induced by a γ-grid on a
+    convex body, driven by a membership oracle only.  Transition
+    probabilities are symmetric ([1/(4d)] to each of the [2d] lattice
+    neighbours that stay inside, laziness [1/2]), so the stationary
+    distribution is exactly uniform on the vertex set; rapid mixing on
+    well-rounded bodies is the DFK theorem this repository measures in
+    experiment E2. *)
+
+type oracle = Vec.t -> bool
+
+val default_steps : dim:int -> eps:float -> int
+(** Practical mixing schedule [O(d³ ln(1/ε))] (the d¹⁹ of the original
+    analysis is a worst-case bound, not a recipe). *)
+
+val walk :
+  Rng.t -> grid:Grid.t -> mem:oracle -> start:int array -> steps:int -> int array
+(** Final lattice vertex after [steps] transitions.  The start vertex
+    must satisfy the oracle. @raise Invalid_argument otherwise. *)
+
+val sample :
+  Rng.t -> grid:Grid.t -> mem:oracle -> start:Vec.t -> steps:int -> Vec.t
+(** [walk] wrapped to float points: rounds [start] to the grid and
+    returns the final vertex as a point. *)
+
+val sample_polytope :
+  Rng.t -> grid:Grid.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
+(** Specialization with the polytope membership oracle. *)
+
+val trajectory :
+  Rng.t -> grid:Grid.t -> mem:oracle -> start:int array -> steps:int -> int array list
+(** All visited vertices (for mixing diagnostics), most recent first. *)

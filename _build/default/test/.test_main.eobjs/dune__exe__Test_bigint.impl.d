@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint List QCheck QCheck_alcotest String

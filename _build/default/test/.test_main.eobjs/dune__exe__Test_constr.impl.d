@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Atom Dnf Format Formula Fun Lexer List Option Parser QCheck QCheck_alcotest Rational Relation Scdb_qe Scdb_rng Term Vec

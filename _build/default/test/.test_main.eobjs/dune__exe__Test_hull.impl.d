@@ -1,0 +1,1 @@
+test/test_hull.ml: Alcotest Array Float List Option QCheck QCheck_alcotest Relation Scdb_hull Scdb_rng Vec

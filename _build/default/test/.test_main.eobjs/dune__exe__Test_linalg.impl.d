@@ -1,0 +1,1 @@
+test/test_linalg.ml: Affine Alcotest Array Exact_mat Float Mat Option QCheck QCheck_alcotest Rational Scdb_rng Vec

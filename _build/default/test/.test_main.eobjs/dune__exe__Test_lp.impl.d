@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Option QCheck QCheck_alcotest Rational Scdb_lp Scdb_rng Vec

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_bigint Test_constr Test_core Test_gis Test_hull Test_linalg Test_lp Test_polytope Test_qe Test_rational Test_rng Test_sampling

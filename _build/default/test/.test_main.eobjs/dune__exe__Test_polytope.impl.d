@@ -1,0 +1,1 @@
+test/test_polytope.ml: Affine Alcotest Array Atom Float Fun List Mat Option Parser Printf QCheck QCheck_alcotest Rational Relation Scdb_polytope Scdb_rng Term Vec

@@ -1,0 +1,1 @@
+test/test_qe.ml: Alcotest Atom Dnf Formula List Parser QCheck QCheck_alcotest Rational Relation Scdb_lp Scdb_polytope Scdb_qe Scdb_rng Term

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Affine Alcotest Array Atom Float List Mat Option Printf Rational Relation Scdb_polytope Scdb_rng Scdb_sampling Term Vec

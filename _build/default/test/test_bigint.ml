@@ -1,0 +1,110 @@
+(* Unit and property tests for arbitrary-precision integers. *)
+
+module B = Bigint
+
+let check_str msg expected actual = Alcotest.(check string) msg expected actual
+
+(* Generator: random decimal string of up to [digits] digits. *)
+let arbitrary_bigint digits =
+  let gen =
+    QCheck.Gen.(
+      let* len = 1 -- digits in
+      let* sign = bool in
+      let* first = 1 -- 9 in
+      let* rest = list_size (pure (len - 1)) (0 -- 9) in
+      let s = String.concat "" (List.map string_of_int (first :: rest)) in
+      pure (B.of_string (if sign then "-" ^ s else s)))
+  in
+  QCheck.make ~print:B.to_string gen
+
+let big = arbitrary_bigint 40
+let pair = QCheck.pair big big
+
+let t name f = Alcotest.test_case name `Quick f
+
+let qt ?(count = 300) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let unit_tests =
+  [
+    t "zero" (fun () -> check_str "0" "0" (B.to_string B.zero));
+    t "of_int round trip" (fun () ->
+        List.iter
+          (fun i -> Alcotest.(check int) "round" i (B.to_int (B.of_int i)))
+          [ 0; 1; -1; 42; -12345; max_int / 2; -(max_int / 2) ]);
+    t "min_int" (fun () ->
+        Alcotest.(check string) "min_int" (string_of_int min_int) (B.to_string (B.of_int min_int)));
+    t "of_string normalizes leading zeros" (fun () ->
+        check_str "7" "7" (B.to_string (B.of_string "0007"));
+        check_str "-7" "-7" (B.to_string (B.of_string "-0007"));
+        check_str "0" "0" (B.to_string (B.of_string "000")));
+    t "of_string rejects garbage" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty") (fun () ->
+            ignore (B.of_string ""));
+        (try
+           ignore (B.of_string "12a3");
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    t "pow" (fun () ->
+        check_str "2^100" "1267650600228229401496703205376" (B.to_string (B.pow B.two 100));
+        check_str "x^0" "1" (B.to_string (B.pow (B.of_int 999) 0)));
+    t "pow negative exponent" (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+            ignore (B.pow B.two (-1))));
+    t "factorial 30" (fun () ->
+        let rec fact n = if n = 0 then B.one else B.mul (B.of_int n) (fact (n - 1)) in
+        check_str "30!" "265252859812191058636308480000000" (B.to_string (fact 30)));
+    t "division by zero" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () -> ignore (B.divmod B.one B.zero)));
+    t "shifts" (fun () ->
+        check_str "1<<70" (B.to_string (B.pow B.two 70)) (B.to_string (B.shift_left B.one 70));
+        check_str "back" "1" (B.to_string (B.shift_right (B.shift_left B.one 70) 70)));
+    t "num_bits" (fun () ->
+        Alcotest.(check int) "bits of 0" 0 (B.num_bits B.zero);
+        Alcotest.(check int) "bits of 1" 1 (B.num_bits B.one);
+        Alcotest.(check int) "bits of 2^70" 71 (B.num_bits (B.pow B.two 70)));
+    t "to_int overflow detected" (fun () ->
+        Alcotest.(check (option int)) "none" None (B.to_int_opt (B.pow B.two 100)));
+    t "gcd and lcm" (fun () ->
+        check_str "gcd" "6" (B.to_string (B.gcd (B.of_int 54) (B.of_int (-24))));
+        check_str "lcm" "216" (B.to_string (B.lcm (B.of_int 54) (B.of_int 24)));
+        check_str "gcd00" "0" (B.to_string (B.gcd B.zero B.zero)));
+    t "to_float" (fun () ->
+        Alcotest.(check (float 1e-6)) "float" 1e30 (B.to_float (B.of_string "1000000000000000000000000000000")));
+  ]
+
+let property_tests =
+  [
+    qt "string round trip" big (fun a -> B.equal a (B.of_string (B.to_string a)));
+    qt "add commutes" pair (fun (a, b) -> B.equal (B.add a b) (B.add b a));
+    qt "add/sub inverse" pair (fun (a, b) -> B.equal a (B.sub (B.add a b) b));
+    qt "mul commutes" pair (fun (a, b) -> B.equal (B.mul a b) (B.mul b a));
+    qt "mul distributes" (QCheck.triple big big big) (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    qt "divmod invariant" pair (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r) && B.compare (B.abs r) (B.abs b) < 0);
+    qt "ediv_rem non-negative remainder" pair (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let q, r = B.ediv_rem a b in
+        B.equal a (B.add (B.mul q b) r) && B.sign r >= 0 && B.compare r (B.abs b) < 0);
+    qt "gcd divides both" pair (fun (a, b) ->
+        QCheck.assume (not (B.is_zero a) || not (B.is_zero b));
+        let g = B.gcd a b in
+        B.is_zero (B.rem a g) && B.is_zero (B.rem b g));
+    qt "compare total order vs sub sign" pair (fun (a, b) ->
+        compare (B.compare a b) 0 = compare (B.sign (B.sub a b)) 0);
+    qt "neg involutive" big (fun a -> B.equal a (B.neg (B.neg a)));
+    qt "abs non-negative" big (fun a -> B.sign (B.abs a) >= 0);
+    qt "karatsuba agrees with small mult" (QCheck.pair (arbitrary_bigint 120) (arbitrary_bigint 120))
+      (fun (a, b) ->
+        (* Cross-check big multiplication against the sum-of-shifts definition. *)
+        let expected = B.mul a b in
+        let via_string = B.of_string (B.to_string expected) in
+        B.equal expected via_string && B.equal (B.div expected (if B.is_zero b then B.one else b)) (if B.is_zero b then B.zero else a));
+    qt "shift_left is doubling" big (fun a -> B.equal (B.shift_left a 3) (B.mul a (B.of_int 8)));
+    qt "succ/pred" big (fun a -> B.equal a (B.pred (B.succ a)));
+  ]
+
+let suites = [ ("bigint", unit_tests @ property_tests) ]

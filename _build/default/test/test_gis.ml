@@ -1,0 +1,394 @@
+(* Tests for the GIS application layer: schemas, instances, query
+   language, evaluation strategies and aggregates. *)
+
+open Scdb_gis
+module VE = Scdb_polytope.Volume_exact
+module Rng = Scdb_rng.Rng
+module Q = Rational
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let q = Q.of_int
+let cfg = Scdb_core.Convex_obs.practical_config
+
+let schema_tests =
+  [
+    t "add and lookup" (fun () ->
+        let s = Schema.of_list [ ("R", 2); ("S", 3) ] in
+        Alcotest.(check (option int)) "R" (Some 2) (Schema.arity s "R");
+        Alcotest.(check (option int)) "missing" None (Schema.arity s "T");
+        Alcotest.(check (list string)) "names" [ "R"; "S" ] (Schema.names s));
+    t "duplicates and bad arity rejected" (fun () ->
+        List.iter
+          (fun f -> try ignore (f ()); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> ())
+          [
+            (fun () -> Schema.of_list [ ("R", 2); ("R", 2) ]);
+            (fun () -> Schema.of_list [ ("R", 0) ]);
+          ]);
+  ]
+
+let instance_tests =
+  [
+    t "set and get" (fun () ->
+        let s = Schema.of_list [ ("R", 2) ] in
+        let i = Instance.set (Instance.create s) "R" (Relation.unit_cube 2) in
+        Alcotest.(check bool) "present" true (Option.is_some (Instance.get i "R"));
+        Alcotest.(check (list string)) "names" [ "R" ] (Instance.names i));
+    t "arity mismatch rejected" (fun () ->
+        let s = Schema.of_list [ ("R", 2) ] in
+        try
+          ignore (Instance.set (Instance.create s) "R" (Relation.unit_cube 3));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "unknown name rejected" (fun () ->
+        let s = Schema.of_list [ ("R", 2) ] in
+        try
+          ignore (Instance.set (Instance.create s) "S" (Relation.unit_cube 2));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+let schema2 = Schema.of_list [ ("R", 2); ("S", 2); ("T", 1) ]
+
+let inst2 =
+  let i = Instance.create schema2 in
+  let i = Instance.set i "R" (Relation.box [| q 0; q 0 |] [| q 2; q 1 |]) in
+  let i = Instance.set i "S" (Relation.box [| q 1; q 0 |] [| q 3; q 1 |]) in
+  Instance.set i "T" (Relation.box [| q 0 |] [| q 1 |])
+
+let query_tests =
+  [
+    t "parse relation atoms" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ S(x, y)" in
+        Alcotest.(check (list string)) "names" [ "R"; "S" ] (Query.relation_names query);
+        Alcotest.(check (list int)) "free" [ 0; 1 ] (Query.free_vars query));
+    t "parse mixes constraints and atoms" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ x + y <= 1" in
+        Alcotest.(check bool) "pe" true (Query.is_positive_existential query));
+    t "negation detected" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ ~S(x, y)" in
+        Alcotest.(check bool) "not pe" false (Query.is_positive_existential query));
+    t "quantifier introduces fresh variable" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x" ] "exists y. R(x, y)" in
+        Alcotest.(check (list int)) "free" [ 0 ] (Query.free_vars query);
+        Alcotest.(check int) "max var" 1 (Query.max_var query));
+    t "arity errors at parse time" (fun () ->
+        try
+          ignore (Query.parse ~schema:schema2 ~vars:[ "x" ] "R(x)");
+          Alcotest.fail "expected Parse_error"
+        with Parser.Parse_error _ -> ());
+    t "unknown relation at parse time" (fun () ->
+        try
+          ignore (Query.parse ~schema:schema2 ~vars:[ "x" ] "Zzz(x)");
+          Alcotest.fail "expected Parse_error"
+        with Parser.Parse_error _ -> ());
+    t "well_formed double-checks programmatic queries" (fun () ->
+        let bad = Query.rel "R" [ 0 ] in
+        Alcotest.(check bool) "error" true (Result.is_error (Query.well_formed schema2 bad)));
+  ]
+
+let eval_tests =
+  [
+    t "repeated argument R(x,x) restricts to the diagonal" (fun () ->
+        (* R = [0,2]x[0,1]; R(x,x) holds iff 0 <= x <= 1 *)
+        let query = Query.rel "R" [ 0; 0 ] in
+        let f = Eval.unfold inst2 query in
+        Alcotest.(check bool) "0.5 in" true (Formula.eval f [| Q.of_ints 1 2 |]);
+        Alcotest.(check bool) "1.5 out" false (Formula.eval f [| Q.of_ints 3 2 |]));
+    t "query pretty printer mentions relation names" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ ~S(x, y)" in
+        let s = Format.asprintf "%a" Query.pp query in
+        Alcotest.(check bool) "has R" true (String.length s > 0 && String.index_opt s 'R' <> None);
+        Alcotest.(check bool) "has S" true (String.index_opt s 'S' <> None));
+    t "unfold fails on unpopulated relation" (fun () ->
+        let inst = Instance.create schema2 in
+        try
+          ignore (Eval.unfold inst (Query.rel "R" [ 0; 1 ]));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "coverage rejects mismatched window" (fun () ->
+        let rng = Rng.create 0 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y)" in
+        let window = Relation.unit_cube 3 in
+        Alcotest.(check bool) "error" true
+          (Result.is_error
+             (Aggregate.coverage rng inst2 ~free_dim:2 Aggregate.Exact ~window query)));
+    t "unfold renames relation variables" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(y, x)" in
+        let f = Eval.unfold inst2 query in
+        (* R(y,x): y ranges over [0,2], x over [0,1] *)
+        Alcotest.(check bool) "in" true (Formula.eval f [| q 1; q 2 |]);
+        Alcotest.(check bool) "out" false (Formula.eval f [| q 2; q 1 |]));
+    t "symbolic evaluation: intersection area" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ S(x, y)" in
+        let r = Eval.symbolic inst2 ~free_dim:2 query in
+        Alcotest.(check string) "area 1" "1" (Q.to_string (VE.volume_relation r)));
+    t "symbolic evaluation: projection" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x" ] "exists y. R(x, y) /\\ y <= 1/2" in
+        let r = Eval.symbolic inst2 ~free_dim:1 query in
+        Alcotest.(check string) "length 2" "2" (Q.to_string (VE.volume_relation r)));
+    ts "approximate volume matches symbolic (union query)" (fun () ->
+        let rng = Rng.create 40 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) \\/ S(x, y)" in
+        let exact = Q.to_float (VE.volume_relation (Eval.symbolic inst2 ~free_dim:2 query)) in
+        match Eval.compile ~config:cfg rng inst2 ~free_dim:2 query with
+        | Error e -> Alcotest.fail e
+        | Ok o ->
+            let approx = Scdb_core.Observable.volume o rng ~eps:0.2 ~delta:0.2 in
+            Alcotest.(check bool)
+              (Printf.sprintf "exact=%.2f approx=%.2f" exact approx)
+              true
+              (Float.abs (approx -. exact) /. exact < 0.2));
+    ts "approximate volume matches symbolic (existential query)" (fun () ->
+        let rng = Rng.create 41 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x" ] "exists y. R(x, y)" in
+        let exact = Q.to_float (VE.volume_relation (Eval.symbolic inst2 ~free_dim:1 query)) in
+        match Eval.compile ~config:cfg rng inst2 ~free_dim:1 query with
+        | Error e -> Alcotest.fail e
+        | Ok o ->
+            let approx = Scdb_core.Observable.volume o rng ~eps:0.25 ~delta:0.25 in
+            Alcotest.(check bool)
+              (Printf.sprintf "exact=%.2f approx=%.2f" exact approx)
+              true
+              (Float.abs (approx -. exact) /. exact < 0.25));
+    ts "guarded difference compiles" (fun () ->
+        let rng = Rng.create 42 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ ~S(x, y)" in
+        match Eval.compile ~config:cfg rng inst2 ~free_dim:2 query with
+        | Error e -> Alcotest.fail e
+        | Ok o ->
+            let v = Scdb_core.Observable.volume o rng ~eps:0.2 ~delta:0.2 in
+            Alcotest.(check bool) "area 1" true (Float.abs (v -. 1.0) < 0.25));
+    t "difference under quantifier rejected" (fun () ->
+        let rng = Rng.create 0 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x" ] "exists y. R(x, y) /\\ ~S(x, y)" in
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Eval.compile ~config:cfg rng inst2 ~free_dim:1 query)));
+    t "universal quantification rejected" (fun () ->
+        let rng = Rng.create 0 in
+        let query = Query.neg (Query.exists [ 1 ] (Query.neg (Query.rel "R" [ 0; 1 ]))) in
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Eval.compile ~config:cfg rng inst2 ~free_dim:1 query)));
+    ts "reconstruction of a positive existential query" (fun () ->
+        let rng = Rng.create 43 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) \\/ S(x, y)" in
+        match Eval.reconstruct ~config:cfg ~samples_per_piece:100 rng inst2 ~free_dim:2 query with
+        | Error e -> Alcotest.fail e
+        | Ok rec_set ->
+            let reference x =
+              Relation.mem_float (Eval.symbolic inst2 ~free_dim:2 query) x
+            in
+            let sd =
+              Scdb_core.Reconstruct.symmetric_difference_mc rng ~samples:5000 rec_set reference
+                ~lo:[| 0.; 0. |] ~hi:[| 3.; 1. |]
+            in
+            Alcotest.(check bool) (Printf.sprintf "sd=%.3f" sd) true (sd < 0.45));
+    t "reconstruction rejects negation" (fun () ->
+        let rng = Rng.create 0 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ ~S(x, y)" in
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Eval.reconstruct rng inst2 ~free_dim:2 query)));
+  ]
+
+let aggregate_tests =
+  [
+    t "exact area of query" (fun () ->
+        let rng = Rng.create 44 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ S(x, y)" in
+        match Aggregate.volume rng inst2 ~free_dim:2 Aggregate.Exact query with
+        | Ok v -> Alcotest.(check (float 1e-9)) "area" 1.0 v
+        | Error e -> Alcotest.fail e);
+    t "grid area of query" (fun () ->
+        let rng = Rng.create 45 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) \\/ S(x, y)" in
+        match Aggregate.volume rng inst2 ~free_dim:2 (Aggregate.Grid 0.05) query with
+        | Ok v -> Alcotest.(check bool) "area 3" true (Float.abs (v -. 3.0) < 0.15)
+        | Error e -> Alcotest.fail e);
+    ts "sampling area of query" (fun () ->
+        let rng = Rng.create 46 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y)" in
+        match
+          Aggregate.volume ~config:cfg rng inst2 ~free_dim:2
+            (Aggregate.Sampling { eps = 0.2; delta = 0.2 }) query
+        with
+        | Ok v -> Alcotest.(check bool) "area 2" true (Float.abs (v -. 2.0) < 0.4)
+        | Error e -> Alcotest.fail e);
+    t "coverage fraction" (fun () ->
+        let rng = Rng.create 47 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y)" in
+        let window = Relation.box [| q 0; q 0 |] [| q 4; q 1 |] in
+        match Aggregate.coverage rng inst2 ~free_dim:2 Aggregate.Exact ~window query with
+        | Ok f -> Alcotest.(check (float 1e-9)) "half" 0.5 f
+        | Error e -> Alcotest.fail e);
+    ts "average aggregate" (fun () ->
+        let rng = Rng.create 48 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y)" in
+        match
+          Aggregate.average ~config:cfg rng inst2 ~free_dim:2 ~samples:400 query ~f:(fun p -> p.(0))
+        with
+        | Ok m -> Alcotest.(check bool) "mean x = 1" true (Float.abs (m -. 1.0) < 0.15)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let synth_tests =
+  [
+    t "parcels are inside their cells and disjoint" (fun () ->
+        let rng = Rng.create 49 in
+        let parcels = Synth.parcel_grid rng ~rows:2 ~cols:2 ~cell:1.0 ~jitter:0.05 in
+        Alcotest.(check int) "count" 4 (List.length parcels);
+        (* disjointness: exact volume of union = sum of volumes *)
+        let union = List.fold_left Relation.union (List.hd parcels) (List.tl parcels) in
+        let sum =
+          List.fold_left (fun acc p -> Q.add acc (VE.volume_relation p)) Q.zero parcels
+        in
+        Alcotest.(check string) "disjoint" (Q.to_string sum)
+          (Q.to_string (VE.volume_relation union)));
+    t "road has expected area" (fun () ->
+        let r = Synth.road ~from:(0.0, 0.0) ~to_:(3.0, 4.0) ~width:0.5 in
+        (* length 5, width 0.5 -> area 2.5 *)
+        let v = Q.to_float (VE.volume_relation r) in
+        Alcotest.(check (float 1e-6)) "area" 2.5 v);
+    t "elevation prism volume = base area * height" (fun () ->
+        let base = Relation.box [| q 0; q 0 |] [| q 2; q 1 |] in
+        let prism = Synth.elevation_prism ~base ~height:(Q.of_ints 3 2) in
+        Alcotest.(check string) "volume 3" "3" (Q.to_string (VE.volume_relation prism)));
+    t "land use instance is fully populated" (fun () ->
+        let rng = Rng.create 50 in
+        let inst = Synth.land_use_instance rng ~extent:9.0 in
+        List.iter
+          (fun name ->
+            Alcotest.(check bool) name true (Option.is_some (Instance.get inst name)))
+          [ "Parcels"; "Lakes"; "Roads"; "Terrain" ]);
+  ]
+
+
+let svg_tests =
+  [
+    t "render produces well-formed-ish svg" (fun () ->
+        let r = Relation.box [| q 0; q 0 |] [| q 1; q 1 |] in
+        let doc =
+          Svg.render ~width:200 ~height:100 ~lo:[| -1.0; -1.0 |] ~hi:[| 2.0; 2.0 |]
+            [
+              Svg.relation r;
+              Svg.points ~colour:"#ff0000" [ [| 0.5; 0.5 |] ];
+              Svg.polygon [ [| 0.0; 0.0 |]; [| 1.0; 0.0 |]; [| 0.5; 1.0 |] ];
+            ]
+        in
+        Alcotest.(check bool) "svg open" true (String.length doc > 0 && String.sub doc 0 4 = "<svg");
+        let contains needle =
+          let n = String.length needle and m = String.length doc in
+          let rec go i = i + n <= m && (String.sub doc i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "polygon" true (contains "<polygon");
+        Alcotest.(check bool) "circle" true (contains "<circle");
+        Alcotest.(check bool) "closed" true (contains "</svg>"));
+    t "y axis is flipped (north up)" (fun () ->
+        let doc =
+          Svg.render ~width:100 ~height:100 ~lo:[| 0.0; 0.0 |] ~hi:[| 1.0; 1.0 |]
+            [ Svg.points [ [| 0.0; 1.0 |] ] ]
+        in
+        (* world (0,1) must land at pixel y=0 *)
+        let contains needle =
+          let n = String.length needle and m = String.length doc in
+          let rec go i = i + n <= m && (String.sub doc i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "top" true (contains "cy=\"0.00\""));
+    t "non-2d relation rejected" (fun () ->
+        try
+          ignore (Svg.relation (Relation.unit_cube 3));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+
+let planner_tests =
+  [
+    t "low-dimension quantifier-free query plans exact" (fun () ->
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y)" in
+        let est = Planner.plan inst2 ~free_dim:2 query in
+        Alcotest.(check bool) "exact" true (est.Planner.strategy = Planner.Use_exact));
+    t "many quantified variables plan sampling" (fun () ->
+        (* build exists-heavy query programmatically: exists 5 vars over R plus constraints *)
+        let body =
+          Query.conj
+            (Query.rel "R" [ 0; 1 ]
+            :: List.init 5 (fun i ->
+                   Query.constr (Atom.le (Term.var (2 + i)) (Term.var 0))))
+        in
+        let query = Query.exists [ 2; 3; 4; 5; 6 ] body in
+        let est = Planner.plan inst2 ~free_dim:2 query in
+        (match est.Planner.strategy with
+        | Planner.Use_sampling _ -> ()
+        | Planner.Use_exact -> Alcotest.fail "expected sampling, got exact"
+        | Planner.Use_grid _ -> Alcotest.fail "expected sampling, got grid"));
+    t "cost model monotone in quantifiers" (fun () ->
+        let base = Query.rel "R" [ 0; 1 ] in
+        let q1 = Query.exists [ 2 ] (Query.conj [ base; Query.constr (Atom.le (Term.var 2) (Term.var 0)) ]) in
+        let c0 = Planner.cost_exact inst2 ~free_dim:2 base in
+        let c1 = Planner.cost_exact inst2 ~free_dim:2 q1 in
+        Alcotest.(check bool) "monotone" true (c1 > c0));
+    ts "run executes the chosen plan" (fun () ->
+        let rng = Rng.create 70 in
+        let query = Query.parse ~schema:schema2 ~vars:[ "x"; "y" ] "R(x, y) /\\ S(x, y)" in
+        match Planner.run rng inst2 ~free_dim:2 query with
+        | Ok (v, est) ->
+            Alcotest.(check bool) ("cost " ^ est.Planner.reason) true (est.Planner.predicted_cost > 0.0);
+            Alcotest.(check bool) "value near 1" true (Float.abs (v -. 1.0) < 0.25)
+        | Error e -> Alcotest.fail e);
+  ]
+
+
+let wkt_tests =
+  [
+    t "export square and re-import" (fun () ->
+        let r = Relation.box [| q 0; q 0 |] [| q 2; q 1 |] in
+        let wkt = Wkt.of_relation r in
+        Alcotest.(check bool) "POLYGON" true (String.length wkt >= 7 && String.sub wkt 0 7 = "POLYGON");
+        match Wkt.to_relation wkt with
+        | Error e -> Alcotest.fail e
+        | Ok r' ->
+            List.iter
+              (fun (a, b) ->
+                let x = [| Q.of_ints a 2; Q.of_ints b 2 |] in
+                Alcotest.(check bool) "same membership" (Relation.mem r x) (Relation.mem r' x))
+              [ (1, 1); (3, 1); (5, 1); (-1, 0); (4, 3) ]);
+    t "multipolygon round trip" (fun () ->
+        let r =
+          Relation.union
+            (Relation.box [| q 0; q 0 |] [| q 1; q 1 |])
+            (Relation.box [| q 3; q 0 |] [| q 4; q 1 |])
+        in
+        let wkt = Wkt.of_relation r in
+        Alcotest.(check bool) "MULTI" true (String.sub wkt 0 12 = "MULTIPOLYGON");
+        match Wkt.to_relation wkt with
+        | Error e -> Alcotest.fail e
+        | Ok r' -> Alcotest.(check int) "two tuples" 2 (List.length (Relation.tuples r')));
+    t "empty relation" (fun () ->
+        Alcotest.(check string) "empty" "POLYGON EMPTY" (Wkt.of_relation (Relation.make ~dim:2 []));
+        match Wkt.to_relation "POLYGON EMPTY" with
+        | Ok r -> Alcotest.(check bool) "empty back" true (Relation.is_syntactically_empty r)
+        | Error e -> Alcotest.fail e);
+    t "non-convex ring rejected" (fun () ->
+        let wkt = "POLYGON ((0 0, 4 0, 4 4, 2 1, 0 4, 0 0))" in
+        Alcotest.(check bool) "error" true (Result.is_error (Wkt.to_relation wkt)));
+    t "garbage rejected" (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check bool) s true (Result.is_error (Wkt.to_relation s)))
+          [ "CIRCLE (0 0, 1)"; "POLYGON ((0 0, 1 1))"; "POLYGON ((0 0, 1 0, 0 1, 0 0"; "" ]);
+  ]
+
+let suites =
+  [
+    ("gis.schema", schema_tests);
+    ("gis.instance", instance_tests);
+    ("gis.query", query_tests);
+    ("gis.eval", eval_tests);
+    ("gis.aggregate", aggregate_tests);
+    ("gis.synth", synth_tests);
+    ("gis.svg", svg_tests);
+    ("gis.planner", planner_tests);
+    ("gis.wkt", wkt_tests);
+  ]

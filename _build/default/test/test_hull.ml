@@ -1,0 +1,101 @@
+(* Tests for planar hulls and LP-based implicit hulls. *)
+
+module H2 = Scdb_hull.Hull2d
+module HL = Scdb_hull.Hull_lp
+module Rng = Scdb_rng.Rng
+
+let t name f = Alcotest.test_case name `Quick f
+
+let qt ?(count = 80) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let hull2d_tests =
+  [
+    t "square hull" (fun () ->
+        let pts =
+          [ [| 0.; 0. |]; [| 1.; 0. |]; [| 1.; 1. |]; [| 0.; 1. |]; [| 0.5; 0.5 |]; [| 0.2; 0.8 |] ]
+        in
+        let h = H2.hull pts in
+        Alcotest.(check int) "4 vertices" 4 (List.length h);
+        Alcotest.(check (float 1e-9)) "area" 1.0 (H2.area pts));
+    t "collinear points collapse" (fun () ->
+        let pts = [ [| 0.; 0. |]; [| 1.; 1. |]; [| 2.; 2. |]; [| 3.; 3. |] ] in
+        Alcotest.(check (float 1e-9)) "area 0" 0.0 (H2.area pts);
+        Alcotest.(check bool) "mem middle" true (H2.mem pts [| 1.5; 1.5 |]);
+        Alcotest.(check bool) "mem off" false (H2.mem pts [| 1.5; 1.6 |]));
+    t "few points" (fun () ->
+        Alcotest.(check int) "empty" 0 (List.length (H2.hull []));
+        Alcotest.(check int) "single" 1 (List.length (H2.hull [ [| 1.; 2. |] ]));
+        Alcotest.(check bool) "single mem" true (H2.mem [ [| 1.; 2. |] ] [| 1.; 2. |]));
+    t "duplicates removed" (fun () ->
+        let pts = [ [| 0.; 0. |]; [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |] ] in
+        Alcotest.(check int) "3 vertices" 3 (List.length (H2.hull pts)));
+    t "to_relation round trip" (fun () ->
+        let pts = [ [| 0.; 0. |]; [| 2.; 0. |]; [| 0.; 2. |] ] in
+        match H2.to_relation pts with
+        | Some r ->
+            Alcotest.(check bool) "inside" true (Relation.mem_float r [| 0.5; 0.5 |]);
+            Alcotest.(check bool) "outside" false (Relation.mem_float r [| 1.5; 1.5 |])
+        | None -> Alcotest.fail "expected relation");
+    t "degenerate to_tuple is none" (fun () ->
+        Alcotest.(check bool) "none" true (Option.is_none (H2.to_tuple [ [| 0.; 0. |]; [| 1.; 1. |] ])));
+    qt "hull contains all input points" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
+        let rng = Rng.create seed in
+        let pts = List.init (3 + Rng.int rng 30) (fun _ -> [| Rng.uniform rng (-5.) 5.; Rng.uniform rng (-5.) 5. |]) in
+        List.for_all (fun p -> H2.mem pts p) pts);
+    qt "hull area monotone under extra points" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
+        let rng = Rng.create seed in
+        let pts = List.init (4 + Rng.int rng 20) (fun _ -> [| Rng.uniform rng (-5.) 5.; Rng.uniform rng (-5.) 5. |]) in
+        let extra = [| Rng.uniform rng (-5.) 5.; Rng.uniform rng (-5.) 5. |] in
+        H2.area (extra :: pts) >= H2.area pts -. 1e-9);
+  ]
+
+let hull_lp_tests =
+  [
+    t "tetrahedron membership" (fun () ->
+        let h =
+          HL.of_points [| [| 0.; 0.; 0. |]; [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |] |]
+        in
+        Alcotest.(check bool) "inside" true (HL.mem h [| 0.2; 0.2; 0.2 |]);
+        Alcotest.(check bool) "vertex" true (HL.mem h [| 1.; 0.; 0. |]);
+        Alcotest.(check bool) "outside" false (HL.mem h [| 0.5; 0.5; 0.5 |]));
+    t "empty input rejected" (fun () ->
+        try
+          ignore (HL.of_points [||]);
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "bounding box" (fun () ->
+        let h = HL.of_points [| [| 0.; 3. |]; [| 2.; -1. |] |] in
+        let lo, hi = HL.bounding_box h in
+        Alcotest.(check bool) "lo" true (Vec.equal_eps 1e-12 [| 0.; -1. |] lo);
+        Alcotest.(check bool) "hi" true (Vec.equal_eps 1e-12 [| 2.; 3. |] hi));
+    t "volume_mc of simplex corners" (fun () ->
+        let rng = Rng.create 9 in
+        let h = HL.of_points [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |] |] in
+        let v = HL.volume_mc rng ~samples:4000 h in
+        Alcotest.(check bool) "about 1/2" true (Float.abs (v -. 0.5) < 0.05));
+    t "symmetric difference of identical sets is 0-ish" (fun () ->
+        let rng = Rng.create 10 in
+        let pts = [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+        let h = HL.of_points pts in
+        let reference x = x.(0) >= 0. && x.(0) <= 1. && x.(1) >= 0. && x.(1) <= 1. in
+        let sd = HL.symmetric_difference_mc rng ~samples:3000 h reference ~lo:[| -0.5; -0.5 |] ~hi:[| 1.5; 1.5 |] in
+        Alcotest.(check bool) "small" true (sd < 0.02));
+    t "lp hull agrees with 2d hull membership" (fun () ->
+        let rng = Rng.create 11 in
+        let pts = Array.init 15 (fun _ -> [| Rng.uniform rng (-2.) 2.; Rng.uniform rng (-2.) 2. |]) in
+        let h = HL.of_points pts in
+        let lst = Array.to_list pts in
+        for _ = 1 to 50 do
+          let x = [| Rng.uniform rng (-2.5) 2.5; Rng.uniform rng (-2.5) 2.5 |] in
+          (* skip points within 1e-6 of the hull boundary to avoid
+             tolerance disagreements between the two predicates *)
+          let inside_lp = HL.mem h x and inside_2d = H2.mem lst x in
+          if inside_lp <> inside_2d then begin
+            let shrunk = Vec.scale 0.999 x in
+            if HL.mem h shrunk <> H2.mem lst shrunk then Alcotest.fail "hull membership disagreement"
+          end
+        done);
+  ]
+
+let suites = [ ("hull.2d", hull2d_tests); ("hull.lp", hull_lp_tests) ]

@@ -1,0 +1,132 @@
+(* Tests for the float and exact simplex solvers. *)
+
+module Lp = Scdb_lp.Lp
+module Es = Scdb_lp.Exact_simplex
+module Rng = Scdb_rng.Rng
+module Q = Rational
+
+let t name f = Alcotest.test_case name `Quick f
+
+let qt ?(count = 150) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let q = Q.of_int
+
+let float_tests =
+  [
+    t "classic 2-var LP" (fun () ->
+        let a = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |]; [| -1.; 0. |]; [| 0.; -1. |] |] in
+        let b = [| 2.; 3.; 4.; 0.; 0. |] in
+        match Lp.maximize ~a ~b ~c:[| 1.; 1. |] with
+        | Lp.Optimal { value; point } ->
+            Alcotest.(check (float 1e-7)) "value" 4.0 value;
+            Alcotest.(check bool) "feasible" true (point.(0) <= 2.0 +. 1e-7 && point.(1) <= 3.0 +. 1e-7)
+        | _ -> Alcotest.fail "expected optimal");
+    t "infeasible detected" (fun () ->
+        match Lp.maximize ~a:[| [| 1. |]; [| -1. |] |] ~b:[| -1.; -1. |] ~c:[| 1. |] with
+        | Lp.Infeasible -> ()
+        | _ -> Alcotest.fail "expected infeasible");
+    t "unbounded detected" (fun () ->
+        match Lp.maximize ~a:[| [| -1. |] |] ~b:[| 0. |] ~c:[| 1. |] with
+        | Lp.Unbounded -> ()
+        | _ -> Alcotest.fail "expected unbounded");
+    t "degenerate vertices terminate (Bland)" (fun () ->
+        (* Many constraints through one vertex: cycling hazard. *)
+        let a = [| [| 1.; 1. |]; [| 1.; 2. |]; [| 2.; 1. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| -1.; 0. |]; [| 0.; -1. |] |] in
+        let b = [| 0.; 0.; 0.; 1.; 1.; 0.; 0. |] in
+        match Lp.maximize ~a ~b ~c:[| 1.; 1. |] with
+        | Lp.Optimal { value; _ } -> Alcotest.(check (float 1e-9)) "value" 0.0 value
+        | _ -> Alcotest.fail "expected optimal");
+    t "minimize" (fun () ->
+        let a = [| [| -1. |]; [| 1. |] |] and b = [| 2.; 5. |] in
+        match Lp.minimize ~a ~b ~c:[| 1. |] with
+        | Lp.Optimal { value; _ } -> Alcotest.(check (float 1e-7)) "min" (-2.0) value
+        | _ -> Alcotest.fail "expected optimal");
+    t "chebyshev of unit square" (fun () ->
+        let a = [| [| 1.; 0. |]; [| -1.; 0. |]; [| 0.; 1. |]; [| 0.; -1. |] |] in
+        let b = [| 1.; 0.; 1.; 0. |] in
+        match Lp.chebyshev ~a ~b with
+        | Some (c, r) ->
+            Alcotest.(check (float 1e-7)) "radius" 0.5 r;
+            Alcotest.(check bool) "centre" true (Vec.equal_eps 1e-7 [| 0.5; 0.5 |] c)
+        | None -> Alcotest.fail "expected centre");
+    t "chebyshev of empty is none" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Option.is_none (Lp.chebyshev ~a:[| [| 1. |]; [| -1. |] |] ~b:[| -1.; -1. |])));
+    t "in_hull basic" (fun () ->
+        let pts = [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |] |] in
+        Alcotest.(check bool) "inside" true (Lp.in_hull ~points:pts [| 0.25; 0.25 |]);
+        Alcotest.(check bool) "vertex" true (Lp.in_hull ~points:pts [| 1.; 0. |]);
+        Alcotest.(check bool) "outside" false (Lp.in_hull ~points:pts [| 0.6; 0.6 |]));
+    qt "duplicated/degenerate rows never trip the cycling guard" (QCheck.make QCheck.Gen.(int_range 0 50_000)) ~count:80 (fun seed ->
+        let rng = Rng.create seed in
+        let d = 1 + Rng.int rng 3 in
+        let base = Array.init (d + 2) (fun _ -> Array.init d (fun _ -> float_of_int (Rng.int rng 5 - 2))) in
+        (* duplicate every row, and add a tight copy of the first *)
+        let a = Array.append base base in
+        let b = Array.init (Array.length a) (fun i -> float_of_int (Rng.int rng 4) +. if i mod 2 = 0 then 0.0 else 0.0) in
+        let c = Array.init d (fun _ -> float_of_int (Rng.int rng 5 - 2)) in
+        match Lp.maximize ~a ~b ~c with
+        | Lp.Optimal _ | Lp.Infeasible | Lp.Unbounded -> true
+        | exception Failure _ -> false);
+    qt "box LP closed form" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
+        let rng = Rng.create seed in
+        let d = 1 + Rng.int rng 4 in
+        let lo = Vec.init d (fun _ -> Rng.uniform rng (-5.0) 0.0) in
+        let hi = Vec.init d (fun _ -> Rng.uniform rng 0.1 5.0) in
+        let c = Vec.init d (fun _ -> Rng.uniform rng (-2.0) 2.0) in
+        let a =
+          Array.init (2 * d) (fun i ->
+              if i < d then Vec.basis d i else Vec.neg (Vec.basis d (i - d)))
+        in
+        let b = Array.init (2 * d) (fun i -> if i < d then hi.(i) else -.lo.(i - d)) in
+        let expected =
+          Array.fold_left ( +. ) 0.0
+            (Array.mapi (fun j cj -> if cj >= 0.0 then cj *. hi.(j) else cj *. lo.(j)) c)
+        in
+        match Lp.maximize ~a ~b ~c with
+        | Lp.Optimal { value; _ } -> Float.abs (value -. expected) < 1e-6
+        | _ -> false);
+  ]
+
+let exact_tests =
+  [
+    t "exact classic LP" (fun () ->
+        let a = [| [| q 1; q 0 |]; [| q 0; q 1 |]; [| q 1; q 1 |]; [| q (-1); q 0 |]; [| q 0; q (-1) |] |] in
+        let b = [| q 2; q 3; q 4; q 0; q 0 |] in
+        match Es.maximize ~a ~b ~c:[| q 1; q 1 |] with
+        | Es.Optimal { value; _ } -> Alcotest.(check string) "value" "4" (Q.to_string value)
+        | _ -> Alcotest.fail "expected optimal");
+    t "exact rational optimum" (fun () ->
+        (* max x st 3x <= 1 -> exactly 1/3 *)
+        let a = [| [| q 3 |] |] and b = [| q 1 |] in
+        match Es.maximize ~a ~b ~c:[| q 1 |] with
+        | Es.Optimal { value; _ } -> Alcotest.(check string) "1/3" "1/3" (Q.to_string value)
+        | _ -> Alcotest.fail "expected optimal");
+    t "implied constraints" (fun () ->
+        let a = [| [| q 1 |]; [| q (-1) |] |] and b = [| q 2; q 0 |] in
+        Alcotest.(check bool) "x<=3 implied" true (Es.implied ~a ~b ~row:[| q 1 |] ~rhs:(q 3));
+        Alcotest.(check bool) "x<=2 implied (tight)" true (Es.implied ~a ~b ~row:[| q 1 |] ~rhs:(q 2));
+        Alcotest.(check bool) "x<=1 not implied" false (Es.implied ~a ~b ~row:[| q 1 |] ~rhs:(q 1)));
+    t "infeasible implies everything" (fun () ->
+        let a = [| [| q 1 |]; [| q (-1) |] |] and b = [| q (-1); q (-1) |] in
+        Alcotest.(check bool) "implied" true (Es.implied ~a ~b ~row:[| q 1 |] ~rhs:(q (-100))));
+    qt "float and exact solvers agree" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
+        let rng = Rng.create seed in
+        let d = 1 + Rng.int rng 3 in
+        let m = d + 1 + Rng.int rng 4 in
+        let ai = Array.init m (fun _ -> Array.init d (fun _ -> Rng.int rng 7 - 3)) in
+        let bi = Array.init m (fun _ -> Rng.int rng 10) in
+        let ci = Array.init d (fun _ -> Rng.int rng 7 - 3) in
+        let ea = Array.map (Array.map q) ai and eb = Array.map q bi and ec = Array.map q ci in
+        let fa = Array.map (Array.map float_of_int) ai
+        and fb = Array.map float_of_int bi
+        and fc = Array.map float_of_int ci in
+        match (Es.maximize ~a:ea ~b:eb ~c:ec, Lp.maximize ~a:fa ~b:fb ~c:fc) with
+        | Es.Optimal { value = ev; _ }, Lp.Optimal { value = fv; _ } ->
+            Float.abs (Q.to_float ev -. fv) < 1e-6
+        | Es.Infeasible, Lp.Infeasible | Es.Unbounded, Lp.Unbounded -> true
+        | _ -> false);
+  ]
+
+let suites = [ ("lp.float", float_tests); ("lp.exact", exact_tests) ]

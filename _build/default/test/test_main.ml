@@ -1,0 +1,19 @@
+(* Entry point: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "spatialdb"
+    (List.concat
+       [
+         Test_bigint.suites;
+         Test_rational.suites;
+         Test_linalg.suites;
+         Test_rng.suites;
+         Test_lp.suites;
+         Test_constr.suites;
+         Test_qe.suites;
+         Test_polytope.suites;
+         Test_hull.suites;
+         Test_sampling.suites;
+         Test_core.suites;
+         Test_gis.suites;
+       ])

@@ -1,0 +1,171 @@
+(* Tests for Fourier–Motzkin elimination and LP redundancy removal. *)
+
+module FM = Scdb_qe.Fourier_motzkin
+module Red = Scdb_qe.Redundancy
+module VE = Scdb_polytope.Volume_exact
+module Rng = Scdb_rng.Rng
+module Q = Rational
+
+let t name f = Alcotest.test_case name `Quick f
+
+let qt ?(count = 60) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let q = Q.of_int
+
+let vol = VE.volume_relation
+
+let redundancy_tests =
+  [
+    t "is_empty" (fun () ->
+        let contradiction =
+          [ Atom.le (Term.var 0) Term.zero; Atom.ge (Term.var 0) (Term.const Q.one) ]
+        in
+        Alcotest.(check bool) "empty" true (Red.is_empty contradiction);
+        Alcotest.(check bool) "nonempty" false
+          (Red.is_empty [ Atom.le (Term.var 0) (Term.const Q.one) ]));
+    t "is_full_dim_nonempty" (fun () ->
+        let box = List.concat (Relation.tuples (Relation.unit_cube 2)) in
+        Alcotest.(check bool) "cube" true (Red.is_full_dim_nonempty box ~dim:2);
+        let segment =
+          Atom.eq (Term.var 0) Term.zero :: box
+        in
+        Alcotest.(check bool) "segment flat" false (Red.is_full_dim_nonempty segment ~dim:2));
+    t "prune removes implied" (fun () ->
+        let tuple =
+          [
+            Atom.le (Term.var 0) (Term.const Q.one);
+            Atom.le (Term.var 0) (Term.const (q 5)) (* implied *);
+            Atom.ge (Term.var 0) Term.zero;
+          ]
+        in
+        Alcotest.(check int) "pruned" 2 (List.length (Red.prune tuple)));
+    t "prune keeps binding constraints" (fun () ->
+        let tuple = List.concat (Relation.tuples (Relation.unit_cube 2)) in
+        Alcotest.(check int) "all four" 4 (List.length (Red.prune tuple)));
+    t "implies_atom" (fun () ->
+        let tuple = [ Atom.le (Term.var 0) (Term.const Q.one); Atom.ge (Term.var 0) Term.zero ] in
+        Alcotest.(check bool) "implied" true
+          (Red.implies_atom tuple (Atom.le (Term.var 0) (Term.const (q 2))));
+        Alcotest.(check bool) "not implied" false
+          (Red.implies_atom tuple (Atom.le (Term.var 0) (Term.const (Q.of_ints 1 2)))));
+  ]
+
+let fm_tests =
+  [
+    t "interval projection" (fun () ->
+        (* exists y. x <= y <= 1 /\ x >= 0   ===   0 <= x <= 1 *)
+        let f = Parser.parse ~vars:[ "x" ] "exists y. x <= y /\\ y <= 1 /\\ x >= 0" in
+        let g = FM.eliminate f in
+        Alcotest.(check bool) "qf" true (Formula.is_quantifier_free g);
+        let r = Relation.of_formula ~dim:1 g in
+        Alcotest.(check string) "volume" "1" (Q.to_string (vol r)));
+    t "equality pivot" (fun () ->
+        let f =
+          Parser.parse ~vars:[ "x"; "y" ]
+            "exists z. z = x + y /\\ 0 <= z /\\ z <= 1 /\\ x >= 0 /\\ y >= 0"
+        in
+        let r = Relation.of_formula ~dim:2 (FM.eliminate f) in
+        Alcotest.(check string) "half unit triangle" "1/2" (Q.to_string (vol r)));
+    t "projection of 3-simplex" (fun () ->
+        let s3 = Relation.standard_simplex 3 in
+        let proj = FM.project s3 ~keep:[ 0; 1 ] in
+        Alcotest.(check string) "triangle" "1/2" (Q.to_string (vol proj)));
+    t "projection keeps order" (fun () ->
+        (* project box [0,1]x[0,2]x[0,3] keeping (z, x) -> box [0,3]x[0,1] *)
+        let b = Relation.box [| q 0; q 0; q 0 |] [| q 1; q 2; q 3 |] in
+        let p = FM.project b ~keep:[ 2; 0 ] in
+        Alcotest.(check bool) "in" true (Relation.mem p [| Q.of_ints 5 2; Q.of_ints 1 2 |]);
+        Alcotest.(check bool) "out" false (Relation.mem p [| Q.of_ints 1 2; Q.of_ints 5 2 |]);
+        Alcotest.(check string) "area 3" "3" (Q.to_string (vol p)));
+    t "unsatisfiable quantified formula" (fun () ->
+        let f = Parser.parse ~vars:[ "x" ] "exists y. y <= 0 /\\ y >= 1 /\\ x >= 0" in
+        Alcotest.(check bool) "false" true (Formula.equal Formula.fls (FM.eliminate f)));
+    t "forall elimination" (fun () ->
+        (* forall y in R: y>=0 \/ y<=x  is true iff ... for all y: (y >= 0 or y <= x);
+           for y very negative we need y <= x to fail? it holds iff x >= ...
+           take simpler: forall y. 0 <= y <= 1 -> y <= x   ===   x >= 1 *)
+        let f = Parser.parse ~vars:[ "x" ] "forall y. (0 <= y /\\ y <= 1) -> y <= x" in
+        let g = FM.eliminate f in
+        let r1 = Formula.eval (Formula.nnf g) [| q 1 |] in
+        let r0 = Formula.eval (Formula.nnf g) [| Q.of_ints 1 2 |] in
+        Alcotest.(check bool) "x=1 in" true r1;
+        Alcotest.(check bool) "x=1/2 out" false r0);
+    t "stats count work" (fun () ->
+        let tuple = List.concat (Relation.tuples (Relation.standard_simplex 4)) in
+        let _, stats = FM.eliminate_vars_tuple_stats [ 3; 2 ] tuple in
+        Alcotest.(check bool) "generated" true (stats.FM.constraints_generated > 0));
+    qt "projection preserves membership" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
+        (* Random 3D convex tuple; FM projection to 2D must agree with
+           "exists z" checked by sampling z. *)
+        let rng = Rng.create seed in
+        let atoms =
+          List.init 6 (fun _ ->
+              let te =
+                Term.make
+                  [ (0, q (Rng.int rng 5 - 2)); (1, q (Rng.int rng 5 - 2)); (2, q (Rng.int rng 5 - 2)) ]
+                  (q (-1 - Rng.int rng 3))
+              in
+              Atom.make te Atom.Le)
+        in
+        let cube = List.concat (Relation.tuples (Relation.cube 3 (q 2))) in
+        let tuple = atoms @ cube in
+        let projected = FM.eliminate_vars_tuple [ 2 ] tuple in
+        (* check on a small grid of (x,y) points *)
+        List.for_all
+          (fun gx ->
+            List.for_all
+              (fun gy ->
+                let x = Q.of_ints gx 1 and y = Q.of_ints gy 1 in
+                let in_proj = Dnf.tuple_holds projected [| x; y |] in
+                (* exists z in [-2,2] (endpoints + rational samples) *)
+                let zs = List.init 41 (fun i -> Q.of_ints (i - 20) 10) in
+                let exists_z = List.exists (fun z -> Dnf.tuple_holds tuple [| x; y; z |]) zs in
+                (* sampling z can only under-approximate: so require
+                   exists_z => in_proj (soundness direction is exact) *)
+                (not exists_z) || in_proj)
+              [ -2; -1; 0; 1; 2 ])
+          [ -2; -1; 0; 1; 2 ]);
+    qt "FM projection iff fiber feasible (exact LP)" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
+        (* Exact both-direction check: a rational point y is in the
+           FM-projection of a tuple iff the fiber system over y is
+           LP-feasible. *)
+        let rng = Rng.create seed in
+        let atoms =
+          List.init 5 (fun _ ->
+              let te =
+                Term.make
+                  [ (0, q (Rng.int rng 5 - 2)); (1, q (Rng.int rng 5 - 2)); (2, q (Rng.int rng 5 - 2)) ]
+                  (q (Rng.int rng 5 - 3))
+              in
+              Atom.make te Atom.Le)
+        in
+        let cube = List.concat (Relation.tuples (Relation.cube 3 (q 2))) in
+        let tuple = atoms @ cube in
+        let projected = FM.eliminate_vars_tuple [ 2 ] tuple in
+        List.for_all
+          (fun gx ->
+            List.for_all
+              (fun gy ->
+                let x = Q.of_ints gx 2 and y = Q.of_ints gy 2 in
+                let in_proj = Dnf.tuple_holds projected [| x; y |] in
+                (* fiber over (x, y): substitute into the tuple, keep var 2 *)
+                let fiber =
+                  List.map
+                    (fun a -> Atom.subst (Atom.subst a 0 (Term.const x)) 1 (Term.const y))
+                    tuple
+                in
+                let fiber = List.map (fun a -> Atom.rename a (fun _ -> 0)) fiber in
+                let sys_a, sys_b = Red.tuple_to_system fiber in
+                let feasible = Scdb_lp.Exact_simplex.is_feasible ~a:sys_a ~b:sys_b in
+                in_proj = feasible)
+              [ -4; -1; 0; 2; 3 ])
+          [ -4; -1; 0; 2; 3 ]);
+    t "pruned and unpruned elimination agree" (fun () ->
+        let s = Relation.standard_simplex 4 in
+        let a = FM.project ~prune:true s ~keep:[ 0; 1 ] in
+        let b = FM.project ~prune:false s ~keep:[ 0; 1 ] in
+        Alcotest.(check string) "same volume" (Q.to_string (vol a)) (Q.to_string (vol b)));
+  ]
+
+let suites = [ ("qe.redundancy", redundancy_tests); ("qe.fourier_motzkin", fm_tests) ]

@@ -1,0 +1,115 @@
+(* Unit and property tests for exact rationals. *)
+
+module Q = Rational
+
+let t name f = Alcotest.test_case name `Quick f
+
+let qt ?(count = 300) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let arbitrary_q =
+  let gen =
+    QCheck.Gen.(
+      let* n = -10_000 -- 10_000 in
+      let* d = 1 -- 10_000 in
+      pure (Q.of_ints n d))
+  in
+  QCheck.make ~print:Q.to_string gen
+
+let pair = QCheck.pair arbitrary_q arbitrary_q
+let triple = QCheck.triple arbitrary_q arbitrary_q arbitrary_q
+
+let unit_tests =
+  [
+    t "canonical form" (fun () ->
+        Alcotest.(check string) "4/8" "1/2" (Q.to_string (Q.of_ints 4 8));
+        Alcotest.(check string) "neg den" "-1/2" (Q.to_string (Q.of_ints 1 (-2)));
+        Alcotest.(check string) "zero" "0" (Q.to_string (Q.of_ints 0 17)));
+    t "of_string forms" (fun () ->
+        Alcotest.(check string) "int" "42" (Q.to_string (Q.of_string "42"));
+        Alcotest.(check string) "frac" "-3/7" (Q.to_string (Q.of_string "-3/7"));
+        Alcotest.(check string) "decimal" "-13/4" (Q.to_string (Q.of_string "-3.25"));
+        Alcotest.(check string) "decimal small" "1/100" (Q.to_string (Q.of_string "0.01")));
+    t "of_float exact dyadic" (fun () ->
+        Alcotest.(check string) "0.5" "1/2" (Q.to_string (Q.of_float 0.5));
+        Alcotest.(check string) "0.75" "3/4" (Q.to_string (Q.of_float 0.75));
+        Alcotest.(check string) "-42" "-42" (Q.to_string (Q.of_float (-42.0))));
+    t "of_float rejects non-finite" (fun () ->
+        List.iter
+          (fun f ->
+            try
+              ignore (Q.of_float f);
+              Alcotest.fail "expected Invalid_argument"
+            with Invalid_argument _ -> ())
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    t "floor and ceil" (fun () ->
+        Alcotest.(check string) "floor 7/2" "3" (Bigint.to_string (Q.floor (Q.of_ints 7 2)));
+        Alcotest.(check string) "ceil 7/2" "4" (Bigint.to_string (Q.ceil (Q.of_ints 7 2)));
+        Alcotest.(check string) "floor -7/2" "-4" (Bigint.to_string (Q.floor (Q.of_ints (-7) 2)));
+        Alcotest.(check string) "ceil -7/2" "-3" (Bigint.to_string (Q.ceil (Q.of_ints (-7) 2)));
+        Alcotest.(check string) "floor 3" "3" (Bigint.to_string (Q.floor (Q.of_int 3))));
+    t "pow" (fun () ->
+        Alcotest.(check string) "(2/3)^3" "8/27" (Q.to_string (Q.pow (Q.of_ints 2 3) 3));
+        Alcotest.(check string) "(2/3)^-2" "9/4" (Q.to_string (Q.pow (Q.of_ints 2 3) (-2))));
+    t "inv zero raises" (fun () ->
+        Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Q.inv Q.zero)));
+    t "division by zero raises" (fun () ->
+        Alcotest.check_raises "x/0" Division_by_zero (fun () -> ignore (Q.div Q.one Q.zero)));
+  ]
+
+let property_tests =
+  [
+    qt "field: associativity of add" triple (fun (a, b, c) ->
+        Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c));
+    qt "field: distributivity" triple (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    qt "field: mul inverse" arbitrary_q (fun a ->
+        QCheck.assume (not (Q.is_zero a));
+        Q.equal Q.one (Q.mul a (Q.inv a)));
+    qt "sub/add inverse" pair (fun (a, b) -> Q.equal a (Q.add (Q.sub a b) b));
+    qt "compare consistent with to_float" pair (fun (a, b) ->
+        let c = Q.compare a b in
+        let fc = Float.compare (Q.to_float a) (Q.to_float b) in
+        c = 0 || fc = 0 || (c > 0) = (fc > 0));
+    qt "of_float/to_float round trip" arbitrary_q (fun a ->
+        (* to_float is exact for small rationals only up to rounding; the
+           dyadic round trip through of_float must reproduce the float. *)
+        let f = Q.to_float a in
+        Float.equal f (Q.to_float (Q.of_float f)));
+    qt "string round trip" arbitrary_q (fun a -> Q.equal a (Q.of_string (Q.to_string a)));
+    qt "floor <= x < floor+1" arbitrary_q (fun a ->
+        let fl = Q.of_bigint (Q.floor a) in
+        Q.compare fl a <= 0 && Q.compare a (Q.add fl Q.one) < 0);
+    qt "canonical: gcd(num,den)=1" pair (fun (a, b) ->
+        let s = Q.add a b in
+        Bigint.equal (Bigint.gcd s.Q.num s.Q.den) Bigint.one || Q.is_zero s);
+  ]
+
+
+let interval_tests =
+  let module I = Interval in
+  [
+    t "construction and containment" (fun () ->
+        let iv = I.make 1.0 2.0 in
+        Alcotest.(check bool) "in" true (I.contains iv 1.5);
+        Alcotest.(check bool) "out" false (I.contains iv 2.5);
+        (try
+           ignore (I.make 2.0 1.0);
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    t "arithmetic encloses true results" (fun () ->
+        let a = I.point 0.1 and b = I.point 0.2 in
+        Alcotest.(check bool) "sum" true (I.contains (I.add a b) (0.1 +. 0.2));
+        Alcotest.(check bool) "product" true (I.contains (I.mul a b) (0.1 *. 0.2));
+        Alcotest.(check bool) "difference" true (I.contains (I.sub b a) 0.1));
+    t "mul handles sign combinations" (fun () ->
+        let m = I.mul (I.make (-2.0) 3.0) (I.make (-1.0) 4.0) in
+        Alcotest.(check bool) "lo" true (m.I.lo <= -8.0);
+        Alcotest.(check bool) "hi" true (m.I.hi >= 12.0));
+    t "certified sign" (fun () ->
+        Alcotest.(check bool) "neg" true (I.sign (I.make (-2.0) (-1.0)) = `Negative);
+        Alcotest.(check bool) "pos" true (I.sign (I.make 1.0 2.0) = `Positive);
+        Alcotest.(check bool) "zero" true (I.sign (I.make (-1.0) 1.0) = `Zero_in));
+  ]
+
+let suites = [ ("rational", unit_tests @ property_tests); ("interval", interval_tests) ]

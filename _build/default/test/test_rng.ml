@@ -1,0 +1,111 @@
+(* Statistical and determinism tests for the PRNG. *)
+
+module Rng = Scdb_rng.Rng
+
+let t name f = Alcotest.test_case name `Quick f
+
+let tests =
+  [
+    t "deterministic per seed" (fun () ->
+        let a = Rng.create 99 and b = Rng.create 99 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+        done);
+    t "different seeds differ" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Rng.bits64 a = Rng.bits64 b then incr same
+        done;
+        Alcotest.(check bool) "streams differ" true (!same < 4));
+    t "split independence" (fun () ->
+        let parent = Rng.create 7 in
+        let child = Rng.split parent in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Rng.bits64 parent = Rng.bits64 child then incr same
+        done;
+        Alcotest.(check bool) "independent" true (!same < 4));
+    t "copy preserves stream" (fun () ->
+        let a = Rng.create 5 in
+        ignore (Rng.bits64 a);
+        let b = Rng.copy a in
+        Alcotest.(check int64) "equal next" (Rng.bits64 a) (Rng.bits64 b));
+    t "float in range with correct mean" (fun () ->
+        let rng = Rng.create 11 in
+        let n = 50_000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          let x = Rng.float rng in
+          Alcotest.(check bool) "range" true (x >= 0.0 && x < 1.0);
+          sum := !sum +. x
+        done;
+        Alcotest.(check (float 0.01)) "mean" 0.5 (!sum /. float_of_int n));
+    t "int uniform chi-square" (fun () ->
+        let rng = Rng.create 12 in
+        let buckets = Array.make 10 0 in
+        let n = 50_000 in
+        for _ = 1 to n do
+          let k = Rng.int rng 10 in
+          buckets.(k) <- buckets.(k) + 1
+        done;
+        let expected = float_of_int n /. 10.0 in
+        let chi2 =
+          Array.fold_left (fun acc c -> acc +. (((float_of_int c -. expected) ** 2.0) /. expected)) 0.0 buckets
+        in
+        (* 9 dof: chi2 < 27.9 at the 0.1% level *)
+        Alcotest.(check bool) (Printf.sprintf "chi2=%.1f" chi2) true (chi2 < 27.9));
+    t "int rejects non-positive bound" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+            ignore (Rng.int (Rng.create 0) 0)));
+    t "gaussian moments" (fun () ->
+        let rng = Rng.create 13 in
+        let n = 50_000 in
+        let sum = ref 0.0 and sum2 = ref 0.0 in
+        for _ = 1 to n do
+          let x = Rng.gaussian rng in
+          sum := !sum +. x;
+          sum2 := !sum2 +. (x *. x)
+        done;
+        Alcotest.(check (float 0.03)) "mean" 0.0 (!sum /. float_of_int n);
+        Alcotest.(check (float 0.05)) "variance" 1.0 (!sum2 /. float_of_int n));
+    t "unit_vector has norm 1" (fun () ->
+        let rng = Rng.create 14 in
+        for d = 1 to 6 do
+          let v = Rng.unit_vector rng d in
+          Alcotest.(check (float 1e-9)) "norm" 1.0 (Vec.norm v)
+        done);
+    t "in_ball stays inside and fills shells" (fun () ->
+        let rng = Rng.create 15 in
+        let n = 20_000 in
+        let inner = ref 0 in
+        for _ = 1 to n do
+          let v = Rng.in_ball rng 2 in
+          Alcotest.(check bool) "inside" true (Vec.norm v <= 1.0 +. 1e-9);
+          if Vec.norm v <= 0.5 then incr inner
+        done;
+        (* P(norm <= 1/2) = 1/4 in dimension 2 *)
+        Alcotest.(check (float 0.02)) "shell" 0.25 (float_of_int !inner /. float_of_int n));
+    t "categorical respects weights" (fun () ->
+        let rng = Rng.create 16 in
+        let counts = Array.make 3 0 in
+        let n = 30_000 in
+        for _ = 1 to n do
+          let k = Rng.categorical rng [| 1.0; 2.0; 7.0 |] in
+          counts.(k) <- counts.(k) + 1
+        done;
+        Alcotest.(check (float 0.02)) "w0" 0.1 (float_of_int counts.(0) /. float_of_int n);
+        Alcotest.(check (float 0.02)) "w1" 0.2 (float_of_int counts.(1) /. float_of_int n));
+    t "categorical rejects zero weights" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.categorical: zero total weight")
+          (fun () -> ignore (Rng.categorical (Rng.create 0) [| 0.0; 0.0 |])));
+    t "shuffle is a permutation" (fun () ->
+        let rng = Rng.create 17 in
+        let a = Array.init 50 Fun.id in
+        Rng.shuffle rng a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id));
+  ]
+
+let suites = [ ("rng", tests) ]

@@ -1,0 +1,440 @@
+(* Tests for grids, walks, hit-and-run, rejection, Chernoff helpers,
+   rounding and the multi-phase volume estimator. *)
+
+module P = Scdb_polytope.Polytope
+module G = Scdb_sampling.Grid
+module W = Scdb_sampling.Walk
+module HR = Scdb_sampling.Hit_and_run
+module Rej = Scdb_sampling.Rejection
+module Ch = Scdb_sampling.Chernoff
+module Ro = Scdb_sampling.Rounding
+module Vol = Scdb_sampling.Volume
+module Rng = Scdb_rng.Rng
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let grid_tests =
+  [
+    t "point round trips" (fun () ->
+        let g = G.make ~step:0.25 ~dim:2 in
+        let idx = G.of_point g [| 0.6; -0.3 |] in
+        Alcotest.(check bool) "rounded" true
+          (Vec.equal_eps 1e-12 [| 0.5; -0.25 |] (G.to_point g idx)));
+    t "step_for respects the schedule" (fun () ->
+        let g = G.step_for ~gamma:0.1 ~dim:4 ~scale:2.0 in
+        Alcotest.(check (float 1e-12)) "p = γ·scale/d^1.5" (0.1 *. 2.0 /. 8.0) g.G.step);
+    t "neighbours are 2d at distance p" (fun () ->
+        let g = G.make ~step:0.5 ~dim:3 in
+        let ns = G.neighbours g [| 0; 0; 0 |] in
+        Alcotest.(check int) "count" 6 (List.length ns);
+        List.iter
+          (fun n ->
+            Alcotest.(check (float 1e-12)) "distance" 0.5
+              (Vec.dist (G.to_point g n) (G.to_point g [| 0; 0; 0 |])))
+          ns);
+    t "count_in_ball matches area asymptotics" (fun () ->
+        let g = G.make ~step:0.05 ~dim:2 in
+        let count = G.count_in_ball g 1.0 in
+        let approx = float_of_int count *. G.cell_volume g in
+        Alcotest.(check bool) "close to pi" true (Float.abs (approx -. Float.pi) < 0.1));
+    t "invalid step" (fun () ->
+        try
+          ignore (G.make ~step:0.0 ~dim:1);
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+let walk_tests =
+  [
+    t "walk stays inside" (fun () ->
+        let rng = Rng.create 1 in
+        let g = G.make ~step:0.1 ~dim:2 in
+        let mem x = P.mem (P.unit_cube 2) x in
+        let final = W.sample rng ~grid:g ~mem ~start:[| 0.5; 0.5 |] ~steps:500 in
+        Alcotest.(check bool) "inside" true (mem final));
+    t "start outside rejected" (fun () ->
+        let rng = Rng.create 2 in
+        let g = G.make ~step:0.1 ~dim:2 in
+        try
+          ignore (W.walk rng ~grid:g ~mem:(fun _ -> false) ~start:[| 0; 0 |] ~steps:1);
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    ts "stationary distribution is uniform (chi-square on 1D segment)" (fun () ->
+        (* Walk on {0,...,9} (grid step 1 on [0, 9.5]): uniform stationary. *)
+        let rng = Rng.create 3 in
+        let g = G.make ~step:1.0 ~dim:1 in
+        let mem x = x.(0) >= -0.5 && x.(0) <= 9.5 in
+        let counts = Array.make 10 0 in
+        let n = 6000 in
+        for _ = 1 to n do
+          let p = W.sample rng ~grid:g ~mem ~start:[| 0.0 |] ~steps:300 in
+          let k = int_of_float (Float.round p.(0)) in
+          counts.(k) <- counts.(k) + 1
+        done;
+        let e = float_of_int n /. 10.0 in
+        let chi2 = Array.fold_left (fun acc c -> acc +. (((float_of_int c -. e) ** 2.) /. e)) 0.0 counts in
+        (* 9 dof, 0.1% critical value 27.9 *)
+        Alcotest.(check bool) (Printf.sprintf "chi2=%.1f" chi2) true (chi2 < 27.9));
+    t "trajectory has steps+1 entries" (fun () ->
+        let rng = Rng.create 4 in
+        let g = G.make ~step:0.5 ~dim:1 in
+        let tr = W.trajectory rng ~grid:g ~mem:(fun x -> Float.abs x.(0) <= 2.0) ~start:[| 0 |] ~steps:20 in
+        Alcotest.(check int) "length" 21 (List.length tr));
+  ]
+
+let hit_and_run_tests =
+  [
+    t "ball chord endpoints" (fun () ->
+        match HR.ball_chord ~centre:[| 0.; 0. |] ~radius:2.0 [| 0.; 0. |] [| 1.; 0. |] with
+        | Some (lo, hi) ->
+            Alcotest.(check (float 1e-9)) "lo" (-2.0) lo;
+            Alcotest.(check (float 1e-9)) "hi" 2.0 hi
+        | None -> Alcotest.fail "expected chord");
+    t "ball chord misses" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Option.is_none (HR.ball_chord ~centre:[| 0.; 0. |] ~radius:1.0 [| 3.; 0. |] [| 0.; 1. |])));
+    t "intersect chords" (fun () ->
+        let c1 = HR.polytope_chord (P.cube 2 1.0) in
+        let c2 = HR.ball_chord ~centre:[| 0.; 0. |] ~radius:0.5 in
+        match HR.intersect_chords [ c1; c2 ] [| 0.; 0. |] [| 1.; 0. |] with
+        | Some (lo, hi) ->
+            Alcotest.(check (float 1e-9)) "lo" (-0.5) lo;
+            Alcotest.(check (float 1e-9)) "hi" 0.5 hi
+        | None -> Alcotest.fail "expected chord");
+    ts "mean of samples near centroid" (fun () ->
+        let rng = Rng.create 5 in
+        let tri = P.simplex 2 in
+        let start = ref [| 0.25; 0.25 |] in
+        let n = 4000 in
+        let sum = Vec.create 2 in
+        for _ = 1 to n do
+          let p = HR.sample_polytope rng tri ~start:!start ~steps:25 in
+          Alcotest.(check bool) "inside" true (P.mem ~slack:1e-9 tri p);
+          start := p;
+          sum.(0) <- sum.(0) +. p.(0);
+          sum.(1) <- sum.(1) +. p.(1)
+        done;
+        (* centroid of the standard triangle is (1/3, 1/3) *)
+        Alcotest.(check (float 0.02)) "mean x" (1.0 /. 3.0) (sum.(0) /. float_of_int n);
+        Alcotest.(check (float 0.02)) "mean y" (1.0 /. 3.0) (sum.(1) /. float_of_int n));
+  ]
+
+let rejection_tests =
+  [
+    t "acceptance rate near area ratio" (fun () ->
+        let rng = Rng.create 6 in
+        let mem x = Vec.norm x <= 1.0 in
+        let _, stats =
+          Rej.sample_many rng ~lo:[| -1.; -1. |] ~hi:[| 1.; 1. |] ~mem ~count:100_000 ~max_attempts:20_000
+        in
+        (* pi/4 ≈ 0.785 *)
+        Alcotest.(check (float 0.02)) "rate" (Float.pi /. 4.0) (Rej.acceptance_rate stats));
+    t "budget exhaustion returns none" (fun () ->
+        let rng = Rng.create 7 in
+        Alcotest.(check bool) "none" true
+          (Option.is_none
+             (Rej.sample rng ~lo:[| 0. |] ~hi:[| 1. |] ~mem:(fun _ -> false) ~max_attempts:100)));
+  ]
+
+let chernoff_tests =
+  [
+    t "sample sizes are monotone" (fun () ->
+        let n1 = Ch.samples_for_ratio ~eps:0.1 ~delta:0.1 ~p_lower:0.5 in
+        let n2 = Ch.samples_for_ratio ~eps:0.05 ~delta:0.1 ~p_lower:0.5 in
+        let n3 = Ch.samples_for_ratio ~eps:0.1 ~delta:0.01 ~p_lower:0.5 in
+        Alcotest.(check bool) "smaller eps needs more" true (n2 > n1);
+        Alcotest.(check bool) "smaller delta needs more" true (n3 > n1));
+    t "estimate_fraction concentrates" (fun () ->
+        let rng = Rng.create 8 in
+        let p = Ch.estimate_fraction rng ~samples:20_000 (fun r -> Rng.float r < 0.3) in
+        Alcotest.(check (float 0.02)) "p" 0.3 p);
+    t "median_of_means robust to heavy tail" (fun () ->
+        let rng = Rng.create 9 in
+        (* mean 1 mixture with rare huge outcomes *)
+        let draw r = if Rng.float r < 0.001 then 200.0 else 0.8 +. (0.4 *. Rng.float r) in
+        let m = Ch.median_of_means rng ~blocks:9 ~block_size:200 draw in
+        Alcotest.(check bool) "near 1" true (Float.abs (m -. 1.0) < 0.3));
+    t "invalid parameters rejected" (fun () ->
+        List.iter
+          (fun f -> try ignore (f ()); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> ())
+          [
+            (fun () -> Ch.samples_for_additive ~eps:0.0 ~delta:0.1);
+            (fun () -> Ch.samples_for_ratio ~eps:0.1 ~delta:0.1 ~p_lower:0.0);
+            (fun () -> Ch.repeats_for_confidence ~delta:1.5);
+          ]);
+  ]
+
+let rounding_tests =
+  [
+    t "rounding centres and normalizes inscribed ball" (fun () ->
+        let rng = Rng.create 10 in
+        let elongated = P.box [| 0.; 0. |] [| 50.; 0.5 |] in
+        match Ro.round rng elongated with
+        | Some r ->
+            Alcotest.(check bool) "r_inf ≈ 1" true (Float.abs (r.Ro.r_inf -. 1.0) < 0.05);
+            Alcotest.(check bool) "aspect much improved" true (Ro.aspect_ratio r < 10.0)
+        | None -> Alcotest.fail "expected rounding");
+    t "empty body" (fun () ->
+        let empty = P.make ~dim:1 [| [| 1. |]; [| -1. |] |] [| -1.; -1. |] in
+        Alcotest.(check bool) "none" true (Option.is_none (Ro.round (Rng.create 0) empty)));
+    t "unbounded body" (fun () ->
+        let hs = P.make ~dim:2 [| [| 1.; 0. |] |] [| 1. |] in
+        Alcotest.(check bool) "none" true (Option.is_none (Ro.round (Rng.create 0) hs)));
+    t "volume scale consistency" (fun () ->
+        let rng = Rng.create 11 in
+        let b = P.box [| 0.; 0. |] [| 4.; 1. |] in
+        match Ro.round rng b with
+        | Some r ->
+            (* vol(rounded) = vol(b) * scale; check via exact rounded-volume
+               of the box being preserved through the affine identity *)
+            let scale = Affine.volume_scale r.Ro.transform in
+            Alcotest.(check bool) "scale positive" true (scale > 0.0)
+        | None -> Alcotest.fail "expected rounding");
+  ]
+
+let volume_tests =
+  [
+    t "ball volume closed forms" (fun () ->
+        Alcotest.(check (float 1e-12)) "V1" 2.0 (Vol.ball_volume ~dim:1 ~radius:1.0);
+        Alcotest.(check (float 1e-12)) "V2" Float.pi (Vol.ball_volume ~dim:2 ~radius:1.0);
+        Alcotest.(check (float 1e-12)) "V3" (4.0 *. Float.pi /. 3.0) (Vol.ball_volume ~dim:3 ~radius:1.0);
+        Alcotest.(check (float 1e-12)) "scaling" (Float.pi *. 4.0) (Vol.ball_volume ~dim:2 ~radius:2.0));
+    ts "estimates known volumes within 10%" (fun () ->
+        let rng = Rng.create 12 in
+        List.iter
+          (fun (name, poly, truth) ->
+            match Vol.estimate rng ~budget:(Vol.Practical 2500) poly with
+            | Some r ->
+                let rel = Float.abs (r.Vol.volume -. truth) /. truth in
+                Alcotest.(check bool) (Printf.sprintf "%s rel=%.3f" name rel) true (rel < 0.10)
+            | None -> Alcotest.fail (name ^ ": estimation failed"))
+          [
+            ("cube2", P.unit_cube 2, 1.0);
+            ("cube4", P.unit_cube 4, 1.0);
+            ("simplex3", P.simplex 3, 1.0 /. 6.0);
+            ("elongated", P.box [| 0.; 0. |] [| 100.; 0.01 |], 1.0);
+          ]);
+    ts "grid-walk sampler variant also works" (fun () ->
+        let rng = Rng.create 13 in
+        match Vol.estimate rng ~sampler:Vol.Grid_walk ~budget:(Vol.Practical 1200) ~walk_steps:400 (P.unit_cube 2) with
+        | Some r -> Alcotest.(check bool) "close" true (Float.abs (r.Vol.volume -. 1.0) < 0.2)
+        | None -> Alcotest.fail "estimation failed");
+    ts "differential: DFK estimate vs exact Lasserre on random 2D/3D polytopes" (fun () ->
+        let module VE = Scdb_polytope.Volume_exact in
+        let rng = Rng.create 77 in
+        let q = Rational.of_int in
+        let checked = ref 0 in
+        while !checked < 6 do
+          let d = 2 + Rng.int rng 2 in
+          (* random bounded tuple: cube ∩ random halfplanes *)
+          let atoms = ref (List.concat (Relation.tuples (Relation.cube d (q 2)))) in
+          for _ = 1 to d + 2 do
+            let te =
+              Term.make
+                (List.init d (fun i -> (i, q (Rng.int rng 7 - 3))))
+                (q (-1 - Rng.int rng 3))
+            in
+            atoms := Atom.make te Atom.Le :: !atoms
+          done;
+          let rel = Relation.make ~dim:d [ !atoms ] in
+          let truth = Rational.to_float (VE.volume_relation rel) in
+          if truth > 0.5 then begin
+            incr checked;
+            let poly = Scdb_polytope.Polytope.of_tuple ~dim:d (List.hd (Relation.tuples rel)) in
+            match Vol.estimate rng ~budget:(Vol.Practical 2500) poly with
+            | Some r ->
+                let rel_err = Float.abs (r.Vol.volume -. truth) /. truth in
+                Alcotest.(check bool)
+                  (Printf.sprintf "d=%d truth=%.3f est=%.3f" d truth r.Vol.volume)
+                  true (rel_err < 0.15)
+            | None -> Alcotest.fail "estimation failed on non-empty body"
+          end
+        done);
+    t "empty polytope gives none" (fun () ->
+        let empty = P.make ~dim:2 [| [| 1.; 0. |]; [| -1.; 0. |] |] [| -1.; -1. |] in
+        Alcotest.(check bool) "none" true (Option.is_none (Vol.estimate (Rng.create 0) empty)));
+    t "dimension zero" (fun () ->
+        match Vol.estimate (Rng.create 0) (P.make ~dim:0 [||] [||]) with
+        | Some r -> Alcotest.(check (float 0.0)) "unit" 1.0 r.Vol.volume
+        | None -> Alcotest.fail "expected trivial estimate");
+  ]
+
+let oracle_body_tests =
+  let module OB = Scdb_sampling.Oracle_body in
+  [
+    t "ellipsoid construction and membership" (fun () ->
+        match OB.ellipsoid [| [| 1.0; 0.0 |]; [| 0.0; 4.0 |] |] with
+        | None -> Alcotest.fail "expected body"
+        | Some body ->
+            Alcotest.(check bool) "inside" true (body.OB.mem [| 0.9; 0.0 |]);
+            Alcotest.(check bool) "outside" false (body.OB.mem [| 0.0; 0.9 |]);
+            Alcotest.(check bool) "inner <= outer" true (snd body.OB.inner <= body.OB.outer));
+    t "non-PD matrix rejected" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Option.is_none (OB.ellipsoid [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |])));
+    t "oracle chord matches analytic ball chord" (fun () ->
+        match OB.ellipsoid (Mat.identity 2) with
+        | None -> Alcotest.fail "expected body"
+        | Some body -> (
+            match OB.chord body [| 0.0; 0.0 |] [| 1.0; 0.0 |] with
+            | Some (lo, hi) ->
+                Alcotest.(check (float 1e-4)) "lo" (-1.0) lo;
+                Alcotest.(check (float 1e-4)) "hi" 1.0 hi
+            | None -> Alcotest.fail "expected chord"));
+    ts "samples stay inside the ellipsoid" (fun () ->
+        let rng = Rng.create 21 in
+        let body = Option.get (OB.ellipsoid [| [| 1.0; 0.5 |]; [| 0.5; 2.0 |] |]) in
+        let start = ref (Vec.create 2) in
+        for _ = 1 to 300 do
+          let p = OB.sample rng body ~start:!start ~steps:20 in
+          start := p;
+          Alcotest.(check bool) "member" true (body.OB.mem p)
+        done);
+    ts "ellipsoid volume matches closed form (sec 5 extension)" (fun () ->
+        let rng = Rng.create 22 in
+        (* vol{xᵀAx<=1} = V_ball(d) / sqrt(det A) *)
+        let a = [| [| 1.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+        let truth = Vol.ball_volume ~dim:2 ~radius:1.0 /. 2.0 in
+        let body = Option.get (OB.ellipsoid a) in
+        let est = OB.estimate_volume rng ~samples_per_phase:2000 body in
+        Alcotest.(check bool)
+          (Printf.sprintf "est=%.4f truth=%.4f" est truth)
+          true
+          (Float.abs (est -. truth) /. truth < 0.12));
+  ]
+
+
+let ball_walk_tests =
+  let module BW = Scdb_sampling.Ball_walk in
+  [
+    t "ball walk stays inside" (fun () ->
+        let rng = Rng.create 30 in
+        let c = P.unit_cube 3 in
+        let p = BW.sample_polytope rng c ~start:[| 0.5; 0.5; 0.5 |] ~steps:200 () in
+        Alcotest.(check bool) "inside" true (P.mem c p));
+    t "start outside rejected" (fun () ->
+        let rng = Rng.create 31 in
+        try
+          ignore (BW.walk rng ~mem:(fun _ -> false) ~start:[| 0.0 |] ~steps:1 ~radius:0.1);
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "acceptance rate reported" (fun () ->
+        let rng = Rng.create 32 in
+        let c = P.unit_cube 2 in
+        let _, stats = BW.walk rng ~mem:(fun x -> P.mem c x) ~start:[| 0.5; 0.5 |] ~steps:500 ~radius:0.2 in
+        Alcotest.(check int) "steps" 500 stats.BW.steps;
+        Alcotest.(check bool) "some accepted" true (stats.BW.accepted > 250));
+    ts "ball walk empirical mean near centre" (fun () ->
+        let rng = Rng.create 33 in
+        let c = P.unit_cube 2 in
+        let start = ref [| 0.1; 0.1 |] in
+        let sum = ref 0.0 in
+        let n = 2000 in
+        for _ = 1 to n do
+          let p = BW.sample_polytope rng c ~start:!start ~steps:80 () in
+          start := p;
+          sum := !sum +. p.(0)
+        done;
+        Alcotest.(check (float 0.04)) "mean" 0.5 (!sum /. float_of_int n));
+  ]
+
+let stats_tests =
+  let module S = Scdb_sampling.Stats in
+  [
+    t "welford mean and variance" (fun () ->
+        let acc = S.create () in
+        List.iter (S.add acc) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        Alcotest.(check (float 1e-9)) "mean" 5.0 (S.mean acc);
+        Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (S.variance acc);
+        Alcotest.(check int) "count" 8 (S.count acc));
+    t "empty accumulator raises" (fun () ->
+        try
+          ignore (S.mean (S.create ()));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "confidence interval contains the mean and shrinks" (fun () ->
+        let rng = Rng.create 34 in
+        let small = S.create () and large = S.create () in
+        for i = 1 to 10_000 do
+          let x = Rng.float rng in
+          if i <= 100 then S.add small x;
+          S.add large x
+        done;
+        let lo1, hi1 = S.confidence_interval small ~confidence:0.95 in
+        let lo2, hi2 = S.confidence_interval large ~confidence:0.95 in
+        Alcotest.(check bool) "contains" true (lo2 <= 0.5 && 0.5 <= hi2);
+        Alcotest.(check bool) "shrinks" true (hi2 -. lo2 < hi1 -. lo1));
+    t "hoeffding radius formula" (fun () ->
+        let r = S.hoeffding_radius ~n:200 ~range:1.0 ~delta:0.05 in
+        Alcotest.(check (float 1e-9)) "value" (sqrt (log 40.0 /. 400.0)) r);
+    t "quantile nearest rank" (fun () ->
+        let data = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+        Alcotest.(check (float 0.0)) "median" 3.0 (S.quantile data 0.5);
+        Alcotest.(check (float 0.0)) "min" 1.0 (S.quantile data 0.0);
+        Alcotest.(check (float 0.0)) "max" 5.0 (S.quantile data 1.0));
+    t "merge equals sequential" (fun () ->
+        let a = S.create () and b = S.create () and all = S.create () in
+        List.iteri
+          (fun i x ->
+            S.add (if i mod 2 = 0 then a else b) x;
+            S.add all x)
+          [ 1.0; 5.0; 2.0; 8.0; 3.0; 1.5; 9.0 ];
+        let m = S.merge a b in
+        Alcotest.(check (float 1e-9)) "mean" (S.mean all) (S.mean m);
+        Alcotest.(check (float 1e-9)) "variance" (S.variance all) (S.variance m));
+  ]
+
+
+let mixing_tests =
+  let module Mix = Scdb_sampling.Mixing in
+  [
+    t "iid series has tau near 1" (fun () ->
+        let rng = Rng.create 40 in
+        let xs = Array.init 5000 (fun _ -> Rng.float rng) in
+        let tau = Mix.integrated_autocorrelation_time xs in
+        Alcotest.(check bool) (Printf.sprintf "tau=%.2f" tau) true (tau < 1.4));
+    t "AR(1) series has tau near (1+rho)/(1-rho)" (fun () ->
+        let rng = Rng.create 41 in
+        let rho = 0.9 in
+        let xs = Array.make 50_000 0.0 in
+        for i = 1 to Array.length xs - 1 do
+          xs.(i) <- (rho *. xs.(i - 1)) +. Rng.gaussian rng
+        done;
+        let tau = Mix.integrated_autocorrelation_time xs in
+        (* theory: tau = (1+rho)/(1-rho) = 19 *)
+        Alcotest.(check bool) (Printf.sprintf "tau=%.1f" tau) true (tau > 10.0 && tau < 30.0));
+    t "constant series" (fun () ->
+        let xs = Array.make 100 3.14 in
+        Alcotest.(check (float 0.0)) "acf" 0.0 (Mix.autocorrelation xs ~lag:1);
+        Alcotest.(check (float 0.0)) "tau" 1.0 (Mix.integrated_autocorrelation_time xs));
+    t "ess at most n" (fun () ->
+        let rng = Rng.create 42 in
+        let xs = Array.init 1000 (fun _ -> Rng.float rng) in
+        Alcotest.(check bool) "bounded" true (Mix.effective_sample_size xs <= 1000.0));
+    t "trace records thinned values" (fun () ->
+        let rng = Rng.create 43 in
+        let series =
+          Mix.trace rng ~steps:100 ~thin:10 ~init:[| 0.0 |]
+            ~next:(fun _ x -> [| x.(0) +. 1.0 |])
+            ~f:(fun x -> x.(0))
+        in
+        Alcotest.(check int) "length" 10 (Array.length series);
+        Alcotest.(check (float 0.0)) "first" 10.0 series.(0);
+        Alcotest.(check (float 0.0)) "last" 100.0 series.(9));
+  ]
+
+let suites =
+  [
+    ("sampling.grid", grid_tests);
+    ("sampling.walk", walk_tests);
+    ("sampling.hit_and_run", hit_and_run_tests);
+    ("sampling.rejection", rejection_tests);
+    ("sampling.chernoff", chernoff_tests);
+    ("sampling.rounding", rounding_tests);
+    ("sampling.volume", volume_tests);
+    ("sampling.oracle_body", oracle_body_tests);
+    ("sampling.ball_walk", ball_walk_tests);
+    ("sampling.stats", stats_tests);
+    ("sampling.mixing", mixing_tests);
+  ]
