@@ -1,0 +1,28 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench perf check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Perf-regression harness: writes BENCH_<n>.json in the repo root.
+bench:
+	dune exec bench/regress.exe
+
+# Bechamel micro-benchmarks (finer-grained, no JSON output).
+perf:
+	dune exec bench/main.exe -- perf
+
+# Tier-1 gate: full build, benches compile, tests pass.
+check:
+	dune build
+	dune build @bench
+	dune runtest
+
+clean:
+	dune clean

@@ -23,11 +23,29 @@ let tests () =
   let hull = HL.of_points hull_pts in
   let bigint_a = Bigint.pow (Bigint.of_int 3) 400 in
   let bigint_b = Bigint.pow (Bigint.of_int 7) 300 in
+  let small_a = Bigint.of_int 123_456_789 and small_b = Bigint.of_int 987_654_321 in
+  let q_a = Rational.of_ints 355 113 and q_b = Rational.of_ints 113 355 in
+  let chord_dir = Rng.unit_vector rng 4 in
+  let chord_cursor = P.Kernel.make cube4 (Array.make 4 0.5) in
   [
     Test.make ~name:"bigint.mul(400x300 digits)"
       (Staged.stage (fun () -> ignore (Bigint.mul bigint_a bigint_b)));
     Test.make ~name:"bigint.divmod"
       (Staged.stage (fun () -> ignore (Bigint.divmod bigint_a bigint_b)));
+    Test.make ~name:"bigint.mul(small fast path)"
+      (Staged.stage (fun () -> ignore (Bigint.mul small_a small_b)));
+    Test.make ~name:"bigint.mul(small limb path)"
+      (Staged.stage (fun () -> ignore (Bigint.Reference.mul small_a small_b)));
+    Test.make ~name:"bigint.gcd(small fast path)"
+      (Staged.stage (fun () -> ignore (Bigint.gcd small_a small_b)));
+    Test.make ~name:"rational.add(small)"
+      (Staged.stage (fun () -> ignore (Rational.add q_a q_b)));
+    Test.make ~name:"rational.mul(small)"
+      (Staged.stage (fun () -> ignore (Rational.mul q_a q_b)));
+    Test.make ~name:"chord.line_intersection(cube4)"
+      (Staged.stage (fun () -> ignore (P.line_intersection cube4 (Array.make 4 0.5) chord_dir)));
+    Test.make ~name:"chord.kernel_incremental(cube4)"
+      (Staged.stage (fun () -> ignore (P.Kernel.chord chord_cursor chord_dir)));
     Test.make ~name:"lp.chebyshev(cube4)"
       (Staged.stage (fun () -> ignore (Lp.chebyshev ~a:cube4.P.a ~b:cube4.P.b)));
     Test.make ~name:"volume_exact(simplex3)"
@@ -36,13 +54,20 @@ let tests () =
       (Staged.stage (fun () -> ignore (FM.eliminate_var_tuple ~prune:false 3 simplex4_tuple)));
     Test.make ~name:"fm.eliminate_one_var+prune"
       (Staged.stage (fun () -> ignore (FM.eliminate_var_tuple ~prune:true 3 simplex4_tuple)));
-    Test.make ~name:"walk.100steps(cube4)"
+    Test.make ~name:"walk.100steps(cube4,oracle)"
       (Staged.stage (fun () ->
            ignore
              (W.sample rng ~grid
                 ~mem:(fun x -> P.mem cube4 x)
                 ~start:(Array.make 4 0.5) ~steps:100)));
-    Test.make ~name:"hit_and_run.100steps(cube4)"
+    Test.make ~name:"walk.100steps(cube4,kernel)"
+      (Staged.stage (fun () ->
+           ignore (W.sample_polytope rng ~grid cube4 ~start:(Array.make 4 0.5) ~steps:100)));
+    Test.make ~name:"hit_and_run.100steps(cube4,naive)"
+      (Staged.stage (fun () ->
+           ignore
+             (HR.sample rng ~chord:(HR.polytope_chord cube4) ~start:(Array.make 4 0.5) ~steps:100)));
+    Test.make ~name:"hit_and_run.100steps(cube4,kernel)"
       (Staged.stage (fun () ->
            ignore (HR.sample_polytope rng cube4 ~start:(Array.make 4 0.5) ~steps:100)));
     Test.make ~name:"hull_lp.mem(40pts,3d)"

@@ -1,0 +1,314 @@
+(* Perf-regression harness: self-contained kernel benchmarks with
+   seed-implementation baselines, emitting BENCH_<n>.json so successive
+   PRs can track the trajectory of the hot paths.
+
+   Usage:
+     dune exec bench/regress.exe                 write BENCH_<next>.json
+     dune exec bench/regress.exe -- -o out.json  explicit output file
+     dune exec bench/regress.exe -- --fast       cheaper calibration
+
+   Each kernel is measured as median ns/op over several trials; the
+   naive/seed baselines replicate the pre-optimization implementations
+   (limb-only bigints, chord recomputation, copying lattice steps) so
+   the speedup of the incremental kernels and small-int fast paths is
+   visible inside a single run. *)
+
+module P = Scdb_polytope.Polytope
+module HR = Scdb_sampling.Hit_and_run
+module W = Scdb_sampling.Walk
+module G = Scdb_sampling.Grid
+module FM = Scdb_qe.Fourier_motzkin
+module Rng = Scdb_rng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type result = { name : string; ns_per_op : float; ops : int; trials : int }
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n land 1 = 1 then a.(n / 2) else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+(* [f ()] performs [ops] operations of the kernel under test. *)
+let measure ~fast ~name ~ops f =
+  let target = if fast then 0.01 else 0.05 in
+  let trials = if fast then 5 else 9 in
+  (* Calibrate the repeat count so one trial takes ~[target] seconds. *)
+  let rec calibrate reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= target /. 2.0 || reps > 1_000_000 then (reps, dt) else calibrate (reps * 2)
+  in
+  let reps, _ = calibrate 1 in
+  let samples = ref [] in
+  for _ = 1 to trials do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    samples := (dt *. 1e9 /. float_of_int (reps * ops)) :: !samples
+  done;
+  { name; ns_per_op = median !samples; ops; trials }
+
+(* ------------------------------------------------------------------ *)
+(* Seed-implementation baselines                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed generator: xoshiro256** with the state in mutable [int64]
+   record fields.  Same algorithm and bit stream as the current
+   [Rng.t], but every state store re-boxes an int64, which is exactly
+   the cost the bytes-backed representation removed — so this replica
+   is the honest baseline for anything direction-draw-bound. *)
+module Seed_rng = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let splitmix64 state =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let create seed =
+    let state = ref (Int64.of_int seed) in
+    let s0 = splitmix64 state in
+    let s1 = splitmix64 state in
+    let s2 = splitmix64 state in
+    let s3 = splitmix64 state in
+    { s0; s1; s2; s3 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let bits64 t =
+    let open Int64 in
+    let result = mul (rotl (mul t.s1 5L) 7) 9L in
+    let tmp = shift_left t.s1 17 in
+    t.s2 <- logxor t.s2 t.s0;
+    t.s3 <- logxor t.s3 t.s1;
+    t.s1 <- logxor t.s1 t.s2;
+    t.s0 <- logxor t.s0 t.s3;
+    t.s2 <- logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let float t =
+    let x = Int64.shift_right_logical (bits64 t) 11 in
+    Int64.to_float x *. 0x1p-53
+
+  let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+  let bool t = Int64.logand (bits64 t) 1L = 1L
+
+  let int t bound =
+    let mask = Int64.of_int max_int in
+    let rec go () =
+      let x = Int64.to_int (Int64.logand (bits64 t) mask) in
+      let r = x mod bound in
+      if x - r > max_int - bound + 1 then go () else r
+    in
+    go ()
+
+  let gaussian t =
+    let rec go () =
+      let u = uniform t (-1.0) 1.0 and v = uniform t (-1.0) 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then go () else u *. sqrt (-2.0 *. log s /. s)
+    in
+    go ()
+
+  let unit_vector t d =
+    let rec go () =
+      let v = Vec.init d (fun _ -> gaussian t) in
+      let n = Vec.norm v in
+      if n < 1e-12 then go () else Vec.scale (1.0 /. n) v
+    in
+    go ()
+end
+
+(* The pre-flat chord: per-row Vec.dot against the row-pointer matrix,
+   recomputing both A·dir and A·x from scratch (seed
+   Polytope.line_intersection). *)
+let seed_line_intersection (poly : P.t) x dir =
+  let tmin = ref neg_infinity and tmax = ref infinity in
+  Array.iteri
+    (fun i row ->
+      let denom = Vec.dot row dir in
+      let slack = poly.P.b.(i) -. Vec.dot row x in
+      if Float.abs denom < 1e-14 then begin
+        if slack < 0.0 then begin
+          tmin := infinity;
+          tmax := neg_infinity
+        end
+      end
+      else if denom > 0.0 then tmax := Float.min !tmax (slack /. denom)
+      else tmin := Float.max !tmin (slack /. denom))
+    poly.P.a;
+  if !tmin > !tmax then None else Some (!tmin, !tmax)
+
+(* The seed hit-and-run step: allocating direction draws off the
+   record-state generator, chord recomputed from scratch per step,
+   position advanced through a fresh Vec.axpy (seed
+   Hit_and_run.sample with the seed polytope chord). *)
+let seed_hit_and_run_sample rng poly ~start ~steps =
+  let dim = Vec.dim start in
+  let current = ref (Vec.copy start) in
+  for _ = 1 to steps do
+    let dir = Seed_rng.unit_vector rng dim in
+    match seed_line_intersection poly !current dir with
+    | None -> ()
+    | Some (lo, hi) ->
+        if hi > lo && Float.is_finite lo && Float.is_finite hi then
+          current := Vec.axpy (Seed_rng.uniform rng lo hi) dir !current
+  done;
+  !current
+
+(* The seed lattice step: copy the index vector, materialize the float
+   point, evaluate the full membership oracle. *)
+let seed_walk_sample rng ~grid ~mem ~start ~steps =
+  let start_idx = G.of_point grid start in
+  let current = ref start_idx in
+  for _ = 1 to steps do
+    if not (Seed_rng.bool rng) then begin
+      let dim = (grid : G.t).dim in
+      let coord = Seed_rng.int rng dim in
+      let delta = if Seed_rng.bool rng then 1 else -1 in
+      let candidate = Array.copy !current in
+      candidate.(coord) <- candidate.(coord) + delta;
+      if mem (G.to_point grid candidate) then current := candidate
+    end
+  done;
+  G.to_point grid !current
+
+(* Seed Rational.add: textbook cross-multiplication plus a full
+   canonicalizing gcd, every Bigint operation on the limb-only path. *)
+let seed_rational_add (a : Rational.t) (b : Rational.t) =
+  let open Bigint.Reference in
+  let num = add (mul a.Rational.num b.Rational.den) (mul b.Rational.num a.Rational.den) in
+  let den = mul a.Rational.den b.Rational.den in
+  let g = gcd num den in
+  Rational.make (fst (divmod num g)) (fst (divmod den g))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_polytope ~dim ~extra rng =
+  (* [-1,1]^dim cut by [extra] random halfspaces at distance 0.8, so the
+     origin stays comfortably inside. *)
+  let poly = ref (P.cube dim 1.0) in
+  for _ = 1 to extra do
+    poly := P.add_halfspace !poly (Rng.unit_vector rng dim) 0.8
+  done;
+  !poly
+
+let run ~fast ~out =
+  let rng = Rng.create 20060101 in
+  let seed_rng = Seed_rng.create 20060101 in
+  let dim = 12 in
+  let poly = fixture_polytope ~dim ~extra:48 rng in
+  let centre = Vec.create dim in
+  let grid = G.make ~step:0.0625 ~dim in
+  let hr_steps = 32 and walk_steps = 64 in
+  let mem x = P.mem poly x in
+  (* Small-operand exact arithmetic fixtures. *)
+  let sa = Bigint.of_int 123_456_789 and sb = Bigint.of_int 987_654_321 in
+  let qa = Rational.of_ints 355 113 and qb = Rational.of_ints 113 355 in
+  let big_a = Bigint.pow (Bigint.of_int 3) 400 and big_b = Bigint.pow (Bigint.of_int 7) 300 in
+  let simplex4_tuple = List.concat (Relation.tuples (Relation.standard_simplex 4)) in
+  let dir = Rng.unit_vector rng dim in
+  let cursor = P.Kernel.make poly centre in
+  let results =
+    [
+      measure ~fast ~name:"hit_and_run.step.seed" ~ops:hr_steps (fun () ->
+          ignore (seed_hit_and_run_sample seed_rng poly ~start:centre ~steps:hr_steps));
+      measure ~fast ~name:"hit_and_run.step.naive" ~ops:hr_steps (fun () ->
+          ignore (HR.sample rng ~chord:(HR.polytope_chord poly) ~start:centre ~steps:hr_steps));
+      measure ~fast ~name:"hit_and_run.step.incremental" ~ops:hr_steps (fun () ->
+          ignore (HR.sample_polytope rng poly ~start:centre ~steps:hr_steps));
+      measure ~fast ~name:"walk.step.seed" ~ops:walk_steps (fun () ->
+          ignore (seed_walk_sample seed_rng ~grid ~mem ~start:centre ~steps:walk_steps));
+      measure ~fast ~name:"walk.step.incremental" ~ops:walk_steps (fun () ->
+          ignore (W.sample_polytope rng ~grid poly ~start:centre ~steps:walk_steps));
+      measure ~fast ~name:"chord.seed" ~ops:1 (fun () ->
+          ignore (seed_line_intersection poly centre dir));
+      measure ~fast ~name:"chord.flat" ~ops:1 (fun () -> ignore (P.line_intersection poly centre dir));
+      measure ~fast ~name:"chord.incremental" ~ops:1 (fun () -> ignore (P.Kernel.chord cursor dir));
+      measure ~fast ~name:"bigint.add.small" ~ops:1 (fun () -> ignore (Bigint.add sa sb));
+      measure ~fast ~name:"bigint.add.small.limb" ~ops:1 (fun () ->
+          ignore (Bigint.Reference.add sa sb));
+      measure ~fast ~name:"bigint.mul.small" ~ops:1 (fun () -> ignore (Bigint.mul sa sb));
+      measure ~fast ~name:"bigint.mul.small.limb" ~ops:1 (fun () ->
+          ignore (Bigint.Reference.mul sa sb));
+      measure ~fast ~name:"bigint.gcd.small" ~ops:1 (fun () -> ignore (Bigint.gcd sa sb));
+      measure ~fast ~name:"bigint.gcd.small.limb" ~ops:1 (fun () ->
+          ignore (Bigint.Reference.gcd sa sb));
+      measure ~fast ~name:"bigint.mul.big" ~ops:1 (fun () -> ignore (Bigint.mul big_a big_b));
+      measure ~fast ~name:"rational.add.small" ~ops:1 (fun () -> ignore (Rational.add qa qb));
+      measure ~fast ~name:"rational.add.small.seed" ~ops:1 (fun () ->
+          ignore (seed_rational_add qa qb));
+      measure ~fast ~name:"rational.mul.small" ~ops:1 (fun () -> ignore (Rational.mul qa qb));
+      measure ~fast ~name:"fm.eliminate_var(simplex4)" ~ops:1 (fun () ->
+          ignore (FM.eliminate_var_tuple ~prune:false 3 simplex4_tuple));
+    ]
+  in
+  (* Report. *)
+  Printf.printf "%-34s  %12s\n" "kernel" "median ns/op";
+  Printf.printf "%s\n" (String.make 48 '-');
+  List.iter (fun r -> Printf.printf "%-34s  %12.1f\n" r.name r.ns_per_op) results;
+  let find n = List.find (fun r -> r.name = n) results in
+  let speedup slow fastk =
+    let s = (find slow).ns_per_op /. (find fastk).ns_per_op in
+    Printf.printf "speedup %-28s %6.2fx  (%s -> %s)\n" fastk s slow fastk;
+    s
+  in
+  print_newline ();
+  let checks =
+    [
+      speedup "hit_and_run.step.seed" "hit_and_run.step.incremental";
+      speedup "walk.step.seed" "walk.step.incremental";
+      speedup "chord.seed" "chord.incremental";
+      speedup "bigint.mul.small.limb" "bigint.mul.small";
+      speedup "bigint.add.small.limb" "bigint.add.small";
+      speedup "rational.add.small.seed" "rational.add.small";
+    ]
+  in
+  List.iter (fun s -> if s < 2.0 then Printf.printf "WARNING: speedup %.2fx below the 2x target\n" s) checks;
+  (* JSON out. *)
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/1\",\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.3f, \"trials\": %d}%s\n" r.name
+        r.ns_per_op r.trials
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "--fast" args in
+  let out =
+    let rec after_o = function
+      | "-o" :: f :: _ -> Some f
+      | _ :: rest -> after_o rest
+      | [] -> None
+    in
+    match after_o args with
+    | Some f -> f
+    | None ->
+        let rec next n =
+          let f = Printf.sprintf "BENCH_%d.json" n in
+          if Sys.file_exists f then next (n + 1) else f
+        in
+        next 1
+  in
+  run ~fast ~out

@@ -1,19 +1,31 @@
-(* Arbitrary-precision integers, sign-magnitude, limbs in base 2^15.
+(* Arbitrary-precision integers with a small-int fast path.
 
-   The limb base is chosen small enough that schoolbook products
-   ([< 2^30]) and long sums of them stay far below [max_int] on 64-bit
-   platforms, which keeps every inner loop in plain [int] arithmetic. *)
+   Representation is a tagged union: values whose magnitude fits a
+   native [int] (excluding [min_int], so negation never overflows) are
+   carried as [Small of int] and handled with word-sized arithmetic;
+   everything else is [Big] in sign-magnitude form with little-endian
+   limbs in base 2^15.  The limb base is chosen small enough that
+   schoolbook products ([< 2^30]) and long sums of them stay far below
+   [max_int] on 64-bit platforms, which keeps every inner loop in plain
+   [int] arithmetic.
+
+   Canonical-form invariant (relied on by [compare], [equal] and
+   [hash]): a value is [Small] iff its magnitude is at most [max_int];
+   a [Big] value always has [num_bits > Sys.int_size - 1].  All
+   constructors normalize through {!norm_sign_mag}. *)
 
 let base_bits = 15
 let base = 1 lsl base_bits (* 32768 *)
 let base_mask = base - 1
 
-type t = {
-  sign : int; (* -1, 0 or 1; 0 iff mag = [||] *)
-  mag : int array; (* little-endian limbs in [0, base), no trailing zeros *)
-}
+type t = Small of int | Big of { sign : int; mag : int array }
+(* [Big.sign] is -1 or 1 (never 0: zero is [Small 0]); [Big.mag] has no
+   trailing zero limbs and does not fit a native [int]. *)
 
-let zero = { sign = 0; mag = [||] }
+let zero = Small 0
+let one = Small 1
+let minus_one = Small (-1)
+let two = Small 2
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude (unsigned) primitives                                     *)
@@ -30,10 +42,6 @@ let significant m =
 let trim m =
   let n = significant m in
   if n = Array.length m then m else Array.sub m 0 n
-
-let make_mag_signed sign m =
-  let m = trim m in
-  if Array.length m = 0 then zero else { sign; mag = m }
 
 let ucompare a b =
   let la = Array.length a and lb = Array.length b in
@@ -291,156 +299,250 @@ let udivmod u v =
   | _ -> if ucompare u v < 0 then ([||], u) else udivmod_knuth u v
 
 (* ------------------------------------------------------------------ *)
+(* Representation plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Magnitude limbs of a positive native int. *)
+let mag_of_pos x =
+  let rec limbs x acc = if x = 0 then List.rev acc else limbs (x lsr base_bits) ((x land base_mask) :: acc) in
+  Array.of_list (limbs x [])
+
+(* Native value of a trimmed magnitude known to be at most [max_int]. *)
+let int_of_mag m = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) m 0
+
+(* A trimmed magnitude fits a non-negative native int iff it is at most
+   [max_int] = 2^62 - 1: up to 4 limbs always fit (60 bits); 5 limbs fit
+   when the top limb keeps the total at or below 62 bits. *)
+let mag_fits_int m =
+  let l = Array.length m in
+  l <= 4 || (l = 5 && m.(4) <= 3)
+
+(* Canonicalizing constructor from sign and (possibly untrimmed)
+   magnitude.  The single place where the Small/Big boundary is
+   decided, so the representation of a value never depends on the
+   operation that produced it. *)
+let norm_sign_mag sign m =
+  let m = trim m in
+  if Array.length m = 0 then Small 0
+  else if mag_fits_int m then Small (if sign < 0 then -int_of_mag m else int_of_mag m)
+  else Big { sign = (if sign < 0 then -1 else 1); mag = m }
+
+(* Decompose into (sign, magnitude limbs) for the limb-level code. *)
+let sign_mag = function
+  | Small 0 -> (0, [||])
+  | Small v -> if v > 0 then (1, mag_of_pos v) else (-1, mag_of_pos (-v))
+  | Big { sign; mag } -> (sign, mag)
+
+(* ------------------------------------------------------------------ *)
 (* Signed interface                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let of_int x =
-  if x = 0 then zero
-  else begin
-    let sign = if x < 0 then -1 else 1 in
-    (* Avoid [abs min_int] overflow by carving limbs with Euclidean steps. *)
-    let rec limbs x acc = if x = 0 then List.rev acc else limbs (x lsr base_bits) ((x land base_mask) :: acc) in
-    let mag_of_pos x = Array.of_list (limbs x []) in
-    if x = min_int then begin
-      (* min_int = -2^62 on 64-bit: build from shifted one. *)
-      let m = ushift_left [| 1 |] (Sys.int_size - 1) in
-      { sign = -1; mag = m }
-    end
-    else { sign; mag = mag_of_pos (abs x) }
-  end
+  if x <> min_int then Small x
+  else (* min_int = -2^62 on 64-bit: magnitude does not fit [Small]. *)
+    Big { sign = -1; mag = ushift_left [| 1 |] (Sys.int_size - 1) }
 
-let one = of_int 1
-let minus_one = of_int (-1)
-let two = of_int 2
+let sign = function Small v -> compare v 0 | Big b -> b.sign
+let is_zero t = t = Small 0
 
-let sign t = t.sign
-let is_zero t = t.sign = 0
+let neg = function
+  | Small v -> Small (-v) (* [Small] never holds [min_int] *)
+  | Big b -> Big { b with sign = -b.sign }
 
-let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
-let abs t = if t.sign < 0 then neg t else t
+let abs t = if sign t < 0 then neg t else t
 
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
-  else if a.sign >= 0 then ucompare a.mag b.mag
-  else ucompare b.mag a.mag
+  match (a, b) with
+  | Small x, Small y -> compare x y
+  | Small _, Big b -> -b.sign (* |Big| > max_int >= |Small| *)
+  | Big b, Small _ -> b.sign
+  | Big x, Big y ->
+      if x.sign <> y.sign then compare x.sign y.sign
+      else if x.sign >= 0 then ucompare x.mag y.mag
+      else ucompare y.mag x.mag
 
-let equal a b = compare a b = 0
+let equal a b =
+  match (a, b) with
+  | Small x, Small y -> x = y
+  | Big x, Big y -> x.sign = y.sign && ucompare x.mag y.mag = 0
+  | _ -> false (* canonical form: Small and Big ranges are disjoint *)
+
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let hash t = Hashtbl.hash (t.sign, t.mag)
+(* Canonical form makes hashing representation-independent: a given
+   integer value is always [Small] or always [Big], never both. *)
+let hash = function
+  | Small v -> Hashtbl.hash v
+  | Big { sign; mag } -> Hashtbl.hash (sign, mag)
+
+(* Slow paths through the limb code. *)
+let add_slow a b =
+  let sa, ma = sign_mag a and sb, mb = sign_mag b in
+  if sa = 0 then b
+  else if sb = 0 then a
+  else if sa = sb then norm_sign_mag sa (uadd ma mb)
+  else begin
+    let c = ucompare ma mb in
+    if c = 0 then zero
+    else if c > 0 then norm_sign_mag sa (usub ma mb)
+    else norm_sign_mag sb (usub mb ma)
+  end
+
+let mul_slow a b =
+  let sa, ma = sign_mag a and sb, mb = sign_mag b in
+  if sa = 0 || sb = 0 then zero else norm_sign_mag (sa * sb) (umul ma mb)
 
 let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then { sign = a.sign; mag = uadd a.mag b.mag }
-  else begin
-    let c = ucompare a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then make_mag_signed a.sign (usub a.mag b.mag)
-    else make_mag_signed b.sign (usub b.mag a.mag)
-  end
+  match (a, b) with
+  | Small x, Small y ->
+      let s = x + y in
+      (* Overflow iff operands share a sign the sum lost; a sum of
+         exactly [min_int] is representable but not [Small]. *)
+      if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then add_slow a b
+      else if s = min_int then of_int min_int
+      else Small s
+  | _ -> add_slow a b
 
 let sub a b = add a (neg b)
 
 let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else { sign = a.sign * b.sign; mag = umul a.mag b.mag }
+  match (a, b) with
+  | Small x, Small y ->
+      if x = 0 || y = 0 then zero
+      else begin
+        let p = x * y in
+        (* [p <> min_int] first: rules the lone [p / y] overflow case
+           out before the division validates the product. *)
+        if p <> min_int && p / y = x then Small p else mul_slow a b
+      end
+  | _ -> mul_slow a b
 
 let mul_int a x =
-  if x = 0 || a.sign = 0 then zero
-  else if x = min_int then mul a (of_int x)
-  else begin
-    let s = if x < 0 then -a.sign else a.sign in
-    let ax = if x < 0 then -x else x in
-    if ax < base then { sign = s; mag = umul_small a.mag ax }
-    else mul a (of_int x)
-  end
+  match a with
+  | Small _ when x <> min_int -> mul a (Small x)
+  | _ ->
+      if x = 0 || is_zero a then zero
+      else if x = min_int then mul a (of_int x)
+      else begin
+        let sa, ma = sign_mag a in
+        let s = if x < 0 then -sa else sa in
+        let ax = if x < 0 then -x else x in
+        if ax < base then norm_sign_mag s (umul_small ma ax) else mul a (of_int x)
+      end
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else begin
-    let q, r = udivmod a.mag b.mag in
-    let qs = a.sign * b.sign and rs = a.sign in
-    (make_mag_signed qs q, make_mag_signed rs r)
-  end
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+      (* Native [/] and [mod] are truncated with [sign r = sign a],
+         exactly the documented contract; operands are never [min_int]
+         so [min_int / -1] cannot be reached. *)
+      (Small (x / y), Small (x mod y))
+  | _ ->
+      let sa, ma = sign_mag a and sb, mb = sign_mag b in
+      if sa = 0 then (zero, zero)
+      else begin
+        let q, r = udivmod ma mb in
+        (norm_sign_mag (sa * sb) q, norm_sign_mag sa r)
+      end
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let ediv_rem a b =
   let q, r = divmod a b in
-  if r.sign >= 0 then (q, r)
-  else if b.sign > 0 then (sub q one, add r b)
+  if sign r >= 0 then (q, r)
+  else if sign b > 0 then (sub q one, add r b)
   else (add q one, sub r b)
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if b.sign = 0 then a else gcd b (rem a b)
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y ->
+      let rec go a b = if b = 0 then a else go b (a mod b) in
+      Small (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+      let rec go a b = if is_zero b then a else go b (rem a b) in
+      go (abs a) (abs b)
 
-let lcm a b = if a.sign = 0 || b.sign = 0 then zero else abs (mul (div a (gcd a b)) b)
+let lcm a b = if is_zero a || is_zero b then zero else abs (mul (div a (gcd a b)) b)
 
 let pow b n =
   if n < 0 then invalid_arg "Bigint.pow: negative exponent";
   let rec go acc b n = if n = 0 then acc else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1) else go acc (mul b b) (n lsr 1) in
   go one b n
 
+let num_bits a =
+  let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + 1) in
+  match a with
+  | Small 0 -> 0
+  | Small v -> bits (Stdlib.abs v) 0
+  | Big b ->
+      let l = Array.length b.mag in
+      ((l - 1) * base_bits) + bits b.mag.(l - 1) 0
+
 let shift_left a n =
   if n < 0 then invalid_arg "Bigint.shift_left";
-  if a.sign = 0 then zero else { a with mag = ushift_left a.mag n }
+  match a with
+  | Small 0 -> zero
+  | Small v when n <= Sys.int_size - 2 && Stdlib.abs v <= Stdlib.max_int asr n -> Small (v lsl n)
+  | _ ->
+      let s, m = sign_mag a in
+      norm_sign_mag s (ushift_left m n)
 
 let shift_right a n =
   if n < 0 then invalid_arg "Bigint.shift_right";
-  if a.sign = 0 then zero else make_mag_signed a.sign (ushift_right a.mag n)
+  match a with
+  | Small v ->
+      let av = Stdlib.abs v in
+      let shifted = if n >= Sys.int_size - 1 then 0 else av asr n in
+      Small (if v < 0 then -shifted else shifted)
+  | Big b -> norm_sign_mag b.sign (ushift_right b.mag n)
 
 let succ a = add a one
 let pred a = sub a one
 
-let num_bits a =
-  let l = Array.length a.mag in
-  if l = 0 then 0
-  else begin
-    let top = a.mag.(l - 1) in
-    let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + 1) in
-    ((l - 1) * base_bits) + bits top 0
-  end
+(* [min_int] itself is the one native value whose magnitude (2^62)
+   lives outside [Small]; recognize its limbs so the conversions below
+   stay total on the native range. *)
+let mag_is_min_int m =
+  Array.length m = 5 && m.(4) = 4 && m.(3) = 0 && m.(2) = 0 && m.(1) = 0 && m.(0) = 0
 
-let fits_int a = num_bits a <= Sys.int_size - 2
+let fits_int = function
+  | Small _ -> true
+  | Big b -> b.sign < 0 && mag_is_min_int b.mag
 
-let to_int_opt a =
-  if not (fits_int a) then None
-  else begin
-    let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) a.mag 0 in
-    Some (if a.sign < 0 then -v else v)
-  end
+let to_int_opt = function
+  | Small v -> Some v
+  | Big b -> if b.sign < 0 && mag_is_min_int b.mag then Some Stdlib.min_int else None
 
 let to_int a =
   match to_int_opt a with Some v -> v | None -> failwith "Bigint.to_int: overflow"
 
-let to_float a =
-  let v = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) a.mag 0.0 in
-  if a.sign < 0 then -.v else v
+let to_float = function
+  | Small v -> float_of_int v
+  | Big b ->
+      let v = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) b.mag 0.0 in
+      if b.sign < 0 then -.v else v
 
-let to_string a =
-  if a.sign = 0 then "0"
-  else begin
-    let buf = Buffer.create 32 in
-    let chunks = ref [] in
-    let m = ref a.mag in
-    while Array.length !m > 0 do
-      let q, r = udiv_small !m 10000 in
-      chunks := r :: !chunks;
-      m := q
-    done;
-    if a.sign < 0 then Buffer.add_char buf '-';
-    (match !chunks with
-    | [] -> ()
-    | first :: rest ->
-        Buffer.add_string buf (string_of_int first);
-        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
-    Buffer.contents buf
-  end
+let to_string = function
+  | Small v -> string_of_int v
+  | Big b ->
+      let buf = Buffer.create 32 in
+      let chunks = ref [] in
+      let m = ref b.mag in
+      while Array.length !m > 0 do
+        let q, r = udiv_small !m 10000 in
+        chunks := r :: !chunks;
+        m := q
+      done;
+      if b.sign < 0 then Buffer.add_char buf '-';
+      (match !chunks with
+      | [] -> ()
+      | first :: rest ->
+          Buffer.add_string buf (string_of_int first);
+          List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+      Buffer.contents buf
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 
@@ -451,18 +553,29 @@ let of_string s =
     match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
   in
   if start >= len then invalid_arg "Bigint.of_string: no digits";
-  let acc = ref [||] in
-  let i = ref start in
-  while !i < len do
-    let chunk_len = Stdlib.min 4 (len - !i) in
-    let chunk = String.sub s !i chunk_len in
-    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") chunk;
-    let v = int_of_string chunk in
-    let scale = match chunk_len with 1 -> 10 | 2 -> 100 | 3 -> 1000 | _ -> 10000 in
-    acc := uadd (umul_small !acc scale) (if v = 0 then [||] else [| v land base_mask; v lsr base_bits |]);
-    i := !i + chunk_len
-  done;
-  make_mag_signed (if negative then -1 else 1) !acc
+  String.iter
+    (fun c -> if not (c = '-' || c = '+' || (c >= '0' && c <= '9')) then invalid_arg "Bigint.of_string: bad digit")
+    s;
+  if len - start <= 18 then begin
+    (* At most 18 digits always fits a 63-bit int. *)
+    match int_of_string_opt s with
+    | Some v -> of_int v
+    | None -> invalid_arg "Bigint.of_string: bad digit"
+  end
+  else begin
+    let acc = ref [||] in
+    let i = ref start in
+    while !i < len do
+      let chunk_len = Stdlib.min 4 (len - !i) in
+      let chunk = String.sub s !i chunk_len in
+      String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") chunk;
+      let v = int_of_string chunk in
+      let scale = match chunk_len with 1 -> 10 | 2 -> 100 | 3 -> 1000 | _ -> 10000 in
+      acc := uadd (umul_small !acc scale) (if v = 0 then [||] else [| v land base_mask; v lsr base_bits |]);
+      i := !i + chunk_len
+    done;
+    norm_sign_mag (if negative then -1 else 1) !acc
+  end
 
 module Infix = struct
   let ( + ) = add
@@ -475,4 +588,32 @@ module Infix = struct
   let ( <= ) a b = compare a b <= 0
   let ( > ) a b = compare a b > 0
   let ( >= ) a b = compare a b >= 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Limb-only reference paths                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  (* Every operation decomposes to sign-magnitude and runs the limb
+     code unconditionally, bypassing the [Small] fast paths.  Results
+     are renormalized, so they compare [equal] to the fast ones. *)
+
+  let add a b = add_slow a b
+  let sub a b = add_slow a (neg b)
+  let mul a b = mul_slow a b
+
+  let divmod a b =
+    let sa, ma = sign_mag a and sb, mb = sign_mag b in
+    if sb = 0 then raise Division_by_zero
+    else if sa = 0 then (zero, zero)
+    else begin
+      let q, r = udivmod ma mb in
+      (norm_sign_mag (sa * sb) q, norm_sign_mag sa r)
+    end
+
+  let gcd a b =
+    let rec go ma mb = if Array.length mb = 0 then ma else go mb (snd (udivmod ma mb)) in
+    let _, ma = sign_mag (abs a) and _, mb = sign_mag (abs b) in
+    norm_sign_mag 1 (go ma mb)
 end

@@ -1,9 +1,15 @@
 (** Arbitrary-precision signed integers.
 
-    Sign-magnitude representation with little-endian limbs in base [2^15].
-    All operations are purely functional.  This module exists because the
-    exact pipeline (Fourier–Motzkin elimination, exact simplex) produces
-    coefficients whose bit-size grows quickly, far beyond native [int]. *)
+    Values whose magnitude fits a native [int] are carried on a
+    word-sized fast path; larger values fall back to sign-magnitude
+    limbs in base [2^15].  The representation is canonical, so
+    {!equal}, {!compare} and {!hash} never depend on how a value was
+    computed.  All operations are purely functional.  This module
+    exists because the exact pipeline (Fourier–Motzkin elimination,
+    exact simplex) produces coefficients whose bit-size grows quickly,
+    far beyond native [int] — while the vast majority of intermediate
+    values (simplex pivots, FM combinations on real inputs) stay small
+    enough for single-word arithmetic. *)
 
 type t
 
@@ -87,6 +93,22 @@ val num_bits : t -> int
 (** Bit length of the magnitude; [num_bits zero = 0]. *)
 
 val fits_int : t -> bool
+
+(** {1 Reference implementation}
+
+    Limb-only variants that bypass the small-int fast paths and run the
+    sign-magnitude code unconditionally.  They compute the same values
+    (results are renormalized, so they are [equal] to the fast ones);
+    tests use them as the oracle for the fast paths and the perf
+    harness uses them as the seed baseline. *)
+
+module Reference : sig
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val divmod : t -> t -> t * t
+  val gcd : t -> t -> t
+end
 
 (** {1 Infix operators} *)
 

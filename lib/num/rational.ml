@@ -1,13 +1,24 @@
 type t = { num : Bigint.t; den : Bigint.t }
 
+(* Canonical form: positive reduced denominator, zero is 0/1.  The
+   arithmetic below leans on two classic shortcuts (Knuth 4.5.1): when
+   operands are already canonical, [add] only needs a gcd against
+   [gcd a.den b.den] and [mul] only needs the two cross gcds — both
+   collapse to no gcd at all in the ubiquitous integer / shared
+   denominator cases that the simplex pivots and Fourier–Motzkin
+   combinations produce. *)
+
 let canonical num den =
   if Bigint.is_zero den then raise Division_by_zero;
   if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
   else begin
     let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
-    let g = Bigint.gcd num den in
-    if Bigint.equal g Bigint.one then { num; den }
-    else { num = Bigint.div num g; den = Bigint.div den g }
+    if Bigint.equal den Bigint.one then { num; den }
+    else begin
+      let g = Bigint.gcd num den in
+      if Bigint.equal g Bigint.one then { num; den }
+      else { num = Bigint.div num g; den = Bigint.div den g }
+    end
   end
 
 let make = canonical
@@ -40,10 +51,23 @@ let sign t = Bigint.sign t.num
 let is_zero t = Bigint.is_zero t.num
 let is_integer t = Bigint.equal t.den Bigint.one
 
-let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let compare a b =
+  (* Same denominator (integers included) needs no cross products, and
+     a sign mismatch decides without any multiplication. *)
+  if Bigint.equal a.den b.den then Bigint.compare a.num b.num
+  else begin
+    let sa = Bigint.sign a.num and sb = Bigint.sign b.num in
+    if sa <> sb then Stdlib.compare sa sb
+    else Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  end
+
 let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
+
+(* Canonical form plus a canonical [Bigint.hash] make this consistent
+   with [equal] regardless of whether components sit on the small-int
+   or the limb representation. *)
 let hash t = Hashtbl.hash (Bigint.hash t.num, Bigint.hash t.den)
 
 let neg t = { t with num = Bigint.neg t.num }
@@ -55,14 +79,59 @@ let inv t =
   else { num = t.den; den = t.num }
 
 let add a b =
-  canonical
-    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-    (Bigint.mul a.den b.den)
+  if Bigint.is_zero a.num then b
+  else if Bigint.is_zero b.num then a
+  else if Bigint.equal a.den b.den then begin
+    (* Shared denominator: only the sum can share a factor with it. *)
+    let num = Bigint.add a.num b.num in
+    if Bigint.equal a.den Bigint.one then { num; den = Bigint.one } else canonical num a.den
+  end
+  else if Bigint.equal a.den Bigint.one then
+    (* n + p/q = (n·q + p)/q is already reduced: gcd(p, q) = 1. *)
+    { num = Bigint.add (Bigint.mul a.num b.den) b.num; den = b.den }
+  else if Bigint.equal b.den Bigint.one then
+    { num = Bigint.add a.num (Bigint.mul b.num a.den); den = a.den }
+  else begin
+    let g = Bigint.gcd a.den b.den in
+    if Bigint.equal g Bigint.one then
+      (* Coprime denominators: the sum is already in lowest terms. *)
+      {
+        num = Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den);
+        den = Bigint.mul a.den b.den;
+      }
+    else begin
+      (* Knuth 4.5.1: reduce by g up front; the residual common factor
+         of the sum divides g, so the final gcd runs on small data. *)
+      let da = Bigint.div a.den g and db = Bigint.div b.den g in
+      let num = Bigint.add (Bigint.mul a.num db) (Bigint.mul b.num da) in
+      let den = Bigint.mul da b.den in
+      let g2 = Bigint.gcd num g in
+      if Bigint.equal g2 Bigint.one then { num; den }
+      else { num = Bigint.div num g2; den = Bigint.div den g2 }
+    end
+  end
 
 let sub a b = add a (neg b)
-let mul a b = canonical (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let mul a b =
+  if Bigint.is_zero a.num || Bigint.is_zero b.num then zero
+  else if Bigint.equal a.den Bigint.one && Bigint.equal b.den Bigint.one then
+    { num = Bigint.mul a.num b.num; den = Bigint.one }
+  else begin
+    (* Cross-reduce before multiplying: with canonical operands,
+       gcd(a.num·b.num, a.den·b.den) = gcd(a.num, b.den) · gcd(b.num, a.den),
+       so the product below is born canonical and the gcds run on the
+       small pre-product operands. *)
+    let g1 = Bigint.gcd a.num b.den and g2 = Bigint.gcd b.num a.den in
+    let n1 = if Bigint.equal g1 Bigint.one then a.num else Bigint.div a.num g1 in
+    let n2 = if Bigint.equal g2 Bigint.one then b.num else Bigint.div b.num g2 in
+    let d1 = if Bigint.equal g2 Bigint.one then a.den else Bigint.div a.den g2 in
+    let d2 = if Bigint.equal g1 Bigint.one then b.den else Bigint.div b.den g1 in
+    { num = Bigint.mul n1 n2; den = Bigint.mul d1 d2 }
+  end
+
 let div a b = mul a (inv b)
-let mul_int a i = canonical (Bigint.mul_int a.num i) a.den
+let mul_int a i = mul a (of_int i)
 
 let floor t = fst (Bigint.ediv_rem t.num t.den)
 

@@ -1,10 +1,25 @@
-type t = { dim : int; a : Mat.t; b : Vec.t }
+type t = { dim : int; a : Mat.t; b : Vec.t; flat : float array }
+
+(* [flat] is the row-major copy of [a] every hot path runs on: one
+   cache-friendly array instead of an array of row pointers.  It is
+   rebuilt by [create], the single internal constructor, so it can
+   never go stale. *)
+
+let flatten dim a =
+  let m = Array.length a in
+  let f = Array.make (m * dim) 0.0 in
+  for i = 0 to m - 1 do
+    Array.blit a.(i) 0 f (i * dim) dim
+  done;
+  f
+
+let create dim a b = { dim; a; b; flat = flatten dim a }
 
 let make ~dim a b =
   let m, d = Mat.dims a in
   if m <> Vec.dim b then invalid_arg "Polytope.make: row count mismatch";
   if m > 0 && d <> dim then invalid_arg "Polytope.make: dimension mismatch";
-  { dim; a = Mat.copy a; b = Vec.copy b }
+  create dim (Mat.copy a) (Vec.copy b)
 
 let of_tuple ~dim tuple =
   let rows =
@@ -17,11 +32,7 @@ let of_tuple ~dim tuple =
             [ (w, -.c); (Vec.neg w, c) ])
       tuple
   in
-  {
-    dim;
-    a = Array.of_list (List.map fst rows);
-    b = Array.of_list (List.map snd rows);
-  }
+  create dim (Array.of_list (List.map fst rows)) (Array.of_list (List.map snd rows))
 
 let to_tuple t =
   Array.to_list
@@ -36,7 +47,7 @@ let box lo hi =
   let d = Vec.dim lo in
   let a = Array.init (2 * d) (fun i -> if i < d then Vec.basis d i else Vec.neg (Vec.basis d (i - d))) in
   let b = Array.init (2 * d) (fun i -> if i < d then hi.(i) else -.lo.(i - d)) in
-  { dim = d; a; b }
+  create d a b
 
 let unit_cube d = box (Vec.create d) (Array.make d 1.0)
 let cube d r = box (Array.make d (-.r)) (Array.make d r)
@@ -44,29 +55,59 @@ let cube d r = box (Array.make d (-.r)) (Array.make d r)
 let simplex d =
   let a = Array.init (d + 1) (fun i -> if i < d then Vec.neg (Vec.basis d i) else Array.make d 1.0) in
   let b = Array.init (d + 1) (fun i -> if i < d then 0.0 else 1.0) in
-  { dim = d; a; b }
+  create d a b
 
 let cross_polytope d r =
   let rec signs i acc = if i = d then [ acc ] else signs (i + 1) (1.0 :: acc) @ signs (i + 1) (-1.0 :: acc) in
   let rows = List.map (fun s -> Vec.of_list (List.rev s)) (signs 0 []) in
-  { dim = d; a = Array.of_list rows; b = Array.make (1 lsl d) r }
+  create d (Array.of_list rows) (Array.make (1 lsl d) r)
 
 let dim t = t.dim
 let num_constraints t = Array.length t.b
 
+(* ⟨a_i, v⟩ straight off the flat rows; the shared product kernel of
+   [violation], [mem], [line_intersection] and the incremental cursor.
+   Caller guarantees [Array.length v = t.dim] and [i] in range. *)
+let[@inline] row_dot t i v =
+  let d = t.dim in
+  let flat = t.flat in
+  let base = i * d in
+  (* Two accumulators so consecutive fused multiply-adds are not
+     serialized on a single loop-carried dependency. *)
+  let s0 = ref 0.0 and s1 = ref 0.0 in
+  let j = ref 0 in
+  while !j + 1 < d do
+    s0 := !s0 +. (Array.unsafe_get flat (base + !j) *. Array.unsafe_get v !j);
+    s1 := !s1 +. (Array.unsafe_get flat (base + !j + 1) *. Array.unsafe_get v (!j + 1));
+    j := !j + 2
+  done;
+  if !j < d then s0 := !s0 +. (Array.unsafe_get flat (base + !j) *. Array.unsafe_get v !j);
+  !s0 +. !s1
+
+let[@inline] check_point t x =
+  if Vec.dim x <> t.dim then invalid_arg "Polytope: dimension mismatch"
+
 let violation t x =
-  let worst = ref neg_infinity in
-  Array.iteri (fun i row -> worst := Float.max !worst (Vec.dot row x -. t.b.(i))) t.a;
-  if Array.length t.a = 0 then 0.0 else !worst
+  let m = Array.length t.b in
+  if m = 0 then 0.0
+  else begin
+    check_point t x;
+    let worst = ref neg_infinity in
+    for i = 0 to m - 1 do
+      let v = row_dot t i x -. Array.unsafe_get t.b i in
+      if v > !worst then worst := v
+    done;
+    !worst
+  end
 
 let mem ?(slack = 0.0) t x = violation t x <= slack
 
 let add_halfspace t w c =
-  { t with a = Array.append t.a [| Vec.copy w |]; b = Array.append t.b [| c |] }
+  create t.dim (Array.append t.a [| Vec.copy w |]) (Array.append t.b [| c |])
 
 let inter p q =
   if p.dim <> q.dim then invalid_arg "Polytope.inter: dimension mismatch";
-  { dim = p.dim; a = Array.append p.a q.a; b = Array.append p.b q.b }
+  create p.dim (Array.append p.a q.a) (Array.append p.b q.b)
 
 let transform f t =
   (* y = A_f x + b_f  ⇒  x = A_f⁻¹ (y − b_f); a_i·x <= b_i becomes
@@ -74,7 +115,7 @@ let transform f t =
   let inv = (f : Affine.t).inv_mat in
   let a' = Array.map (fun row -> Mat.mul_vec (Mat.transpose inv) row) t.a in
   let b' = Array.mapi (fun i row' -> t.b.(i) +. Vec.dot row' f.offset) a' in
-  { t with a = a'; b = b' }
+  create t.dim a' b'
 
 let translate v t = transform (Affine.translation v) t
 
@@ -119,21 +160,167 @@ let sandwich t =
 
 let line_intersection t x dir =
   (* a_i·(x + s·dir) <= b_i  ⇔  s·(a_i·dir) <= b_i − a_i·x. *)
+  check_point t x;
+  check_point t dir;
+  let m = Array.length t.b in
   let tmin = ref neg_infinity and tmax = ref infinity in
-  Array.iteri
-    (fun i row ->
-      let denom = Vec.dot row dir in
-      let slack = t.b.(i) -. Vec.dot row x in
+  for i = 0 to m - 1 do
+    let denom = row_dot t i dir in
+    let slack = Array.unsafe_get t.b i -. row_dot t i x in
+    if Float.abs denom < 1e-14 then begin
+      if slack < 0.0 then begin
+        tmin := infinity;
+        tmax := neg_infinity
+      end
+    end
+    else if denom > 0.0 then tmax := Float.min !tmax (slack /. denom)
+    else tmin := Float.max !tmin (slack /. denom)
+  done;
+  if !tmin > !tmax then None else Some (!tmin, !tmax)
+
+module Kernel = struct
+  type cursor = {
+    poly : t;
+    x : float array; (* current position *)
+    ax : float array; (* cached ⟨a_i, x⟩ per row — the incremental invariant *)
+    ad : float array; (* scratch: per-row products of the latest chord/move *)
+    range : float array; (* [| lo; hi |] of the latest chord (flat, so writes don't box) *)
+    mutable since_refresh : int;
+  }
+
+  (* Rounding drift of the [ax] cache grows with the number of
+     incremental updates; recomputing every so often keeps it at the
+     level of a single fresh evaluation without changing the asymptotic
+     step cost. *)
+  let refresh_interval = 256
+
+  let refresh c =
+    let m = Array.length c.poly.b in
+    for i = 0 to m - 1 do
+      Array.unsafe_set c.ax i (row_dot c.poly i c.x)
+    done;
+    c.since_refresh <- 0
+
+  let make poly x =
+    check_point poly x;
+    let m = Array.length poly.b in
+    let c =
+      {
+        poly;
+        x = Vec.copy x;
+        ax = Array.make m 0.0;
+        ad = Array.make m 0.0;
+        range = Array.make 2 0.0;
+        since_refresh = 0;
+      }
+    in
+    refresh c;
+    c
+
+  let pos c = Vec.copy c.x
+  let products c = c.ax
+
+  let violation c =
+    let m = Array.length c.poly.b in
+    if m = 0 then 0.0
+    else begin
+      let worst = ref neg_infinity in
+      for i = 0 to m - 1 do
+        let v = Array.unsafe_get c.ax i -. Array.unsafe_get c.poly.b i in
+        if v > !worst then worst := v
+      done;
+      !worst
+    end
+
+  let inside ?(slack = 0.0) c = violation c <= slack
+
+  let chord c dir =
+    check_point c.poly dir;
+    let poly = c.poly in
+    let m = Array.length poly.b in
+    let b = poly.b and ax = c.ax and ad = c.ad in
+    (* Track each endpoint as a (num, den) pair — den > 0 for the upper
+       bound, den < 0 for the lower — and compare candidates by
+       cross-multiplication, so the loop performs no division at all;
+       the two winning ratios are divided once at the end.  Both
+       comparisons multiply through by a positive quantity
+       (den·candidate_den), so they order exactly like the quotients.
+       (Products of a slack and a direction product stay far from the
+       float range for any realistically scaled polytope; callers with
+       ~1e150 coefficients should use [line_intersection].) *)
+    let hi_num = ref infinity and hi_den = ref 1.0 in
+    let lo_num = ref infinity and lo_den = ref (-1.0) in
+    for i = 0 to m - 1 do
+      let denom = row_dot poly i dir in
+      Array.unsafe_set ad i denom;
+      let slack = Array.unsafe_get b i -. Array.unsafe_get ax i in
       if Float.abs denom < 1e-14 then begin
         if slack < 0.0 then begin
-          tmin := infinity;
-          tmax := neg_infinity
+          (* Line parallel to a violated constraint: empty chord, and no
+             later row can reopen it (the updates below never fire
+             against ∓infinity bounds). *)
+          lo_num := neg_infinity;
+          hi_num := neg_infinity;
+          lo_den := -1.0;
+          hi_den := 1.0
         end
       end
-      else if denom > 0.0 then tmax := Float.min !tmax (slack /. denom)
-      else tmin := Float.max !tmin (slack /. denom))
-    t.a;
-  if !tmin > !tmax then None else Some (!tmin, !tmax)
+      else if denom > 0.0 then begin
+        if slack *. !hi_den < !hi_num *. denom then begin
+          hi_num := slack;
+          hi_den := denom
+        end
+      end
+      else if slack *. !lo_den > !lo_num *. denom then begin
+        lo_num := slack;
+        lo_den := denom
+      end
+    done;
+    let tmin = !lo_num /. !lo_den and tmax = !hi_num /. !hi_den in
+    Array.unsafe_set c.range 0 tmin;
+    Array.unsafe_set c.range 1 tmax;
+    tmin <= tmax
+
+  let lo c = c.range.(0)
+  let hi c = c.range.(1)
+
+  let advance c dir s =
+    let d = c.poly.dim in
+    for j = 0 to d - 1 do
+      Array.unsafe_set c.x j (Array.unsafe_get c.x j +. (s *. Array.unsafe_get dir j))
+    done;
+    let m = Array.length c.poly.b in
+    for i = 0 to m - 1 do
+      Array.unsafe_set c.ax i (Array.unsafe_get c.ax i +. (s *. Array.unsafe_get c.ad i))
+    done;
+    c.since_refresh <- c.since_refresh + 1;
+    if c.since_refresh >= refresh_interval then refresh c
+
+  let try_set_coord ?(slack = 0.0) c j v =
+    let poly = c.poly in
+    let d = poly.dim in
+    if j < 0 || j >= d then invalid_arg "Polytope.Kernel.try_set_coord: coordinate out of range";
+    let dc = v -. Array.unsafe_get c.x j in
+    let m = Array.length poly.b in
+    let flat = poly.flat in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < m do
+      let p = dc *. Array.unsafe_get flat ((!i * d) + j) in
+      Array.unsafe_set c.ad !i p;
+      if Array.unsafe_get c.ax !i +. p -. Array.unsafe_get poly.b !i > slack then ok := false;
+      incr i
+    done;
+    if !ok then begin
+      for i = 0 to m - 1 do
+        Array.unsafe_set c.ax i (Array.unsafe_get c.ax i +. Array.unsafe_get c.ad i)
+      done;
+      Array.unsafe_set c.x j v;
+      c.since_refresh <- c.since_refresh + 1;
+      if c.since_refresh >= refresh_interval then refresh c
+    end;
+    !ok
+end
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>polytope in R^%d:@ " t.dim;

@@ -6,7 +6,16 @@
     deliberately dropped — all volume statements in the paper are
     insensitive to boundaries. *)
 
-type t = private { dim : int; a : Mat.t; b : Vec.t }
+type t = private {
+  dim : int;
+  a : Mat.t;
+  b : Vec.t;
+  flat : float array;
+      (** Row-major copy of [a] ([m·dim] entries); the cache-friendly
+          representation every hot path (membership, chords, the
+          incremental kernel) runs on.  Maintained by the constructors —
+          treat as read-only. *)
+}
 
 val make : dim:int -> Mat.t -> Vec.t -> t
 (** @raise Invalid_argument on shape mismatch. *)
@@ -68,5 +77,63 @@ val line_intersection : t -> Vec.t -> Vec.t -> (float * float) option
 (** [line_intersection p x dir]: the parameter interval [(tmin, tmax)]
     of [{t | x + t·dir ∈ p}], or [None] when empty.  Central to
     hit-and-run sampling. *)
+
+(** Incremental walk kernel.
+
+    A {!Kernel.cursor} tracks a moving point [x] together with the
+    per-row products [⟨a_i, x⟩] (the [Ax] cache).  After a chord step
+    [x ← x + t·d] the cache is updated as [Ax ← Ax + t·(A·d)] — [O(m)]
+    instead of the [O(m·d)] recomputation — and a single-coordinate
+    lattice move only touches one column.  All scratch space lives in
+    the cursor, so the per-step operations below perform no heap
+    allocation; this is the engine behind [Hit_and_run.sample_polytope]
+    and [Walk.sample_polytope].
+
+    Invariant: [products c] equals [A·(pos c)] up to rounding drift,
+    which is bounded by an exact recomputation every
+    [refresh_interval] steps. *)
+module Kernel : sig
+  type cursor
+
+  val refresh_interval : int
+
+  val make : t -> Vec.t -> cursor
+  (** Cursor at a start point (copied).
+      @raise Invalid_argument on dimension mismatch. *)
+
+  val pos : cursor -> Vec.t
+  (** Copy of the current position. *)
+
+  val products : cursor -> float array
+  (** The cached [⟨a_i, x⟩] row products — read-only. *)
+
+  val violation : cursor -> float
+  val inside : ?slack:float -> cursor -> bool
+
+  val chord : cursor -> Vec.t -> bool
+  (** Intersect the line [x + t·dir] with the body using the cached
+      products: one [O(m·d)] pass that also records [A·dir] for
+      {!advance}.  Returns [false] when the chord is empty; otherwise
+      the interval is available via {!lo} and {!hi}.  Allocation-free. *)
+
+  val lo : cursor -> float
+  val hi : cursor -> float
+  (** Parameter interval of the latest {!chord}; only meaningful after
+      a [chord] call that returned [true]. *)
+
+  val advance : cursor -> Vec.t -> float -> unit
+  (** [advance c dir t]: move [x ← x + t·dir] for the direction passed
+      to the latest {!chord}, updating the product cache incrementally
+      in [O(m + d)].  Allocation-free. *)
+
+  val try_set_coord : ?slack:float -> cursor -> int -> float -> bool
+  (** [try_set_coord c j v]: tentatively replace coordinate [j] by [v];
+      commit and return [true] iff the moved point still satisfies
+      every constraint within [slack].  [O(m)] — the lattice-walk step.
+      Allocation-free. *)
+
+  val refresh : cursor -> unit
+  (** Recompute the product cache from the current position. *)
+end
 
 val pp : Format.formatter -> t -> unit

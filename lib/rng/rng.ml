@@ -1,6 +1,16 @@
-(* xoshiro256** 1.0 (Blackman & Vigna), seeded through splitmix64. *)
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded through splitmix64.
 
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+   The 4×64-bit state lives in a 32-byte [Bytes.t] rather than mutable
+   [int64] record fields: stores into int64 fields re-box on every
+   write (4–6 heap allocations per [bits64] call without flambda),
+   while the bytes load/store primitives below work on unboxed values,
+   so the generator core allocates only its boxed return.  The output
+   stream is bit-identical to the record-based representation. *)
+
+type t = Bytes.t
+
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
 let splitmix64 state =
   let open Int64 in
@@ -10,38 +20,40 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+let of_splitmix state =
+  let t = Bytes.create 32 in
+  set64 t 0 (splitmix64 state);
+  set64 t 8 (splitmix64 state);
+  set64 t 16 (splitmix64 state);
+  set64 t 24 (splitmix64 state);
+  t
+
+let create seed = of_splitmix (ref (Int64.of_int seed))
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =
   let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = get64 t 0 and s1 = get64 t 8 and s2 = get64 t 16 and s3 = get64 t 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  set64 t 0 s0;
+  set64 t 8 s1;
+  set64 t 16 s2;
+  set64 t 24 s3;
   result
 
 let split t =
   (* Derive a child state by hashing fresh output through splitmix64. *)
-  let state = ref (bits64 t) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  of_splitmix (ref (bits64 t))
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t = Bytes.copy t
 
 let float t =
   (* Top 53 bits scaled to [0,1). *)
@@ -75,13 +87,38 @@ let gaussian t =
 
 let gaussian_vec t d = Vec.init d (fun _ -> gaussian t)
 
-let unit_vector t d =
+(* In-place variants for preallocated buffers: same draw order as the
+   allocating versions, so a given seed yields the same stream either
+   way — the incremental walk kernels rely on that. *)
+
+let gaussian_vec_into t v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- gaussian t
+  done
+
+let unit_vector_into t v =
+  let d = Array.length v in
   let rec go () =
-    let v = gaussian_vec t d in
-    let n = Vec.norm v in
-    if n < 1e-12 then go () else Vec.scale (1.0 /. n) v
+    gaussian_vec_into t v;
+    let n2 = ref 0.0 in
+    for i = 0 to d - 1 do
+      n2 := !n2 +. (v.(i) *. v.(i))
+    done;
+    let n = sqrt !n2 in
+    if n < 1e-12 then go ()
+    else begin
+      let inv = 1.0 /. n in
+      for i = 0 to d - 1 do
+        v.(i) <- v.(i) *. inv
+      done
+    end
   in
   go ()
+
+let unit_vector t d =
+  let v = Vec.create d in
+  unit_vector_into t v;
+  v
 
 let in_ball t d =
   let dir = unit_vector t d in

@@ -39,6 +39,16 @@ val gaussian_vec : t -> int -> Vec.t
 val unit_vector : t -> int -> Vec.t
 (** Uniform on the unit sphere of the given dimension. *)
 
+val gaussian_vec_into : t -> Vec.t -> unit
+(** Fill a preallocated buffer with standard normal deviates.  Consumes
+    the same stream as {!gaussian_vec} of the same dimension. *)
+
+val unit_vector_into : t -> Vec.t -> unit
+(** Overwrite a preallocated buffer with a uniform unit vector without
+    allocating.  Consumes the same stream as {!unit_vector} of the same
+    dimension — walk kernels use this to keep the inner loop free of
+    per-step allocation. *)
+
 val in_ball : t -> int -> Vec.t
 (** Uniform in the closed unit ball. *)
 

@@ -38,7 +38,24 @@ let sample rng ~chord ~start ~steps =
   done;
   !current
 
-let sample_polytope rng poly ~start ~steps = sample rng ~chord:(polytope_chord poly) ~start ~steps
+(* Polytope specialization on the incremental kernel: the cached-product
+   cursor replaces the O(m·d) chord recomputation by one O(m·d) pass
+   for A·dir plus an O(m) cache update, and the preallocated direction
+   buffer keeps the inner loop free of per-step allocation.  The rng
+   stream is identical to the generic [sample] above, so trajectories
+   agree with the naive kernel up to rounding. *)
+let sample_polytope rng poly ~start ~steps =
+  let cur = Polytope.Kernel.make poly start in
+  let dir = Vec.create (Polytope.dim poly) in
+  for _ = 1 to steps do
+    Rng.unit_vector_into rng dir;
+    if Polytope.Kernel.chord cur dir then begin
+      let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
+      if hi > lo && Float.is_finite lo && Float.is_finite hi then
+        Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi)
+    end
+  done;
+  Polytope.Kernel.pos cur
 
 let default_steps ~dim =
   let d = float_of_int dim in

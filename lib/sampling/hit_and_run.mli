@@ -24,6 +24,10 @@ val sample : Rng.t -> chord:chord -> start:Vec.t -> steps:int -> Vec.t
     lie in the body: the chord through it must be non-empty). *)
 
 val sample_polytope : Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
+(** Like [sample] with [polytope_chord], but runs on the incremental
+    cached-product kernel ({!Polytope.Kernel}): same rng stream and the
+    same trajectory up to rounding, with an allocation-free inner
+    loop at roughly half the arithmetic per step. *)
 
 val default_steps : dim:int -> int
 (** Practical schedule [max 60 (10·d·ln d · …)] used by the pipeline. *)

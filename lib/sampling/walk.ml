@@ -30,8 +30,28 @@ let sample rng ~grid ~mem ~start ~steps =
   let start_idx = Grid.of_point grid start in
   Grid.to_point grid (walk rng ~grid ~mem ~start:start_idx ~steps)
 
+(* Polytope specialization on the incremental kernel: a lattice move
+   changes one coordinate, so the membership test degrades from the
+   O(m·d) oracle evaluation to an O(m) single-column update of the
+   cached row products.  Draw order matches [sample] with the
+   membership oracle exactly. *)
 let sample_polytope rng ~grid poly ~start ~steps =
-  sample rng ~grid ~mem:(fun x -> Polytope.mem poly x) ~start ~steps
+  let g = (grid : Grid.t) in
+  let idx = Grid.of_point grid start in
+  let x = Grid.to_point grid idx in
+  if not (Polytope.mem poly x) then invalid_arg "Walk.walk: start outside the body";
+  let cur = Polytope.Kernel.make poly x in
+  for _ = 1 to steps do
+    if not (Rng.bool rng) then begin
+      let coord = Rng.int rng g.dim in
+      let delta = if Rng.bool rng then 1 else -1 in
+      (* Same expression as [Grid.to_point], so accepted positions are
+         bit-identical to the oracle walk's. *)
+      let v = float_of_int (idx.(coord) + delta) *. g.step in
+      if Polytope.Kernel.try_set_coord cur coord v then idx.(coord) <- idx.(coord) + delta
+    end
+  done;
+  Polytope.Kernel.pos cur
 
 let trajectory rng ~grid ~mem ~start ~steps =
   if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.trajectory: start outside the body";

@@ -26,7 +26,11 @@ val sample :
 
 val sample_polytope :
   Rng.t -> grid:Grid.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
-(** Specialization with the polytope membership oracle. *)
+(** Specialization with the polytope membership oracle, run on the
+    incremental cached-product kernel ({!Polytope.Kernel}): a lattice
+    move tests and commits in [O(m)] column updates instead of the
+    [O(m·d)] oracle evaluation, with no per-step allocation.  Consumes
+    the same rng stream as [sample] with the equivalent oracle. *)
 
 val trajectory :
   Rng.t -> grid:Grid.t -> mem:oracle -> start:int array -> steps:int -> int array list

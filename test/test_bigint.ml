@@ -107,4 +107,75 @@ let property_tests =
     qt "succ/pred" big (fun a -> B.equal a (B.pred (B.succ a)));
   ]
 
-let suites = [ ("bigint", unit_tests @ property_tests) ]
+(* The tagged small-int fast paths must be unobservable: every
+   operation agrees with the pure limb implementation ([B.Reference]),
+   and values are canonical ([Small] iff the magnitude fits a native
+   int) so equality and hashing never depend on how a value was
+   produced.  The generator concentrates operands around the ±2^62
+   representation boundary, where the overflow checks live. *)
+let boundary =
+  let gen =
+    QCheck.Gen.(
+      let* v =
+        frequency
+          [
+            (3, int);
+            (2, map (fun k -> max_int - k) (0 -- 8));
+            (2, map (fun k -> min_int + k) (0 -- 8));
+            (1, map (fun k -> (max_int asr 1) + k - 4) (0 -- 8));
+            (1, 0 -- 16);
+          ]
+      in
+      let* shift = 0 -- 2 in
+      pure (B.shift_left (B.of_int v) shift))
+  in
+  QCheck.make ~print:B.to_string gen
+
+let boundary_pair = QCheck.pair boundary boundary
+
+let fastpath_tests =
+  [
+    t "small/big boundary constants" (fun () ->
+        let p62 = B.add (B.of_int max_int) B.one in
+        check_str "2^62" "4611686018427387904" (B.to_string p62);
+        Alcotest.(check bool) "2^62 overflows int" false (B.fits_int p62);
+        Alcotest.(check bool) "max_int fits" true (B.fits_int (B.of_int max_int));
+        Alcotest.(check bool) "min_int fits" true (B.fits_int (B.of_int min_int));
+        Alcotest.(check int) "min_int to_int" min_int (B.to_int (B.of_int min_int));
+        Alcotest.(check bool) "neg min_int = 2^62" true (B.equal p62 (B.neg (B.of_int min_int)));
+        check_str "2^31 * 2^31" "4611686018427387904"
+          (B.to_string (B.mul (B.shift_left B.one 31) (B.shift_left B.one 31))));
+    t "hash consistent across construction routes" (fun () ->
+        let big = B.pow B.two 200 in
+        List.iter
+          (fun v ->
+            let direct = B.of_int v in
+            let via_string = B.of_string (string_of_int v) in
+            let via_big = B.sub (B.add (B.of_int v) big) big in
+            Alcotest.(check bool) "equal str" true (B.equal direct via_string);
+            Alcotest.(check bool) "equal big" true (B.equal direct via_big);
+            Alcotest.(check int) "hash str" (B.hash direct) (B.hash via_string);
+            Alcotest.(check int) "hash big" (B.hash direct) (B.hash via_big))
+          [ 0; 1; -1; 12345; max_int; min_int; max_int - 1; min_int + 1 ]);
+    qt "add agrees with limb reference" boundary_pair (fun (a, b) ->
+        B.equal (B.add a b) (B.Reference.add a b));
+    qt "sub agrees with limb reference" boundary_pair (fun (a, b) ->
+        B.equal (B.sub a b) (B.Reference.sub a b));
+    qt "mul agrees with limb reference" boundary_pair (fun (a, b) ->
+        B.equal (B.mul a b) (B.Reference.mul a b));
+    qt "divmod agrees with limb reference" boundary_pair (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        let q', r' = B.Reference.divmod a b in
+        B.equal q q' && B.equal r r');
+    qt "gcd agrees with limb reference" boundary_pair (fun (a, b) ->
+        B.equal (B.gcd a b) (B.Reference.gcd a b));
+    qt "boundary values are canonical" boundary_pair (fun (a, b) ->
+        (* The same value computed on the fast path and through the limb
+           code must hash identically (canonical representation). *)
+        let s = B.add a b in
+        let s' = B.Reference.add a b in
+        B.hash s = B.hash s' && B.fits_int s = B.fits_int s');
+  ]
+
+let suites = [ ("bigint", unit_tests @ property_tests @ fastpath_tests) ]

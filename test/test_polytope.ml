@@ -232,9 +232,80 @@ let gridvol_tests =
         with Invalid_argument _ -> ());
   ]
 
+let kernel_tests =
+  [
+    t "empty constraint system is all of R^d" (fun () ->
+        (* Regression: [violation] must short-circuit the m = 0 case
+           before touching any row. *)
+        let p = P.make ~dim:2 [||] [||] in
+        Alcotest.(check (float 0.0)) "violation" 0.0 (P.violation p [| 3.0; -4.0 |]);
+        Alcotest.(check bool) "mem" true (P.mem p [| 3.0; -4.0 |]);
+        (match P.line_intersection p [| 0.0; 0.0 |] [| 1.0; 0.0 |] with
+        | Some (lo, hi) ->
+            Alcotest.(check bool) "unbounded chord" true (lo = neg_infinity && hi = infinity)
+        | None -> Alcotest.fail "expected a chord");
+        let cur = P.Kernel.make p [| 1.0; 1.0 |] in
+        Alcotest.(check bool) "kernel inside" true (P.Kernel.inside cur);
+        Alcotest.(check (float 0.0)) "kernel violation" 0.0 (P.Kernel.violation cur));
+    t "kernel chord agrees with line_intersection" (fun () ->
+        let rng = Rng.create 21 in
+        let poly = ref (P.cube 5 1.0) in
+        for _ = 1 to 12 do
+          poly := P.add_halfspace !poly (Rng.unit_vector rng 5) 0.7
+        done;
+        let poly = !poly in
+        let x = Array.make 5 0.1 in
+        let cur = P.Kernel.make poly x in
+        for _ = 1 to 50 do
+          let dir = Rng.unit_vector rng 5 in
+          match (P.line_intersection poly x dir, P.Kernel.chord cur dir) with
+          | Some (lo, hi), true ->
+              Alcotest.(check (float 1e-9)) "lo" lo (P.Kernel.lo cur);
+              Alcotest.(check (float 1e-9)) "hi" hi (P.Kernel.hi cur)
+          | None, false -> ()
+          | Some _, false -> Alcotest.fail "kernel missed a chord"
+          | None, true -> Alcotest.fail "kernel invented a chord"
+        done);
+    t "cached products stay coherent across advances" (fun () ->
+        let rng = Rng.create 22 in
+        let poly = ref (P.cube 4 1.0) in
+        for _ = 1 to 8 do
+          poly := P.add_halfspace !poly (Rng.unit_vector rng 4) 0.9
+        done;
+        let poly = !poly in
+        let cur = P.Kernel.make poly (Vec.create 4) in
+        for _ = 1 to 200 do
+          let dir = Rng.unit_vector rng 4 in
+          if P.Kernel.chord cur dir then begin
+            let lo = P.Kernel.lo cur and hi = P.Kernel.hi cur in
+            if Float.is_finite lo && Float.is_finite hi && hi > lo then
+              P.Kernel.advance cur dir (0.5 *. (lo +. hi))
+          end
+        done;
+        let x = P.Kernel.pos cur in
+        let ax = P.Kernel.products cur in
+        Array.iteri
+          (fun i row ->
+            Alcotest.(check (float 1e-9)) (Printf.sprintf "row %d" i) (Vec.dot row x) ax.(i))
+          poly.P.a;
+        Alcotest.(check (float 1e-9)) "violation" (P.violation poly x) (P.Kernel.violation cur));
+    t "try_set_coord accepts inside and rejects outside" (fun () ->
+        let poly = P.cube 3 1.0 in
+        let cur = P.Kernel.make poly (Vec.create 3) in
+        Alcotest.(check bool) "inside move" true (P.Kernel.try_set_coord cur 0 0.5);
+        Alcotest.(check bool) "outside move" false (P.Kernel.try_set_coord cur 0 1.5);
+        let x = P.Kernel.pos cur in
+        Alcotest.(check (float 0.0)) "kept accepted move" 0.5 x.(0);
+        Alcotest.(check bool) "still inside" true (P.Kernel.inside cur);
+        Alcotest.check_raises "coordinate out of range"
+          (Invalid_argument "Polytope.Kernel.try_set_coord: coordinate out of range") (fun () ->
+            ignore (P.Kernel.try_set_coord cur 3 0.0)));
+  ]
+
 let suites =
   [
     ("polytope.hrep", polytope_tests);
+    ("polytope.kernel", kernel_tests);
     ("polytope.volume_exact", exact_volume_tests);
     ("polytope.polygon2d", polygon_tests);
     ("polytope.gridvol", gridvol_tests);

@@ -112,4 +112,46 @@ let interval_tests =
         Alcotest.(check bool) "zero" true (I.sign (I.make (-1.0) 1.0) = `Zero_in));
   ]
 
-let suites = [ ("rational", unit_tests @ property_tests); ("interval", interval_tests) ]
+(* The denominator-one / shared-denominator / coprime fast paths in
+   [add] and the cross-gcd [mul] must be unobservable next to the
+   textbook formulas, and [hash] must agree with [equal] regardless of
+   whether a value's components were produced by the small-int or the
+   limb [Bigint] path. *)
+
+let naive_add a b =
+  Q.make
+    (Bigint.add (Bigint.mul a.Q.num b.Q.den) (Bigint.mul b.Q.num a.Q.den))
+    (Bigint.mul a.Q.den b.Q.den)
+
+let naive_mul a b = Q.make (Bigint.mul a.Q.num b.Q.num) (Bigint.mul a.Q.den b.Q.den)
+
+let fastpath_tests =
+  [
+    qt "add matches naive cross-multiplication" pair (fun (a, b) ->
+        Q.equal (Q.add a b) (naive_add a b));
+    qt "mul matches naive formula" pair (fun (a, b) -> Q.equal (Q.mul a b) (naive_mul a b));
+    qt "integer add shortcut" (QCheck.pair QCheck.small_signed_int QCheck.small_signed_int)
+      (fun (x, y) -> Q.equal (Q.add (Q.of_int x) (Q.of_int y)) (Q.of_int (x + y)));
+    qt "shared denominator add" (QCheck.triple QCheck.small_signed_int QCheck.small_signed_int QCheck.small_nat)
+      (fun (x, y, d) ->
+        let d = d + 1 in
+        Q.equal (Q.add (Q.of_ints x d) (Q.of_ints y d)) (Q.of_ints (x + y) d));
+    t "hash consistent with equal across bigint routes" (fun () ->
+        (* The same rational assembled from Small components and from
+           Big intermediates that cancel back down must collide. *)
+        let big = Bigint.pow Bigint.two 120 in
+        List.iter
+          (fun (n, d) ->
+            let direct = Q.of_ints n d in
+            let blown =
+              Q.make (Bigint.mul (Bigint.of_int n) big) (Bigint.mul (Bigint.of_int d) big)
+            in
+            Alcotest.(check bool) "equal" true (Q.equal direct blown);
+            Alcotest.(check int) "hash" (Q.hash direct) (Q.hash blown))
+          [ (0, 7); (1, 2); (-3, 4); (355, 113); (max_int, 2); (min_int + 1, 3) ]);
+    qt "sum and difference cancel exactly" pair (fun (a, b) ->
+        Q.equal a (Q.sub (Q.add a b) b));
+  ]
+
+let suites =
+  [ ("rational", unit_tests @ property_tests @ fastpath_tests); ("interval", interval_tests) ]

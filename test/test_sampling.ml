@@ -424,10 +424,113 @@ let mixing_tests =
         Alcotest.(check (float 0.0)) "last" 100.0 series.(9));
   ]
 
+(* Equivalence and allocation discipline of the incremental kernels:
+   the cached-product fast paths must walk the same trajectories as the
+   naive oracle implementations they replace (same rng stream, same
+   accept/reject decisions), and their inner loops must not allocate. *)
+let kernel_tests =
+  [
+    t "incremental hit-and-run follows the naive trajectory" (fun () ->
+        (* Same seed on both sides: the kernels consume identical rng
+           streams, so positions agree up to accumulated rounding of the
+           cached products. *)
+        let rng0 = Rng.create 4242 in
+        let poly = ref (P.cube 3 1.0) in
+        for _ = 1 to 10 do
+          poly := P.add_halfspace !poly (Rng.unit_vector rng0 3) 0.8
+        done;
+        let poly = !poly in
+        let start = Vec.create 3 in
+        List.iter
+          (fun seed ->
+            let naive =
+              HR.sample (Rng.create seed) ~chord:(HR.polytope_chord poly) ~start ~steps:128
+            in
+            let incr = HR.sample_polytope (Rng.create seed) poly ~start ~steps:128 in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d" seed)
+              true
+              (Vec.equal_eps 1e-6 naive incr))
+          [ 42; 1000; 31337 ]);
+    t "incremental lattice walk matches the oracle walk exactly" (fun () ->
+        (* Dyadic grid step and ±1 cube bounds keep every product and
+           cached sum exact in binary floating point, so the incremental
+           kernel's accept/reject decisions — and hence the trajectory —
+           are bit-identical to the membership-oracle walk. *)
+        let poly = P.cube 3 1.0 in
+        let grid = G.make ~step:0.25 ~dim:3 in
+        let start = Vec.create 3 in
+        List.iter
+          (fun seed ->
+            let naive =
+              W.sample (Rng.create seed) ~grid ~mem:(fun x -> P.mem poly x) ~start ~steps:600
+            in
+            let incr = W.sample_polytope (Rng.create seed) ~grid poly ~start ~steps:600 in
+            Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true (naive = incr))
+          [ 7; 99; 20060101 ]);
+    t "chord/advance inner loop does not allocate" (fun () ->
+        let rng = Rng.create 5 in
+        let poly = ref (P.cube 6 1.0) in
+        for _ = 1 to 20 do
+          poly := P.add_halfspace !poly (Rng.unit_vector rng 6) 0.8
+        done;
+        let cur = P.Kernel.make !poly (Vec.create 6) in
+        let dir = Rng.unit_vector rng 6 in
+        let iters = 10_000 in
+        (* Warm-up pass so one-time setup is off the books. *)
+        for _ = 1 to 100 do
+          ignore (P.Kernel.chord cur dir);
+          P.Kernel.advance cur dir 1e-6
+        done;
+        let w0 = Gc.minor_words () in
+        for _ = 1 to iters do
+          ignore (P.Kernel.chord cur dir);
+          P.Kernel.advance cur dir 1e-6
+        done;
+        let dw = Gc.minor_words () -. w0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "minor words per step = %.4f" (dw /. float_of_int iters))
+          true
+          (dw < 256.0));
+    t "try_set_coord inner loop does not allocate" (fun () ->
+        let poly = P.cube 4 1.0 in
+        let cur = P.Kernel.make poly (Vec.create 4) in
+        let iters = 10_000 in
+        for _ = 1 to 100 do
+          ignore (P.Kernel.try_set_coord cur 0 0.25);
+          ignore (P.Kernel.try_set_coord cur 0 0.0)
+        done;
+        let w0 = Gc.minor_words () in
+        for _ = 1 to iters do
+          ignore (P.Kernel.try_set_coord cur 0 0.25);
+          ignore (P.Kernel.try_set_coord cur 0 0.0)
+        done;
+        let dw = Gc.minor_words () -. w0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "minor words per move = %.4f" (dw /. float_of_int iters))
+          true
+          (dw < 256.0));
+    t "hit-and-run keeps sampling uniformly (kernel path)" (fun () ->
+        (* Distributional sanity on the rewritten sampler: mean of many
+           short runs on the centred cube stays near the origin. *)
+        let rng = Rng.create 8 in
+        let poly = P.cube 2 1.0 in
+        let n = 400 in
+        let sx = ref 0.0 and sy = ref 0.0 in
+        for _ = 1 to n do
+          let p = HR.sample_polytope rng poly ~start:(Vec.create 2) ~steps:40 in
+          sx := !sx +. p.(0);
+          sy := !sy +. p.(1)
+        done;
+        Alcotest.(check (float 0.1)) "mean x" 0.0 (!sx /. float_of_int n);
+        Alcotest.(check (float 0.1)) "mean y" 0.0 (!sy /. float_of_int n));
+  ]
+
 let suites =
   [
     ("sampling.grid", grid_tests);
     ("sampling.walk", walk_tests);
+    ("sampling.kernel", kernel_tests);
     ("sampling.hit_and_run", hit_and_run_tests);
     ("sampling.rejection", rejection_tests);
     ("sampling.chernoff", chernoff_tests);
