@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench perf check clean
+.PHONY: all build test bench perf check ci clean
 
 all: build
 
@@ -23,6 +23,11 @@ check:
 	dune build
 	dune build @bench
 	dune runtest
+
+# check + perf smoke: fail if any kernel regresses >2x vs the committed
+# baseline.  Writes the throwaway report to _build/.
+ci: check
+	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
 
 clean:
 	dune clean

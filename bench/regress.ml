@@ -6,6 +6,16 @@
      dune exec bench/regress.exe                 write BENCH_<next>.json
      dune exec bench/regress.exe -- -o out.json  explicit output file
      dune exec bench/regress.exe -- --fast       cheaper calibration
+     dune exec bench/regress.exe -- --check BENCH_1.json
+                                                 exit 1 if any kernel is
+                                                 more than 2x slower than
+                                                 the given baseline
+
+   Timing runs execute with telemetry disabled (the disabled path is
+   what production pays); a separate exercise phase then re-runs the
+   probabilistic kernels with telemetry on and embeds the JSON snapshot
+   under the "telemetry" key, so BENCH_<n>.json carries acceptance-rate
+   and step-count trajectories alongside ns/op.
 
    Each kernel is measured as median ns/op over several trials; the
    naive/seed baselines replicate the pre-optimization implementations
@@ -19,6 +29,8 @@ module W = Scdb_sampling.Walk
 module G = Scdb_sampling.Grid
 module FM = Scdb_qe.Fourier_motzkin
 module Rng = Scdb_rng.Rng
+module Rej = Scdb_sampling.Rejection
+module Tel = Scdb_telemetry.Telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -208,7 +220,112 @@ let fixture_polytope ~dim ~extra rng =
   done;
   !poly
 
-let run ~fast ~out =
+(* ------------------------------------------------------------------ *)
+(* Telemetry exercise                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-run the probabilistic kernels with collection on: hit-and-run and
+   the lattice walk on the timing fixture, naive rejection on a 2-D
+   body, and Algorithm 1 (sample + Karp–Luby volume) on a two-box
+   union.  The resulting snapshot is the per-run stats block that
+   BENCH_<n>.json carries alongside the timings. *)
+let telemetry_snapshot ~poly ~grid ~centre =
+  Tel.reset ();
+  Tel.set_enabled true;
+  let rng = Rng.create 7_2026 in
+  for _ = 1 to 16 do
+    ignore (HR.sample_polytope rng poly ~start:centre ~steps:32);
+    ignore (W.sample_polytope rng ~grid poly ~start:centre ~steps:64)
+  done;
+  let tri x = (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) <= 1.0 in
+  ignore
+    (Rej.sample_many rng ~lo:[| -1.0; -1.0 |] ~hi:[| 1.0; 1.0 |] ~mem:tri ~count:256
+       ~max_attempts:10_000);
+  let q = Rational.of_int in
+  let mk lo hi = Convex_obs.make ~config:Convex_obs.practical_config rng (Relation.box lo hi) in
+  (match (mk [| q 0; q 0 |] [| q 1; q 1 |], mk [| q 2; q 0 |] [| q 3; q 1 |]) with
+  | Some a, Some b ->
+      let u = Union.union2 a b in
+      let params = Params.make ~gamma:0.05 ~eps:0.3 ~delta:0.2 () in
+      for _ = 1 to 64 do
+        ignore (Observable.sample u rng params)
+      done;
+      ignore (Observable.volume u rng ~eps:0.3 ~delta:0.2)
+  | _ -> ());
+  let json = Tel.dump ~only_nonzero:true () in
+  Tel.set_enabled false;
+  json
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--check)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal scanner for the self-emitted format: pull every
+   {"name": "...", "ns_per_op": X} pair out of the results array.  The
+   embedded telemetry block contains neither key, so it is skipped
+   naturally. *)
+let parse_baseline file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let out = ref [] in
+  let i = ref 0 in
+  let find_from pat start =
+    let pl = String.length pat in
+    let rec go j =
+      if j + pl > String.length s then None
+      else if String.sub s j pl = pat then Some (j + pl)
+      else go (j + 1)
+    in
+    go start
+  in
+  let rec loop () =
+    match find_from "{\"name\": \"" !i with
+    | None -> ()
+    | Some j -> (
+        let close = String.index_from s j '"' in
+        let name = String.sub s j (close - j) in
+        match find_from "\"ns_per_op\": " close with
+        | None -> ()
+        | Some k ->
+            let e = ref k in
+            while
+              !e < String.length s
+              && (match s.[!e] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+            do
+              incr e
+            done;
+            out := (name, float_of_string (String.sub s k (!e - k))) :: !out;
+            i := !e;
+            loop ())
+  in
+  loop ();
+  List.rev !out
+
+let check_against ~baseline results =
+  let base = parse_baseline baseline in
+  let failures = ref 0 in
+  Printf.printf "\ncheck vs %s (fail if > 2.00x):\n" baseline;
+  List.iter
+    (fun r ->
+      match List.assoc_opt r.name base with
+      | None -> Printf.printf "  %-34s (no baseline, skipped)\n" r.name
+      | Some b ->
+          let ratio = r.ns_per_op /. b in
+          let flag = if ratio > 2.0 then "FAIL" else "ok" in
+          if ratio > 2.0 then incr failures;
+          Printf.printf "  %-34s %8.1f vs %8.1f ns/op  %5.2fx  %s\n" r.name r.ns_per_op b ratio flag)
+    results;
+  if !failures > 0 then begin
+    Printf.printf "%d kernel(s) regressed more than 2x vs %s\n" !failures baseline;
+    exit 1
+  end
+  else Printf.printf "all kernels within 2x of %s\n" baseline
+
+let run ~fast ~out ~check =
+  (* Timings measure the disabled-telemetry path — what production pays. *)
+  Tel.set_enabled false;
   let rng = Rng.create 20060101 in
   let seed_rng = Seed_rng.create 20060101 in
   let dim = 12 in
@@ -280,29 +397,33 @@ let run ~fast ~out =
     ]
   in
   List.iter (fun s -> if s < 2.0 then Printf.printf "WARNING: speedup %.2fx below the 2x target\n" s) checks;
+  (* Per-run stats block: the probabilistic kernels observed end to end. *)
+  let telemetry = telemetry_snapshot ~poly ~grid ~centre in
   (* JSON out. *)
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/1\",\n  \"results\": [\n";
+  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/2\",\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.3f, \"trials\": %d}%s\n" r.name
         r.ns_per_op r.trials
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"telemetry\": %s\n}\n" (String.trim telemetry);
   close_out oc;
-  Printf.printf "\nwrote %s\n" out
+  Printf.printf "\nwrote %s\n" out;
+  Option.iter (fun baseline -> check_against ~baseline results) check
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let fast = List.mem "--fast" args in
+  let rec after flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> after flag rest
+    | [] -> None
+  in
+  let check = after "--check" args in
   let out =
-    let rec after_o = function
-      | "-o" :: f :: _ -> Some f
-      | _ :: rest -> after_o rest
-      | [] -> None
-    in
-    match after_o args with
+    match after "-o" args with
     | Some f -> f
     | None ->
         let rec next n =
@@ -311,4 +432,4 @@ let () =
         in
         next 1
   in
-  run ~fast ~out
+  run ~fast ~out ~check

@@ -12,6 +12,7 @@
 
 open Cmdliner
 module Rng = Scdb_rng.Rng
+module Tel = Scdb_telemetry.Telemetry
 module FM = Scdb_qe.Fourier_motzkin
 module VE = Scdb_polytope.Volume_exact
 module GV = Scdb_polytope.Gridvol
@@ -38,6 +39,21 @@ let eps_arg =
 let delta_arg =
   let doc = "Failure probability delta in (0,1)." in
   Arg.(value & opt float 0.1 & info [ "delta" ] ~doc)
+
+let stats_arg =
+  let doc =
+    "Collect sampler telemetry (walk steps, acceptance rates, trial counts) and print the JSON \
+     snapshot to stderr on exit.  Also enabled by setting \\$(b,SPATIALDB_STATS)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* [at_exit] so the snapshot also appears when a command dies through
+   [or_die]/[exit 1] after having burned its sampling budget. *)
+let enable_stats stats =
+  if stats then begin
+    Tel.set_enabled true;
+    at_exit (fun () -> prerr_endline (Tel.dump ~only_nonzero:true ()))
+  end
 
 let split_vars s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
 
@@ -72,10 +88,33 @@ let sample_cmd =
   let n_arg =
     Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Number of points to draw.")
   in
-  let run vars_s formula n seed eps delta =
+  let method_arg =
+    let doc =
+      "Per-piece sampler: $(b,walk) (hit-and-run on the rounded body, the default), $(b,grid) \
+       (the paper's lattice walk) or $(b,rejection) (exact-uniform rejection from the bounding \
+       box, best in low dimension)."
+    in
+    Arg.(value & opt string "walk" & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let run vars_s formula n seed eps delta method_ stats =
+    enable_stats stats;
+    let sampler =
+      match method_ with
+      | "walk" -> Convex_obs.Hit_and_run
+      | "grid" -> Convex_obs.Grid_walk
+      | "rejection" -> Convex_obs.Rejection_box
+      | m -> or_die (Error ("unknown method " ^ m))
+    in
+    let config = { Convex_obs.practical_config with Convex_obs.sampler } in
     let _, relation = or_die (parse_relation vars_s formula) in
     let rng = Rng.create seed in
-    let obs = observable_or_die rng relation in
+    let obs =
+      match Scdb_gis.Eval.observable_of_relation ~config rng relation with
+      | Some o -> o
+      | None ->
+          prerr_endline "spatialdb: relation is empty, unbounded or lower-dimensional";
+          exit 1
+    in
     let params = Params.make ~gamma:0.05 ~eps ~delta () in
     List.iter
       (fun p ->
@@ -84,7 +123,7 @@ let sample_cmd =
   in
   let doc = "Draw almost uniform points from the relation (Definition 2.2 generator)." in
   Cmd.v (Cmd.info "sample" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg)
+    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg $ stats_arg)
 
 (* ---------------- volume ---------------- *)
 
@@ -93,7 +132,8 @@ let volume_cmd =
     let doc = "One of: exact (Lasserre + inclusion-exclusion), grid:GAMMA (fixed-dimension decomposition), sampling (DFK estimators)." in
     Arg.(value & opt string "sampling" & info [ "mode" ] ~doc)
   in
-  let run vars_s formula mode seed eps delta =
+  let run vars_s formula mode seed eps delta stats =
+    enable_stats stats;
     let _, relation = or_die (parse_relation vars_s formula) in
     let rng = Rng.create seed in
     match mode with
@@ -116,7 +156,7 @@ let volume_cmd =
   in
   let doc = "Volume of the relation: exact, grid-decomposed, or the paper's (eps,delta)-estimator." in
   Cmd.v (Cmd.info "volume" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg)
+    Term.(const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg $ stats_arg)
 
 (* ---------------- qe ---------------- *)
 
@@ -141,7 +181,8 @@ let reconstruct_cmd =
   let n_arg =
     Arg.(value & opt int 200 & info [ "n"; "samples" ] ~doc:"Samples per convex piece.")
   in
-  let run vars_s formula n seed =
+  let run vars_s formula n seed stats =
+    enable_stats stats;
     let vars, relation = or_die (parse_relation vars_s formula) in
     if List.length vars <> 2 then or_die (Error "reconstruct prints polygons: exactly 2 variables required");
     let rng = Rng.create seed in
@@ -164,7 +205,7 @@ let reconstruct_cmd =
   in
   let doc = "Approximate the 2-D shape of the relation as union of sample hulls (Algorithms 3-5)." in
   Cmd.v (Cmd.info "reconstruct" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg)
+    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ stats_arg)
 
 (* ---------------- plan ---------------- *)
 

@@ -4,10 +4,10 @@ let runs_for ~delta =
   let n = Stdlib.max 1 n in
   if n mod 2 = 0 then n + 1 else n
 
-let median_volume rng obs ~eps ~delta =
+let median_volume rng ?gamma obs ~eps ~delta =
   let runs = runs_for ~delta in
   let values =
-    Array.init runs (fun _ -> Observable.volume obs rng ~eps ~delta:0.25)
+    Array.init runs (fun _ -> Observable.volume obs rng ?gamma ~eps ~delta:0.25)
   in
   Array.sort Float.compare values;
   values.(runs / 2)
@@ -15,5 +15,5 @@ let median_volume rng obs ~eps ~delta =
 let boost_observable obs =
   {
     obs with
-    Observable.volume = (fun rng ~eps ~delta -> median_volume rng obs ~eps ~delta);
+    Observable.volume = (fun rng ~gamma ~eps ~delta -> median_volume rng ~gamma obs ~eps ~delta);
   }

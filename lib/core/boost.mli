@@ -13,7 +13,7 @@ val runs_for : delta:float -> int
     (Chernoff on Bernoulli(1/4) failures). *)
 
 val median_volume :
-  Rng.t -> Observable.t -> eps:float -> delta:float -> float
+  Rng.t -> ?gamma:float -> Observable.t -> eps:float -> delta:float -> float
 (** Median of [runs_for ~delta] runs of the observable's estimator,
     each invoked at constant confidence (δ = 1/4). *)
 

@@ -1,4 +1,4 @@
-type sampler = Grid_walk | Hit_and_run
+type sampler = Grid_walk | Hit_and_run | Rejection_box
 
 type config = {
   sampler : sampler;
@@ -27,7 +27,7 @@ let of_polytope ?(config = default_config) ?relation rng poly =
           | None -> (
               match config.sampler with
               | Grid_walk -> Walk.default_steps ~dim ~eps
-              | Hit_and_run -> Hit_and_run.default_steps ~dim)
+              | Hit_and_run | Rejection_box -> Hit_and_run.default_steps ~dim)
         in
         (* Walk on the γ-grid of the rounded body (where DFK mixing
            applies), then map the vertex back through the rounding
@@ -41,14 +41,35 @@ let of_polytope ?(config = default_config) ?relation rng poly =
                 ~start:(Vec.create dim) ~steps
           | Hit_and_run ->
               Hit_and_run.sample_polytope walk_rng body ~start:(Vec.create dim) ~steps
+          | Rejection_box -> (
+              (* Exactly uniform; the right tool in low dimension where
+                 the body fills a decent fraction of its bounding box.
+                 Falls back to hit-and-run if the budget runs dry, so
+                 the generator never fails outright. *)
+              let fallback () =
+                Hit_and_run.sample_polytope walk_rng body ~start:(Vec.create dim) ~steps
+              in
+              match Polytope.bounding_box body with
+              | None -> fallback ()
+              | Some (lo, hi) -> (
+                  match
+                    Rejection.sample walk_rng ~lo ~hi
+                      ~mem:(fun x -> Polytope.mem body x)
+                      ~max_attempts:20_000
+                  with
+                  | Some (x, _) -> x
+                  | None -> fallback ()))
         in
         Some (Affine.apply_inverse transform point)
       in
-      let volume vol_rng ~eps ~delta =
+      (* Continuous multi-phase estimator: no grid, so γ is unused. *)
+      let volume vol_rng ~gamma:_ ~eps ~delta =
         (* The body is already rounded; estimate there and undo the
            transform's volume scale. *)
         let sampler =
-          match config.sampler with Grid_walk -> Volume.Grid_walk | Hit_and_run -> Volume.Hit_and_run
+          match config.sampler with
+          | Grid_walk -> Volume.Grid_walk
+          | Hit_and_run | Rejection_box -> Volume.Hit_and_run
         in
         match
           Volume.estimate vol_rng ~eps ~delta ~sampler ~budget:config.volume_budget

@@ -6,7 +6,15 @@
     paper's construction), and the estimator is the multi-phase
     {!Scdb_sampling.Volume} scheme. *)
 
-type sampler = Grid_walk  (** the paper's lattice walk *) | Hit_and_run  (** continuous variant *)
+type sampler =
+  | Grid_walk  (** the paper's lattice walk *)
+  | Hit_and_run  (** continuous variant *)
+  | Rejection_box
+      (** exact-uniform rejection from the rounded body's bounding box;
+          only sensible in low dimension (acceptance decays like the
+          body/box volume ratio).  Falls back to hit-and-run when the
+          attempt budget is exhausted.  Volume estimation still runs
+          the hit-and-run multi-phase scheme. *)
 
 type config = {
   sampler : sampler;

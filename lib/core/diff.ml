@@ -1,3 +1,12 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_samples = Tel.Counter.make "diff.samples"
+let tel_trials = Tel.Counter.make "diff.trials"
+let tel_miss = Tel.Counter.make "diff.miss"
+let tel_child_failures = Tel.Counter.make "diff.child_failures"
+let tel_exhausted = Tel.Counter.make "diff.exhausted"
+let tel_vol_calls = Tel.Counter.make "diff.volume.calls"
+
 let diff ?(poly_degree = 3) a b =
   if Observable.dim a <> Observable.dim b then invalid_arg "Diff.diff: dimension mismatch";
   let dim = Observable.dim a in
@@ -5,21 +14,36 @@ let diff ?(poly_degree = 3) a b =
   let relation = Observable.combine_relations Relation.diff a b in
   let mem x = Observable.mem a x && not (Observable.mem b x) in
   let sample rng params =
+    Tel.Counter.incr tel_samples;
     let budget = Inter.budget_for ~dim ~poly_degree ~delta:(Params.delta params) in
     let rec attempt k =
-      if k = 0 then None
-      else
+      if k = 0 then begin
+        Tel.Counter.incr tel_exhausted;
+        None
+      end
+      else begin
+        Tel.Counter.incr tel_trials;
         match Observable.sample a rng (Params.third_eps params) with
-        | None -> attempt (k - 1)
-        | Some x -> if Observable.mem b x then attempt (k - 1) else Some x
+        | None ->
+            Tel.Counter.incr tel_child_failures;
+            attempt (k - 1)
+        | Some x ->
+            if Observable.mem b x then begin
+              Tel.Counter.incr tel_miss;
+              attempt (k - 1)
+            end
+            else Some x
+      end
     in
     attempt budget
   in
-  let volume rng ~eps ~delta =
+  let volume rng ~gamma ~eps ~delta =
+    Tel.Counter.incr tel_vol_calls;
     let eps2 = eps /. 2.0 in
-    let mu_a = Observable.volume a rng ~eps:eps2 ~delta:(delta /. 4.0) in
+    let mu_a = Observable.volume a rng ~gamma ~eps:eps2 ~delta:(delta /. 4.0) in
     let p_floor = 1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree) in
-    let params = Params.make ~gamma:0.1 ~eps:eps2 ~delta:(delta /. 4.0) () in
+    (* Same grid as the sample path: the caller's γ, not a fixed one. *)
+    let params = Params.make ~gamma ~eps:eps2 ~delta:(delta /. 4.0) () in
     let draw r =
       match Observable.sample a r params with
       | Some x -> not (Observable.mem b x)

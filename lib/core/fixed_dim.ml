@@ -26,7 +26,9 @@ let observable ?(max_cells = 2_000_000) r =
           | None -> None
           | Some g -> if Gridvol.cell_count g = 0 then None else Some (Gridvol.sample g rng)
         in
-        let volume _rng ~eps ~delta:_ =
+        (* The grid decomposition is ε-driven; γ only matters to the
+           sample path, which reads it from [Params]. *)
+        let volume _rng ~gamma:_ ~eps ~delta:_ =
           match decomposition (eps *. scale) with
           | None -> raise (Observable.Estimation_failed "empty or unbounded relation")
           | Some g -> Gridvol.volume g

@@ -1,3 +1,12 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_samples = Tel.Counter.make "inter.samples"
+let tel_trials = Tel.Counter.make "inter.trials"
+let tel_miss = Tel.Counter.make "inter.miss"
+let tel_child_failures = Tel.Counter.make "inter.child_failures"
+let tel_exhausted = Tel.Counter.make "inter.exhausted"
+let tel_vol_calls = Tel.Counter.make "inter.volume.calls"
+
 let budget_for ~dim ~poly_degree ~delta =
   let d = Float.max 2.0 (float_of_int dim) in
   let bound = (d ** float_of_int poly_degree) *. log (1.0 /. delta) in
@@ -22,33 +31,49 @@ let inter ?(poly_degree = 3) children =
   in
   let mem x = Array.for_all (fun c -> Observable.mem c x) children in
   (* Index of the smallest operand by estimated volume. *)
-  let smallest rng ~eps ~delta =
-    let mu = Array.map (fun c -> Observable.volume c rng ~eps ~delta) children in
+  let smallest rng ~gamma ~eps ~delta =
+    let mu = Array.map (fun c -> Observable.volume c rng ~gamma ~eps ~delta) children in
     let j = ref 0 in
     Array.iteri (fun i v -> if v < mu.(!j) then j := i) mu;
     (!j, mu.(!j))
   in
   let sample rng params =
+    Tel.Counter.incr tel_samples;
+    let gamma = Params.gamma params in
     let eps3 = Params.eps params /. 3.0 in
     let delta = Params.delta params in
-    let j, _ = smallest rng ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
+    let j, _ = smallest rng ~gamma ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
     let budget = budget_for ~dim ~poly_degree ~delta in
     let rec attempt k =
-      if k = 0 then None
-      else
+      if k = 0 then begin
+        Tel.Counter.incr tel_exhausted;
+        None
+      end
+      else begin
+        Tel.Counter.incr tel_trials;
         match Observable.sample children.(j) rng (Params.third_eps params) with
-        | None -> attempt (k - 1)
-        | Some x -> if mem x then Some x else attempt (k - 1)
+        | None ->
+            Tel.Counter.incr tel_child_failures;
+            attempt (k - 1)
+        | Some x ->
+            if mem x then Some x
+            else begin
+              Tel.Counter.incr tel_miss;
+              attempt (k - 1)
+            end
+      end
     in
     attempt budget
   in
-  let volume rng ~eps ~delta =
+  let volume rng ~gamma ~eps ~delta =
     (* μ(T) = μ(S_j) · P[x ∈ T | x ~ S_j], with the poly-relatedness
        promise lower-bounding the acceptance probability. *)
+    Tel.Counter.incr tel_vol_calls;
     let eps2 = eps /. 2.0 in
-    let j, mu_j = smallest rng ~eps:eps2 ~delta:(delta /. float_of_int (4 * m)) in
+    let j, mu_j = smallest rng ~gamma ~eps:eps2 ~delta:(delta /. float_of_int (4 * m)) in
     let p_floor = 1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree) in
-    let params = Params.make ~gamma:0.1 ~eps:eps2 ~delta:(delta /. 4.0) () in
+    (* Same grid as the sample path: the caller's γ, not a fixed one. *)
+    let params = Params.make ~gamma ~eps:eps2 ~delta:(delta /. 4.0) () in
     let draw r =
       match Observable.sample children.(j) r params with Some x -> mem x | None -> false
     in

@@ -5,7 +5,7 @@ type t = {
   relation : Relation.t option;
   mem : Vec.t -> bool;
   sample : Rng.t -> Params.t -> Vec.t option;
-  volume : Rng.t -> eps:float -> delta:float -> float;
+  volume : Rng.t -> gamma:float -> eps:float -> delta:float -> float;
 }
 
 let make ?relation ~dim ~mem ~sample ~volume () =
@@ -21,7 +21,10 @@ let dim t = t.dim
 let relation t = t.relation
 let mem t x = t.mem x
 let sample t rng params = t.sample rng params
-let volume t rng ~eps ~delta = t.volume rng ~eps ~delta
+
+let volume t ?gamma rng ~eps ~delta =
+  let gamma = match gamma with Some g -> g | None -> Params.gamma Params.default in
+  t.volume rng ~gamma ~eps ~delta
 
 let sample_exn t rng params =
   let attempts = Stdlib.max 4 (int_of_float (ceil (20.0 *. log (1.0 /. Params.delta params)))) in
@@ -34,13 +37,13 @@ let sample_exn t rng params =
 let sample_many t rng params ~n = List.init n (fun _ -> sample_exn t rng params)
 
 let with_cached_volume t =
-  let cache : (float * float, float) Hashtbl.t = Hashtbl.create 4 in
-  let volume rng ~eps ~delta =
-    match Hashtbl.find_opt cache (eps, delta) with
+  let cache : (float * float * float, float) Hashtbl.t = Hashtbl.create 4 in
+  let volume rng ~gamma ~eps ~delta =
+    match Hashtbl.find_opt cache (gamma, eps, delta) with
     | Some v -> v
     | None ->
-        let v = t.volume rng ~eps ~delta in
-        Hashtbl.replace cache (eps, delta) v;
+        let v = t.volume rng ~gamma ~eps ~delta in
+        Hashtbl.replace cache (gamma, eps, delta) v;
         v
   in
   { t with volume }

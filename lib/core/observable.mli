@@ -18,7 +18,10 @@ type t = {
          deliberately avoid computing it (that is their whole point) *)
   mem : Vec.t -> bool; (* the membership oracle of the paper (linear in description size) *)
   sample : Rng.t -> Params.t -> Vec.t option; (* the (γ,ε,δ)-generator; [None] = declared failure *)
-  volume : Rng.t -> eps:float -> delta:float -> float; (* the (ε,δ)-volume estimator *)
+  volume : Rng.t -> gamma:float -> eps:float -> delta:float -> float;
+      (* the (ε,δ)-volume estimator; [gamma] is the grid resolution any
+         internal sampling must discretize on, so that volume and
+         sample paths of one observable agree on the grid *)
 }
 
 val make :
@@ -26,7 +29,7 @@ val make :
   dim:int ->
   mem:(Vec.t -> bool) ->
   sample:(Rng.t -> Params.t -> Vec.t option) ->
-  volume:(Rng.t -> eps:float -> delta:float -> float) ->
+  volume:(Rng.t -> gamma:float -> eps:float -> delta:float -> float) ->
   unit ->
   t
 
@@ -34,7 +37,7 @@ val of_relation_parts :
   relation:Relation.t ->
   mem:(Vec.t -> bool) ->
   sample:(Rng.t -> Params.t -> Vec.t option) ->
-  volume:(Rng.t -> eps:float -> delta:float -> float) ->
+  volume:(Rng.t -> gamma:float -> eps:float -> delta:float -> float) ->
   t
 (** Like {!make} with the dimension taken from the relation. *)
 
@@ -42,7 +45,13 @@ val dim : t -> int
 val relation : t -> Relation.t option
 val mem : t -> Vec.t -> bool
 val sample : t -> Rng.t -> Params.t -> Vec.t option
-val volume : t -> Rng.t -> eps:float -> delta:float -> float
+
+val volume : t -> ?gamma:float -> Rng.t -> eps:float -> delta:float -> float
+(** [gamma] defaults to {!Params.default}'s γ (0.1).  Combinators that
+    sample internally (union, intersection, difference, projection)
+    pass it through to their children's generators, so the volume path
+    and the sample path of the same observable discretize on the same
+    grid. *)
 
 val sample_exn : t -> Rng.t -> Params.t -> Vec.t
 (** Retry the generator up to [20·ln(1/δ)] times.
@@ -53,7 +62,7 @@ val sample_many : t -> Rng.t -> Params.t -> n:int -> Vec.t list
     {!sample_exn}). *)
 
 val with_cached_volume : t -> t
-(** Memoize the volume estimator per (ε,δ) pair.  The combinators call
+(** Memoize the volume estimator per (γ,ε,δ) triple.  The combinators call
     child estimators on every trial (as written in the paper's
     Algorithm 1); caching makes that affordable without changing the
     estimate seen by any single run. *)

@@ -145,11 +145,12 @@ let project ?fiber_volume ?(pilot_samples = 32) rng poly ~keep =
           in
           attempt trials
         in
-        let volume vol_rng ~eps ~delta =
+        let volume vol_rng ~gamma ~eps ~delta =
           (* vol(π(S)) = vol(S) · E_{x~S}[ 1/h(π(x)) ]: the fiber volumes
              cancel the projection bias in expectation. *)
-          let vol_s = Observable.volume source vol_rng ~eps:(eps /. 3.0) ~delta:(delta /. 3.0) in
-          let params = Params.make ~gamma:0.1 ~eps:(eps /. 3.0) ~delta:(delta /. 3.0) () in
+          let vol_s = Observable.volume source vol_rng ~gamma ~eps:(eps /. 3.0) ~delta:(delta /. 3.0) in
+          (* Source draws discretize on the caller's grid. *)
+          let params = Params.make ~gamma ~eps:(eps /. 3.0) ~delta:(delta /. 3.0) () in
           let blocks = Stdlib.max 3 (int_of_float (ceil (4.0 *. log (2.0 /. delta)))) in
           let block_size = Stdlib.max 16 (int_of_float (ceil (9.0 /. (eps *. eps)))) in
           let draw r =

@@ -1,3 +1,15 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_samples = Tel.Counter.make "union.samples"
+let tel_trials = Tel.Counter.make "union.trials"
+let tel_first_index_miss = Tel.Counter.make "union.first_index_miss"
+let tel_child_failures = Tel.Counter.make "union.child_failures"
+let tel_exhausted = Tel.Counter.make "union.exhausted"
+let tel_vol_calls = Tel.Counter.make "union.volume.calls"
+let tel_vol_trials = Tel.Counter.make "union.volume.trials"
+let tel_vol_accepted = Tel.Counter.make "union.volume.accepted"
+let tel_accept_rate = Tel.Histogram.make "union.volume.acceptance_rate"
+
 let trials_for ~m ~delta =
   Stdlib.max 4 (int_of_float (ceil (float_of_int m *. log (1.0 /. delta))))
 
@@ -24,38 +36,56 @@ let union children =
     let rec go i = if i >= m then None else if Observable.mem children.(i) x then Some i else go (i + 1) in
     go 0
   in
-  let volumes rng ~eps ~delta =
-    Array.map (fun c -> Observable.volume c rng ~eps ~delta) children
+  let volumes rng ~gamma ~eps ~delta =
+    Array.map (fun c -> Observable.volume c rng ~gamma ~eps ~delta) children
   in
   let sample rng params =
+    Tel.Counter.incr tel_samples;
+    let gamma = Params.gamma params in
     let eps3 = Params.eps params /. 3.0 in
     let delta = Params.delta params in
     let sub_delta = delta /. float_of_int (4 * m) in
-    let mu = volumes rng ~eps:eps3 ~delta:sub_delta in
+    let mu = volumes rng ~gamma ~eps:eps3 ~delta:sub_delta in
     if Array.for_all (fun v -> v <= 0.0) mu then None
     else begin
     let trials = trials_for ~m ~delta in
     let rec attempt k =
-      if k = 0 then None
+      if k = 0 then begin
+        Tel.Counter.incr tel_exhausted;
+        None
+      end
       else begin
+        Tel.Counter.incr tel_trials;
         let j = Rng.categorical rng mu in
         match Observable.sample children.(j) rng (Params.third_eps params) with
-        | None -> attempt (k - 1)
-        | Some x -> if first_index x = Some j then Some x else attempt (k - 1)
+        | None ->
+            Tel.Counter.incr tel_child_failures;
+            attempt (k - 1)
+        | Some x ->
+            if first_index x = Some j then Some x
+            else begin
+              Tel.Counter.incr tel_first_index_miss;
+              attempt (k - 1)
+            end
       end
     in
     attempt trials
     end
   in
-  let volume rng ~eps ~delta =
+  let volume rng ~gamma ~eps ~delta =
     (* Karp–Luby estimator: μ(∪) = (Σ μ̂ᵢ) · P[trial accepted], and the
        acceptance probability is at least 1/m. *)
+    Tel.Counter.incr tel_vol_calls;
     let eps3 = eps /. 3.0 in
-    let mu = volumes rng ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
+    let mu = volumes rng ~gamma ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
     let total = Array.fold_left ( +. ) 0.0 mu in
     if total <= 0.0 then 0.0
     else begin
-      let params = Params.make ~gamma:0.1 ~eps:eps3 ~delta:(delta /. 4.0) () in
+      (* The caller's γ flows into the child generators so that the
+         acceptance trials run on the same grid the sample path uses —
+         a fixed γ here would make the Karp–Luby trials and the
+         generator disagree on the discretization. *)
+      let params = Params.make ~gamma ~eps:eps3 ~delta:(delta /. 4.0) () in
       let n =
         Chernoff.samples_for_ratio ~eps:eps3 ~delta:(delta /. 4.0) ~p_lower:(1.0 /. float_of_int m)
       in
@@ -66,6 +96,9 @@ let union children =
         | None -> ()
         | Some x -> if first_index x = Some j then incr accepted
       done;
+      Tel.Counter.add tel_vol_trials n;
+      Tel.Counter.add tel_vol_accepted !accepted;
+      if n > 0 then Tel.Histogram.observe tel_accept_rate (float_of_int !accepted /. float_of_int n);
       total *. float_of_int !accepted /. float_of_int n
     end
   in

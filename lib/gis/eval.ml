@@ -77,7 +77,7 @@ let membership_only r =
   Observable.make ~relation:r ~dim:(Relation.dim r)
     ~mem:(fun x -> Relation.mem_float ~slack:1e-9 r x)
     ~sample:(fun _ _ -> None)
-    ~volume:(fun _ ~eps:_ ~delta:_ ->
+    ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ ->
       raise (Observable.Estimation_failed "membership-only observable"))
     ()
 

@@ -19,6 +19,15 @@ type 'num outcome =
   | Unbounded
   | Optimal of { value : 'num; point : 'num array }
 
+module Tel = Scdb_telemetry.Telemetry
+
+(* Shared across the float and exact functor instances: the registry is
+   keyed by name, so both solvers report into the same counters. *)
+let tel_pivots = Tel.Counter.make "simplex.pivots"
+let tel_degenerate = Tel.Counter.make "simplex.degenerate_pivots"
+let tel_bland = Tel.Counter.make "simplex.bland_switches"
+let tel_cap = Tel.Counter.make "simplex.cap_hits"
+
 module Make (F : FIELD) = struct
   let neg_one = F.neg F.one
   let is_pos x = (not (F.is_zero x)) && F.compare x F.zero > 0
@@ -64,24 +73,57 @@ module Make (F : FIELD) = struct
     obj_rhs := !r;
     t.basis.(row) <- col
 
-  (* Bland's rule pivot loop on the current objective row [obj]
-     (convention: entries are [z_j - c_j]; entering columns are the
-     strictly negative ones).  [allowed] filters entering candidates. *)
+  (* After this many consecutive degenerate pivots (leaving ratio zero,
+     objective unchanged) the entering rule drops from Dantzig to
+     Bland, which cannot cycle.  Small enough to bail out of a cycle
+     quickly, large enough that ordinary degenerate vertices never pay
+     Bland's slow-crawl price. *)
+  let degeneracy_streak_limit = 32
+
+  (* Pivot loop on the current objective row [obj] (convention: entries
+     are [z_j - c_j]; entering columns are the strictly negative ones).
+     [allowed] filters entering candidates.  The entering rule is
+     Dantzig's most-negative reduced cost; after a streak of degenerate
+     pivots it switches (for the rest of this optimization) to Bland's
+     smallest-index anti-cycling rule, which terminates on every input
+     in exact arithmetic.  The iteration cap is a last-resort guard
+     against float round-off oscillation: the basis stays primal
+     feasible throughout, so hitting it reports the current vertex as
+     [`Optimal] (best effort, counted in [simplex.cap_hits]) rather
+     than aborting the caller. *)
   let optimize t obj obj_rhs ~allowed =
     let m = Array.length t.rows in
     let iteration_cap = 2000 + (200 * (m + t.ncols) * (m + t.ncols)) in
+    let bland = ref false in
+    let streak = ref 0 in
     let rec loop iter =
-      if iter > iteration_cap then failwith "Simplex.optimize: iteration limit (numerical cycling?)";
-      (* Entering column: smallest index with negative reduced cost. *)
+      if iter > iteration_cap then begin
+        Tel.Counter.incr tel_cap;
+        `Optimal
+      end
+      else begin
       let enter = ref (-1) in
-      (try
-         for j = 0 to t.ncols - 1 do
-           if allowed j && is_neg obj.(j) then begin
-             enter := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
+      if !bland then begin
+        (* Bland: smallest index with negative reduced cost. *)
+        try
+          for j = 0 to t.ncols - 1 do
+            if allowed j && is_neg obj.(j) then begin
+              enter := j;
+              raise Exit
+            end
+          done
+        with Exit -> ()
+      end
+      else begin
+        (* Dantzig: most negative reduced cost. *)
+        let best = ref F.zero in
+        for j = 0 to t.ncols - 1 do
+          if allowed j && is_neg obj.(j) && F.compare obj.(j) !best < 0 then begin
+            best := obj.(j);
+            enter := j
+          end
+        done
+      end;
       if !enter < 0 then `Optimal
       else begin
         let col = !enter in
@@ -104,9 +146,20 @@ module Make (F : FIELD) = struct
         done;
         if !best < 0 then `Unbounded
         else begin
+          Tel.Counter.incr tel_pivots;
+          if F.is_zero !best_ratio then begin
+            Tel.Counter.incr tel_degenerate;
+            incr streak;
+            if (not !bland) && !streak >= degeneracy_streak_limit then begin
+              bland := true;
+              Tel.Counter.incr tel_bland
+            end
+          end
+          else streak := 0;
           pivot t obj obj_rhs ~row:!best ~col;
           loop (iter + 1)
         end
+      end
       end
     in
     loop 0

@@ -2,8 +2,15 @@
 
     One implementation serves both the floating-point instance (fast,
     tolerance-based) and the exact rational instance (slow, certified).
-    Bland's rule is used throughout, so the method terminates on every
-    input, including degenerate ones. *)
+    The entering rule is Dantzig's (most negative reduced cost); after
+    a streak of degenerate pivots it falls back to Bland's smallest-
+    index anti-cycling rule, which terminates on every input in exact
+    arithmetic.  A generous iteration cap remains as a last-resort
+    guard against float round-off oscillation: hitting it reports the
+    current (primal-feasible) vertex instead of raising, and counts
+    the event in the [simplex.cap_hits] telemetry counter along with
+    [simplex.pivots], [simplex.degenerate_pivots] and
+    [simplex.bland_switches]. *)
 
 module type FIELD = sig
   type t

@@ -1,3 +1,8 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_steps = Tel.Counter.make "ball_walk.steps"
+let tel_accepted = Tel.Counter.make "ball_walk.accepted"
+
 type stats = { steps : int; accepted : int }
 
 let default_radius ~dim ~r_inscribed = r_inscribed /. sqrt (float_of_int dim)
@@ -14,6 +19,8 @@ let walk rng ~mem ~start ~steps ~radius =
       incr accepted
     end
   done;
+  Tel.Counter.add tel_steps steps;
+  Tel.Counter.add tel_accepted !accepted;
   (!current, { steps; accepted = !accepted })
 
 let sample_polytope rng poly ~start ~steps ?radius () =

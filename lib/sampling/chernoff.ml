@@ -1,3 +1,9 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_samples = Tel.Counter.make "chernoff.samples"
+let tel_adaptive_calls = Tel.Counter.make "chernoff.adaptive.calls"
+let tel_pilot_zero = Tel.Counter.make "chernoff.adaptive.pilot_zero"
+
 let samples_for_additive ~eps ~delta =
   if eps <= 0.0 || delta <= 0.0 then invalid_arg "Chernoff.samples_for_additive";
   int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
@@ -8,6 +14,7 @@ let samples_for_ratio ~eps ~delta ~p_lower =
 
 let estimate_fraction rng ~samples f =
   if samples <= 0 then invalid_arg "Chernoff.estimate_fraction";
+  Tel.Counter.add tel_samples samples;
   let hits = ref 0 in
   for _ = 1 to samples do
     if f rng then incr hits
@@ -15,26 +22,41 @@ let estimate_fraction rng ~samples f =
   float_of_int !hits /. float_of_int samples
 
 let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000) f =
+  Tel.Counter.incr tel_adaptive_calls;
   let count n =
+    Tel.Counter.add tel_samples n;
     let hits = ref 0 in
     for _ = 1 to n do
       if f rng then incr hits
     done;
     !hits
   in
+  (* The pilot run is itself a statistical decision (it sizes the main
+     run from the observed rate), so the failure budget is split δ/2 +
+     δ/2 across the two phases instead of each phase spending all of δ. *)
+  let delta_phase = delta /. 2.0 in
   let pilot = 400 in
   let pilot_hits = count pilot in
+  (* Pilot draws are i.i.d. with the main draws, so they fold into the
+     final fraction instead of being thrown away. *)
+  let finish n_main main_hits =
+    float_of_int (pilot_hits + main_hits) /. float_of_int (pilot + n_main)
+  in
   if pilot_hits = 0 then begin
     (* No signal yet: spend the floor-based budget before concluding 0. *)
-    let n = Stdlib.min max_samples (samples_for_ratio ~eps ~delta ~p_lower:p_floor) in
-    let hits = count n in
-    float_of_int hits /. float_of_int n
+    Tel.Counter.incr tel_pilot_zero;
+    let n = Stdlib.min max_samples (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:p_floor) in
+    finish n (count n)
   end
   else begin
     let p_hat = float_of_int pilot_hits /. float_of_int pilot in
-    let n = Stdlib.min max_samples (samples_for_ratio ~eps ~delta ~p_lower:(p_hat /. 2.0)) in
-    let hits = count n in
-    float_of_int hits /. float_of_int n
+    let n =
+      Stdlib.min max_samples (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:(p_hat /. 2.0))
+    in
+    (* The pilot already contributed 400 of the [n] draws the bound asks
+       for; only the remainder is drawn in the main phase. *)
+    let n_main = Stdlib.max 0 (n - pilot) in
+    finish n_main (count n_main)
   end
 
 let median_of_means rng ~blocks ~block_size f =

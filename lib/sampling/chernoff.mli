@@ -24,11 +24,15 @@ val estimate_fraction_adaptive :
   (Scdb_rng.Rng.t -> bool) ->
   float
 (** Two-stage estimation of a Bernoulli mean [p] to ratio [1+ε]: a
-    pilot run sizes the main run from the {e observed} rate instead of
-    the worst-case floor [p_floor], so the cost scales with [1/p]
-    rather than [1/p_floor].  Falls back to the floor-based sample
-    count (capped at [max_samples], default 200_000) when the pilot
-    sees no successes; returns [0.] if none are ever seen. *)
+    pilot run of 400 draws sizes the main run from the {e observed}
+    rate instead of the worst-case floor [p_floor], so the cost scales
+    with [1/p] rather than [1/p_floor].  The failure budget is split
+    [δ/2] per phase, the pilot draws count toward the main-phase
+    budget, and the pilot hits are folded into the returned fraction
+    (all draws are i.i.d., so discarding them would only waste
+    samples).  Falls back to the floor-based sample count (capped at
+    [max_samples], default 200_000) when the pilot sees no successes;
+    returns [0.] if none are ever seen. *)
 
 val median_of_means :
   Scdb_rng.Rng.t -> blocks:int -> block_size:int -> (Scdb_rng.Rng.t -> float) -> float

@@ -1,3 +1,9 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_steps = Tel.Counter.make "hit_and_run.steps"
+let tel_samples = Tel.Counter.make "hit_and_run.samples"
+let tel_degenerate = Tel.Counter.make "hit_and_run.chord_degenerate"
+
 type chord = Vec.t -> Vec.t -> (float * float) option
 
 let polytope_chord poly x dir = Polytope.line_intersection poly x dir
@@ -26,15 +32,18 @@ let intersect_chords chords x dir =
   go neg_infinity infinity chords
 
 let sample rng ~chord ~start ~steps =
+  Tel.Counter.incr tel_samples;
+  Tel.Counter.add tel_steps steps;
   let dim = Vec.dim start in
   let current = ref (Vec.copy start) in
   for _ = 1 to steps do
     let dir = Rng.unit_vector rng dim in
     match chord !current dir with
-    | None -> () (* numerically outside; keep position *)
+    | None -> Tel.Counter.incr tel_degenerate (* numerically outside; keep position *)
     | Some (lo, hi) ->
         if hi > lo && Float.is_finite lo && Float.is_finite hi then
           current := Vec.axpy (Rng.uniform rng lo hi) dir !current
+        else Tel.Counter.incr tel_degenerate
   done;
   !current
 
@@ -45,6 +54,8 @@ let sample rng ~chord ~start ~steps =
    stream is identical to the generic [sample] above, so trajectories
    agree with the naive kernel up to rounding. *)
 let sample_polytope rng poly ~start ~steps =
+  Tel.Counter.incr tel_samples;
+  Tel.Counter.add tel_steps steps;
   let cur = Polytope.Kernel.make poly start in
   let dir = Vec.create (Polytope.dim poly) in
   for _ = 1 to steps do
@@ -53,7 +64,9 @@ let sample_polytope rng poly ~start ~steps =
       let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
       if hi > lo && Float.is_finite lo && Float.is_finite hi then
         Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi)
+      else Tel.Counter.incr tel_degenerate
     end
+    else Tel.Counter.incr tel_degenerate
   done;
   Polytope.Kernel.pos cur
 

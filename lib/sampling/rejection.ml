@@ -1,19 +1,45 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_attempts = Tel.Counter.make "rejection.attempts"
+let tel_accepted = Tel.Counter.make "rejection.accepted"
+let tel_exhausted = Tel.Counter.make "rejection.exhausted"
+let tel_rate = Tel.Histogram.make "rejection.acceptance_rate"
+
 type stats = { attempts : int; accepted : int }
+
+let acceptance_rate s = if s.attempts = 0 then 0.0 else float_of_int s.accepted /. float_of_int s.attempts
+
+let record s =
+  Tel.Counter.add tel_attempts s.attempts;
+  Tel.Counter.add tel_accepted s.accepted;
+  if s.attempts > 0 then Tel.Histogram.observe tel_rate (acceptance_rate s)
 
 let sample rng ~lo ~hi ~mem ~max_attempts =
   let rec go n =
-    if n >= max_attempts then None
+    if n >= max_attempts then begin
+      Tel.Counter.incr tel_exhausted;
+      record { attempts = n; accepted = 0 };
+      None
+    end
     else begin
       let x = Rng.in_box rng lo hi in
-      if mem x then Some (x, n + 1) else go (n + 1)
+      if mem x then begin
+        record { attempts = n + 1; accepted = 1 };
+        Some (x, n + 1)
+      end
+      else go (n + 1)
     end
   in
   go 0
 
 let sample_many rng ~lo ~hi ~mem ~count ~max_attempts =
   let rec go acc accepted attempts =
-    if accepted >= count || attempts >= max_attempts then
-      (List.rev acc, { attempts; accepted })
+    if accepted >= count || attempts >= max_attempts then begin
+      if accepted < count then Tel.Counter.incr tel_exhausted;
+      let s = { attempts; accepted } in
+      record s;
+      (List.rev acc, s)
+    end
     else begin
       let x = Rng.in_box rng lo hi in
       if mem x then go (x :: acc) (accepted + 1) (attempts + 1)
@@ -21,5 +47,3 @@ let sample_many rng ~lo ~hi ~mem ~count ~max_attempts =
     end
   in
   go [] 0 0
-
-let acceptance_rate s = if s.attempts = 0 then 0.0 else float_of_int s.accepted /. float_of_int s.attempts

@@ -1,3 +1,10 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_estimates = Tel.Counter.make "volume.estimates"
+let tel_phases = Tel.Counter.make "volume.phases"
+let tel_samples = Tel.Counter.make "volume.samples"
+let tel_ratio = Tel.Histogram.make "volume.phase_ratio"
+
 type sampler = Grid_walk | Hit_and_run
 
 type budget = Rigorous | Practical of int
@@ -72,6 +79,9 @@ let estimate rng ?(eps = 0.25) ?(delta = 0.25) ?(sampler = Hit_and_run) ?(budget
               | Hit_and_run -> Hit_and_run.default_steps ~dim:d
               | Grid_walk -> Walk.default_steps ~dim:d ~eps)
         in
+        Tel.Counter.incr tel_estimates;
+        Tel.Counter.add tel_phases q;
+        Tel.Counter.add tel_samples (q * samples_per_phase);
         let product = ref 1.0 in
         let start = ref (Vec.create d) in
         for i = 1 to q do
@@ -88,6 +98,7 @@ let estimate rng ?(eps = 0.25) ?(delta = 0.25) ?(sampler = Hit_and_run) ?(budget
             if samples_per_phase = 0 then 1.0
             else Float.max (float_of_int !hits /. float_of_int samples_per_phase) 1e-9
           in
+          Tel.Histogram.observe tel_ratio ratio;
           product := !product /. ratio
         done;
         let inner = ball_volume ~dim:d ~radius:r0 in

@@ -1,3 +1,10 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let tel_steps = Tel.Counter.make "walk.steps"
+let tel_walks = Tel.Counter.make "walk.walks"
+let tel_proposals = Tel.Counter.make "walk.proposals"
+let tel_accepted = Tel.Counter.make "walk.accepted"
+
 type oracle = Vec.t -> bool
 
 let default_steps ~dim ~eps =
@@ -15,11 +22,18 @@ let step rng grid mem current =
     let delta = if Rng.bool rng then 1 else -1 in
     let candidate = Array.copy current in
     candidate.(coord) <- candidate.(coord) + delta;
-    if mem (Grid.to_point grid candidate) then candidate else current
+    Tel.Counter.incr tel_proposals;
+    if mem (Grid.to_point grid candidate) then begin
+      Tel.Counter.incr tel_accepted;
+      candidate
+    end
+    else current
   end
 
 let walk rng ~grid ~mem ~start ~steps =
   if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.walk: start outside the body";
+  Tel.Counter.incr tel_walks;
+  Tel.Counter.add tel_steps steps;
   let current = ref start in
   for _ = 1 to steps do
     current := step rng grid mem !current
@@ -40,6 +54,8 @@ let sample_polytope rng ~grid poly ~start ~steps =
   let idx = Grid.of_point grid start in
   let x = Grid.to_point grid idx in
   if not (Polytope.mem poly x) then invalid_arg "Walk.walk: start outside the body";
+  Tel.Counter.incr tel_walks;
+  Tel.Counter.add tel_steps steps;
   let cur = Polytope.Kernel.make poly x in
   for _ = 1 to steps do
     if not (Rng.bool rng) then begin
@@ -48,7 +64,11 @@ let sample_polytope rng ~grid poly ~start ~steps =
       (* Same expression as [Grid.to_point], so accepted positions are
          bit-identical to the oracle walk's. *)
       let v = float_of_int (idx.(coord) + delta) *. g.step in
-      if Polytope.Kernel.try_set_coord cur coord v then idx.(coord) <- idx.(coord) + delta
+      Tel.Counter.incr tel_proposals;
+      if Polytope.Kernel.try_set_coord cur coord v then begin
+        Tel.Counter.incr tel_accepted;
+        idx.(coord) <- idx.(coord) + delta
+      end
     end
   done;
   Polytope.Kernel.pos cur

@@ -1,0 +1,205 @@
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "SPATIALDB_STATS" with
+    | Some "" | Some "0" | None -> false
+    | Some _ -> true)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Bucket upper bounds 10^(k/2), k = -18 … 18: two per decade across
+   the dynamic range of everything we measure (seconds, steps, rates).
+   The final slot of each histogram's [buckets] array is the overflow
+   bucket. *)
+let bucket_bounds = Array.init 37 (fun i -> 10.0 ** ((float_of_int i /. 2.0) -. 9.0))
+let n_buckets = Array.length bucket_bounds + 1
+
+let bucket_for v =
+  (* Linear scan: bounded at 37 and only on the enabled path; a binary
+     search saves nothing at this size. *)
+  let rec go i =
+    if i >= Array.length bucket_bounds then i else if v <= bucket_bounds.(i) then i else go (i + 1)
+  in
+  go 0
+
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  buckets : int array;
+}
+
+type metric = M_counter of counter | M_histogram of histogram
+
+(* Registry: insertion-ordered list for iteration plus a name table for
+   idempotent creation.  Metric creation happens at module
+   initialization, never on a hot path, so a plain list is fine. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let order : metric list ref = ref []
+
+let register name m =
+  Hashtbl.replace registry name m;
+  order := m :: !order;
+  m
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some (M_counter c) -> c
+    | Some (M_histogram _) -> invalid_arg ("Telemetry.Counter.make: " ^ name ^ " is a histogram")
+    | None -> (
+        match register name (M_counter { c_name = name; count = 0 }) with
+        | M_counter c -> c
+        | M_histogram _ -> assert false)
+
+  let incr c = if !enabled_flag then c.count <- c.count + 1
+  let add c k = if !enabled_flag then c.count <- c.count + k
+  let value c = c.count
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some (M_histogram h) -> h
+    | Some (M_counter _) -> invalid_arg ("Telemetry.Histogram.make: " ^ name ^ " is a counter")
+    | None -> (
+        match
+          register name
+            (M_histogram
+               {
+                 h_name = name;
+                 n = 0;
+                 sum = 0.0;
+                 vmin = infinity;
+                 vmax = neg_infinity;
+                 buckets = Array.make n_buckets 0;
+               })
+        with
+        | M_histogram h -> h
+        | M_counter _ -> assert false)
+
+  let observe h v =
+    if !enabled_flag then begin
+      h.n <- h.n + 1;
+      h.sum <- h.sum +. v;
+      if v < h.vmin then h.vmin <- v;
+      if v > h.vmax then h.vmax <- v;
+      let b = h.buckets in
+      let i = bucket_for v in
+      b.(i) <- b.(i) + 1
+    end
+
+  let count h = h.n
+  let sum h = h.sum
+  let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+end
+
+module Timer = struct
+  type t = histogram
+
+  let make name = Histogram.make (name ^ ".seconds")
+  let start _t = if !enabled_flag then Unix.gettimeofday () else 0.0
+  let stop t t0 = if !enabled_flag then Histogram.observe t (Unix.gettimeofday () -. t0)
+
+  let time t f =
+    let t0 = start t in
+    let r = f () in
+    stop t t0;
+    r
+end
+
+module Scope = struct
+  type t = string
+
+  let make prefix = prefix
+  let counter t name = Counter.make (t ^ "." ^ name)
+  let histogram t name = Histogram.make (t ^ "." ^ name)
+  let timer t name = Timer.make (t ^ "." ^ name)
+end
+
+let reset () =
+  List.iter
+    (function
+      | M_counter c -> c.count <- 0
+      | M_histogram h ->
+          h.n <- 0;
+          h.sum <- 0.0;
+          h.vmin <- infinity;
+          h.vmax <- neg_infinity;
+          Array.fill h.buckets 0 n_buckets 0)
+    !order
+
+(* JSON floats: plain %.17g round-trips, but normalize the non-finite
+   values JSON cannot carry. *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if v > 0.0 then "1e308"
+  else if v < 0.0 then "-1e308"
+  else "0"
+
+let dump ?(only_nonzero = true) () =
+  let name_of = function M_counter c -> c.c_name | M_histogram h -> h.h_name in
+  let metrics = List.sort (fun a b -> compare (name_of a) (name_of b)) (List.rev !order) in
+  let keep = function
+    | M_counter c -> (not only_nonzero) || c.count <> 0
+    | M_histogram h -> (not only_nonzero) || h.n <> 0
+  in
+  let counters = List.filter (function M_counter _ as m -> keep m | _ -> false) metrics in
+  let histograms = List.filter (function M_histogram _ as m -> keep m | _ -> false) metrics in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"spatialdb-telemetry/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"enabled\": %b,\n" !enabled_flag);
+  Buffer.add_string buf "  \"counters\": {";
+  List.iteri
+    (fun i m ->
+      match m with
+      | M_counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\n    %S: %d" (if i = 0 then "" else ",") c.c_name c.count)
+      | M_histogram _ -> ())
+    counters;
+  Buffer.add_string buf (if counters = [] then "},\n" else "\n  },\n");
+  Buffer.add_string buf "  \"histograms\": {";
+  List.iteri
+    (fun i m ->
+      match m with
+      | M_histogram h ->
+          Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
+          Buffer.add_string buf
+            (Printf.sprintf "%S: {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s, \"buckets\": ["
+               h.h_name h.n (json_float h.sum)
+               (json_float (if h.n = 0 then 0.0 else h.vmin))
+               (json_float (if h.n = 0 then 0.0 else h.vmax))
+               (json_float (Histogram.mean h)));
+          let first = ref true in
+          Array.iteri
+            (fun b k ->
+              if k > 0 then begin
+                let le =
+                  if b < Array.length bucket_bounds then json_float bucket_bounds.(b) else "\"inf\""
+                in
+                if not !first then Buffer.add_string buf ", ";
+                first := false;
+                Buffer.add_string buf (Printf.sprintf "[%s, %d]" le k)
+              end)
+            h.buckets;
+          Buffer.add_string buf "]}"
+      | M_counter _ -> ())
+    histograms;
+  Buffer.add_string buf (if histograms = [] then "}\n" else "\n  }\n");
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with Some (M_counter c) -> Some c.count | _ -> None
+
+let histogram_count name =
+  match Hashtbl.find_opt registry name with Some (M_histogram h) -> Some h.n | _ -> None

@@ -1,0 +1,96 @@
+(** Lightweight runtime metrics for the probabilistic kernels.
+
+    The paper's guarantees are statistical, so a running system must be
+    able to see acceptance rates, trial budgets and walk lengths to know
+    whether its (γ,ε,δ) contracts are being honoured.  This module is a
+    process-global registry of named metrics designed for hot paths:
+
+    - {b disabled by default}: every record operation is one mutable
+      load and a conditional branch, no allocation, no syscall;
+    - {b allocation-free when enabled}: counters and histograms mutate
+      preallocated cells; metrics are created once at module
+      initialization, never per event;
+    - {b deterministic dumps}: {!dump} renders the registry as JSON
+      with metrics sorted by name.
+
+    Metric names are dot-separated paths ([hit_and_run.steps],
+    [union.volume.trials]); {!Scope} is a convenience for building
+    families under a common prefix.  Creating a metric with a name that
+    already exists returns the existing instance, so a functor body or
+    a re-executed module initializer never double-registers. *)
+
+val enabled : unit -> bool
+(** Global switch; initially [false] unless the [SPATIALDB_STATS]
+    environment variable is set to a non-empty, non-["0"] value. *)
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every registered metric (the registry itself is kept). *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) a monotonic counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) a histogram with fixed log-spaced bucket
+      bounds [10^(k/2)] for [k = -18 … 18] (two buckets per decade from
+      1e-9 to 1e9) plus an overflow bucket. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val mean : t -> float
+  (** [sum/count], or [0.] before the first observation. *)
+end
+
+module Timer : sig
+  type t
+
+  val make : string -> t
+  (** A wall-clock timer; durations land in a histogram named
+      [<name>.seconds]. *)
+
+  val start : t -> float
+  (** Current wall clock, or [0.] when telemetry is disabled (no
+      syscall on the disabled path). *)
+
+  val stop : t -> float -> unit
+  (** [stop t t0] records the elapsed time since [start]'s return. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+end
+
+module Scope : sig
+  type t
+
+  val make : string -> t
+  val counter : t -> string -> Counter.t
+  val histogram : t -> string -> Histogram.t
+  val timer : t -> string -> Timer.t
+end
+
+val dump : ?only_nonzero:bool -> unit -> string
+(** JSON snapshot of the registry (schema [spatialdb-telemetry/1]):
+    [{"schema": …, "enabled": …, "counters": {name: value, …},
+      "histograms": {name: {"count": …, "sum": …, "min": …, "max": …,
+      "mean": …, "buckets": [[le, n], …]}, …}}].
+    Buckets with zero count are omitted; [only_nonzero] (default
+    [true]) also omits never-touched metrics.  Timers appear under
+    [histograms] as [<name>.seconds]. *)
+
+val counter_value : string -> int option
+(** Registry lookup by name, for tests and report generators. *)
+
+val histogram_count : string -> int option

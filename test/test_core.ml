@@ -30,7 +30,7 @@ let params_tests =
           Observable.make ~dim:1
             ~mem:(fun _ -> true)
             ~sample:(fun _ _ -> None)
-            ~volume:(fun _ ~eps:_ ~delta:_ -> incr calls; 1.0)
+            ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ -> incr calls; 1.0)
             ()
         in
         let cached = Observable.with_cached_volume dummy in
@@ -44,7 +44,7 @@ let params_tests =
           Observable.make ~dim:1
             ~mem:(fun _ -> true)
             ~sample:(fun _ _ -> None)
-            ~volume:(fun _ ~eps:_ ~delta:_ -> 1.0)
+            ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ -> 1.0)
             ()
         in
         try
@@ -57,7 +57,7 @@ let params_tests =
             (Observable.make ~relation:(Relation.unit_cube 2) ~dim:3
                ~mem:(fun _ -> true)
                ~sample:(fun _ _ -> None)
-               ~volume:(fun _ ~eps:_ ~delta:_ -> 0.0)
+               ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ -> 0.0)
                ());
           Alcotest.fail "expected Invalid_argument"
         with Invalid_argument _ -> ());
@@ -162,6 +162,49 @@ let union_tests =
         Alcotest.(check bool) "monotone m" true (Union.trials_for ~m:10 ~delta:0.1 > Union.trials_for ~m:2 ~delta:0.1);
         Alcotest.(check bool) "monotone delta" true
           (Union.trials_for ~m:2 ~delta:0.001 > Union.trials_for ~m:2 ~delta:0.5));
+    t "volume passes the caller's gamma to child generators" (fun () ->
+        (* Regression: the Karp–Luby acceptance trials used to run at a
+           hard-coded gamma = 0.1, so the volume path discretized on a
+           different grid than the sample path whenever the caller asked
+           for another resolution. *)
+        let seen_gammas = ref [] in
+        let child =
+          Observable.make ~dim:1
+            ~mem:(fun _ -> true)
+            ~sample:(fun _ p ->
+              seen_gammas := Params.gamma p :: !seen_gammas;
+              Some [| 0.5 |])
+            ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ -> 1.0)
+            ()
+        in
+        let u = Union.union [ child ] in
+        let rng = Rng.create 7 in
+        ignore (Observable.volume u ~gamma:0.37 rng ~eps:0.5 ~delta:0.2);
+        Alcotest.(check bool) "trials ran" true (!seen_gammas <> []);
+        List.iter
+          (fun g -> Alcotest.(check (float 1e-12)) "caller's gamma, not 0.1" 0.37 g)
+          !seen_gammas;
+        (* And with gamma left to default, children see the 0.1 default. *)
+        seen_gammas := [];
+        ignore (Observable.volume u rng ~eps:0.5 ~delta:0.2);
+        List.iter
+          (fun g -> Alcotest.(check (float 1e-12)) "default gamma" 0.1 g)
+          !seen_gammas);
+    t "cached volume distinguishes gamma" (fun () ->
+        let calls = ref 0 in
+        let dummy =
+          Observable.make ~dim:1
+            ~mem:(fun _ -> true)
+            ~sample:(fun _ _ -> None)
+            ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ -> incr calls; 1.0)
+            ()
+        in
+        let cached = Observable.with_cached_volume dummy in
+        let rng = Rng.create 0 in
+        ignore (Observable.volume cached ~gamma:0.1 rng ~eps:0.1 ~delta:0.1);
+        ignore (Observable.volume cached ~gamma:0.4 rng ~eps:0.1 ~delta:0.1);
+        ignore (Observable.volume cached ~gamma:0.4 rng ~eps:0.1 ~delta:0.1);
+        Alcotest.(check int) "gamma is part of the key" 2 !calls);
   ]
 
 let inter_diff_tests =

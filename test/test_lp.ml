@@ -69,6 +69,39 @@ let float_tests =
         match Lp.maximize ~a ~b ~c with
         | Lp.Optimal _ | Lp.Infeasible | Lp.Unbounded -> true
         | exception Failure _ -> false);
+    t "Beale's cycling example terminates with the right value" (fun () ->
+        (* The classic LP on which Dantzig's rule cycles under naive
+           tie-breaking; the degeneracy-streak fallback to Bland must
+           terminate it at the known optimum 1/20. *)
+        let a =
+          [|
+            [| 0.25; -60.0; -0.04; 9.0 |];
+            [| 0.5; -90.0; -0.02; 3.0 |];
+            [| 0.0; 0.0; 1.0; 0.0 |];
+            [| -1.0; 0.0; 0.0; 0.0 |];
+            [| 0.0; -1.0; 0.0; 0.0 |];
+            [| 0.0; 0.0; -1.0; 0.0 |];
+            [| 0.0; 0.0; 0.0; -1.0 |];
+          |]
+        in
+        let b = [| 0.0; 0.0; 1.0; 0.0; 0.0; 0.0; 0.0 |] in
+        let c = [| 0.75; -150.0; 0.02; -6.0 |] in
+        match Lp.maximize ~a ~b ~c with
+        | Lp.Optimal { value; _ } -> Alcotest.(check (float 1e-7)) "1/20" 0.05 value
+        | _ -> Alcotest.fail "expected optimal");
+    t "degenerate pivots are counted when telemetry is on" (fun () ->
+        let module Tel = Scdb_telemetry.Telemetry in
+        let was = Tel.enabled () in
+        Tel.set_enabled true;
+        let before = Option.value ~default:0 (Tel.counter_value "simplex.pivots") in
+        let a = [| [| 1.; 1. |]; [| 1.; 2. |]; [| 2.; 1. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| -1.; 0. |]; [| 0.; -1. |] |] in
+        let b = [| 0.; 0.; 0.; 1.; 1.; 0.; 0. |] in
+        (match Lp.maximize ~a ~b ~c:[| 1.; 1. |] with
+        | Lp.Optimal _ -> ()
+        | _ -> Alcotest.fail "expected optimal");
+        let after = Option.value ~default:0 (Tel.counter_value "simplex.pivots") in
+        Tel.set_enabled was;
+        Alcotest.(check bool) "pivot counter advanced" true (after > before));
     qt "box LP closed form" (QCheck.make QCheck.Gen.(int_range 0 100_000)) (fun seed ->
         let rng = Rng.create seed in
         let d = 1 + Rng.int rng 4 in

@@ -16,4 +16,5 @@ let () =
          Test_sampling.suites;
          Test_core.suites;
          Test_gis.suites;
+         Test_uniformity.suites;
        ])

@@ -163,6 +163,31 @@ let chernoff_tests =
             (fun () -> Ch.samples_for_ratio ~eps:0.1 ~delta:0.1 ~p_lower:0.0);
             (fun () -> Ch.repeats_for_confidence ~delta:1.5);
           ]);
+    t "adaptive estimate concentrates" (fun () ->
+        let rng = Rng.create 12 in
+        let p =
+          Ch.estimate_fraction_adaptive rng ~eps:0.1 ~delta:0.1 ~p_floor:0.01 (fun r ->
+              Rng.float r < 0.3)
+        in
+        Alcotest.(check bool) "near 0.3" true (Float.abs (p -. 0.3) < 0.05));
+    t "adaptive estimate folds the pilot draws in" (fun () ->
+        (* Regression: the 400 pilot draws used to be discarded.  A
+           predicate that succeeds only during the pilot must still
+           produce a positive estimate, because those hits are real
+           draws of the same Bernoulli stream. *)
+        let calls = ref 0 in
+        let f _ = incr calls; !calls <= 400 in
+        let p = Ch.estimate_fraction_adaptive (Rng.create 0) ~eps:0.2 ~delta:0.2 ~p_floor:0.01 f in
+        Alcotest.(check bool)
+          (Printf.sprintf "pilot hits kept (got %g)" p)
+          true (p > 0.0);
+        (* The main phase budget is also net of the pilot: with p_hat = 1
+           the bound asks for few hundred draws total, not pilot + bound. *)
+        let total = !calls in
+        let bound =
+          400 + Stdlib.max 0 (Ch.samples_for_ratio ~eps:0.2 ~delta:0.1 ~p_lower:0.5 - 400)
+        in
+        Alcotest.(check int) "pilot counts toward the budget" bound total);
   ]
 
 let rounding_tests =
