@@ -25,9 +25,15 @@ check:
 	dune runtest
 
 # check + perf smoke: fail if any kernel regresses >2x vs the committed
-# baseline.  Writes the throwaway report to _build/.
+# baseline, then a `spatialdb report` smoke query whose JSON must
+# validate (schema, trace events, finite diagnostics).  Throwaway
+# artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
+	dune exec bin/spatialdb.exe -- report --vars x,y \
+	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 \
+	  -o _build/report_smoke.json
+	dune exec bench/validate_report.exe -- _build/report_smoke.json --require-converged
 
 clean:
 	dune clean

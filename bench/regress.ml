@@ -257,6 +257,24 @@ let telemetry_snapshot ~poly ~grid ~centre =
   json
 
 (* ------------------------------------------------------------------ *)
+(* Convergence diagnostics                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Multi-chain hit-and-run diagnostics on the timing fixture: ESS,
+   split R-hat and the verdict ride along in BENCH_<n>.json so mixing
+   regressions are as visible as ns/op regressions. *)
+let diagnostics_block ~fast ~poly =
+  let rng = Rng.create 9_2026 in
+  let samples_per_chain = if fast then 32 else Diag_run.default_samples_per_chain in
+  match Diag_run.run ~samples_per_chain rng poly with
+  | None -> "null"
+  | Some d ->
+      Printf.printf "diagnostics: max split R-hat %.4f, %s\n"
+        (Array.fold_left Float.max 1.0 d.Diag_run.rhat)
+        (if d.Diag_run.verdict.Scdb_diag.Diag.converged then "converged" else "NOT converged");
+      Diag_run.to_json d
+
+(* ------------------------------------------------------------------ *)
 (* Baseline comparison (--check)                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -399,16 +417,18 @@ let run ~fast ~out ~check =
   List.iter (fun s -> if s < 2.0 then Printf.printf "WARNING: speedup %.2fx below the 2x target\n" s) checks;
   (* Per-run stats block: the probabilistic kernels observed end to end. *)
   let telemetry = telemetry_snapshot ~poly ~grid ~centre in
+  let diagnostics = diagnostics_block ~fast ~poly in
   (* JSON out. *)
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/2\",\n  \"results\": [\n";
+  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/3\",\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.3f, \"trials\": %d}%s\n" r.name
         r.ns_per_op r.trials
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ],\n  \"telemetry\": %s\n}\n" (String.trim telemetry);
+  Printf.fprintf oc "  ],\n  \"telemetry\": %s,\n  \"diagnostics\": %s\n}\n"
+    (String.trim telemetry) (String.trim diagnostics);
   close_out oc;
   Printf.printf "\nwrote %s\n" out;
   Option.iter (fun baseline -> check_against ~baseline results) check

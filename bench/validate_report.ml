@@ -1,0 +1,109 @@
+(* Validator for spatialdb-report/1 documents (see Scdb_gis.Report).
+
+   Usage: validate_report FILE [--require-converged]
+
+   Exits 1 with a message on the first violation:
+   - schema must be "spatialdb-report/1";
+   - the embedded trace must hold >= 10 events, every ts/dur finite and
+     non-negative, ts non-decreasing (creation order);
+   - the telemetry block must be schema spatialdb-telemetry/2;
+   - diagnostics must be present with >= 4 chains, every R-hat and ESS
+     finite (a NaN serializes as null and fails the number check);
+   - with --require-converged, the verdict must be positive.
+
+   `make ci` runs this on a fresh report of the Figure 1 triangle. *)
+
+module J = Scdb_trace.Json_min
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_report: " ^ m); exit 1) fmt
+
+let get name = function Some v -> v | None -> fail "missing field %s" name
+
+let num name v =
+  match J.to_float v with
+  | Some x when Float.is_finite x -> x
+  | _ -> fail "field %s is not a finite number" name
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let require_converged = List.mem "--require-converged" args in
+  let file =
+    match List.filter (fun a -> a <> "--require-converged") args with
+    | [ f ] -> f
+    | _ -> fail "usage: validate_report FILE [--require-converged]"
+  in
+  let ic = open_in file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc = try J.parse s with J.Parse_error m -> fail "invalid JSON: %s" m in
+  (* Schema. *)
+  (match J.to_string (get "schema" (J.member "schema" doc)) with
+  | Some "spatialdb-report/1" -> ()
+  | Some other -> fail "unexpected schema %S" other
+  | None -> fail "schema is not a string");
+  (* Trace. *)
+  let trace = get "trace" (J.member "trace" doc) in
+  let events =
+    match J.to_list (get "trace.traceEvents" (J.member "traceEvents" trace)) with
+    | Some l -> l
+    | None -> fail "trace.traceEvents is not an array"
+  in
+  let n_events = List.length events in
+  if n_events < 10 then fail "only %d trace events (need >= 10)" n_events;
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun i ev ->
+      let ts = num "ts" (get "ts" (J.member "ts" ev)) in
+      let dur = num "dur" (get "dur" (J.member "dur" ev)) in
+      if ts < 0.0 then fail "event %d has negative ts %g" i ts;
+      if dur < 0.0 then fail "event %d has negative dur %g" i dur;
+      if ts < !last_ts then fail "event %d breaks ts monotonicity (%g < %g)" i ts !last_ts;
+      last_ts := ts)
+    events;
+  (* Telemetry. *)
+  let tel = get "telemetry" (J.member "telemetry" doc) in
+  (match J.to_string (get "telemetry.schema" (J.member "schema" tel)) with
+  | Some "spatialdb-telemetry/2" -> ()
+  | Some other -> fail "unexpected telemetry schema %S" other
+  | None -> fail "telemetry schema is not a string");
+  (* Diagnostics. *)
+  let diag =
+    match get "diagnostics" (J.member "diagnostics" doc) with
+    | J.Null -> fail "diagnostics is null"
+    | d -> d
+  in
+  let chains = int_of_float (num "diagnostics.chains" (get "chains" (J.member "chains" diag))) in
+  if chains < 4 then fail "only %d chains (need >= 4)" chains;
+  let rhat =
+    match J.to_list (get "diagnostics.rhat" (J.member "rhat" diag)) with
+    | Some l -> l
+    | None -> fail "diagnostics.rhat is not an array"
+  in
+  if rhat = [] then fail "diagnostics.rhat is empty";
+  List.iteri (fun i v -> ignore (num (Printf.sprintf "rhat[%d]" i) v)) rhat;
+  let per_chain =
+    match J.to_list (get "diagnostics.per_chain" (J.member "per_chain" diag)) with
+    | Some l -> l
+    | None -> fail "diagnostics.per_chain is not an array"
+  in
+  if List.length per_chain <> chains then
+    fail "per_chain has %d entries for %d chains" (List.length per_chain) chains;
+  List.iteri
+    (fun c entry ->
+      match J.to_list (get "ess" (J.member "ess" entry)) with
+      | Some esses ->
+          if esses = [] then fail "chain %d has empty ess" c;
+          List.iteri (fun i v -> ignore (num (Printf.sprintf "chain %d ess[%d]" c i) v)) esses
+      | None -> fail "chain %d ess is not an array" c)
+    per_chain;
+  if require_converged then begin
+    match J.to_bool (get "diagnostics.converged" (J.member "converged" diag)) with
+    | Some true -> ()
+    | Some false -> fail "diagnostics report non-convergence"
+    | None -> fail "diagnostics.converged is not a bool"
+  end;
+  Printf.printf "validate_report: %s ok (%d trace events, %d chains, max R-hat %.4f)\n" file
+    n_events chains
+    (List.fold_left
+       (fun acc v -> match J.to_float v with Some x -> Float.max acc x | None -> acc)
+       0.0 rhat)

@@ -47,12 +47,27 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let stats_out_arg =
+  let doc =
+    "Write the telemetry JSON snapshot to $(docv) on exit (implies telemetry collection)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+
 (* [at_exit] so the snapshot also appears when a command dies through
    [or_die]/[exit 1] after having burned its sampling budget. *)
-let enable_stats stats =
-  if stats then begin
+let enable_stats ?stats_out stats =
+  if stats || stats_out <> None then begin
     Tel.set_enabled true;
-    at_exit (fun () -> prerr_endline (Tel.dump ~only_nonzero:true ()))
+    at_exit (fun () ->
+        let snapshot = Tel.dump ~only_nonzero:true () in
+        if stats then prerr_endline snapshot;
+        match stats_out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            output_string oc snapshot;
+            output_char oc '\n';
+            close_out oc)
   end
 
 let split_vars s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
@@ -96,8 +111,18 @@ let sample_cmd =
     in
     Arg.(value & opt string "walk" & info [ "method" ] ~docv:"METHOD" ~doc)
   in
-  let run vars_s formula n seed eps delta method_ stats =
-    enable_stats stats;
+  let diag_arg =
+    let doc =
+      "Run a multi-chain convergence check (per-chain ESS, split Gelman-Rubin R-hat) on the \
+       relation's first convex piece and print the verdict to stderr."
+    in
+    Arg.(value & flag & info [ "diag" ] ~doc)
+  in
+  let chains_arg =
+    Arg.(value & opt int 4 & info [ "chains" ] ~doc:"Chains for the $(b,--diag) check.")
+  in
+  let run vars_s formula n seed eps delta method_ stats stats_out diag chains =
+    enable_stats ?stats_out stats;
     let sampler =
       match method_ with
       | "walk" -> Convex_obs.Hit_and_run
@@ -119,11 +144,37 @@ let sample_cmd =
     List.iter
       (fun p ->
         print_endline (String.concat "\t" (List.map (Printf.sprintf "%.6f") (Array.to_list p))))
-      (Observable.sample_many obs rng params ~n)
+      (Observable.sample_many obs rng params ~n);
+    if diag then begin
+      let dim = Relation.dim relation in
+      match Relation.tuples relation with
+      | [] -> prerr_endline "spatialdb: --diag: relation has no tuple"
+      | tuple :: _ -> (
+          let poly = Scdb_polytope.Polytope.of_tuple ~dim tuple in
+          match Diag_run.run ~chains rng poly with
+          | None -> prerr_endline "spatialdb: --diag: piece is empty or unbounded"
+          | Some d ->
+              Printf.eprintf "diag: chains=%d thin=%d kept/chain=%d\n" chains d.Diag_run.thin
+                d.Diag_run.samples_per_chain;
+              Printf.eprintf "diag: split R-hat per coord: %s\n"
+                (String.concat " "
+                   (List.map (Printf.sprintf "%.4f") (Array.to_list d.Diag_run.rhat)));
+              Array.iteri
+                (fun i (c : Diag_run.chain) ->
+                  Printf.eprintf "diag: chain %d: ESS %s, acceptance %.3f, max stall %d\n" i
+                    (String.concat " "
+                       (List.map (Printf.sprintf "%.1f") (Array.to_list c.Diag_run.ess)))
+                    c.Diag_run.acceptance_rate c.Diag_run.max_stall)
+                d.Diag_run.chains;
+              Printf.eprintf "diag: %s (%s)\n"
+                (if d.Diag_run.verdict.Scdb_diag.Diag.converged then "converged"
+                 else "NOT converged")
+                d.Diag_run.verdict.Scdb_diag.Diag.reason)
+    end
   in
   let doc = "Draw almost uniform points from the relation (Definition 2.2 generator)." in
   Cmd.v (Cmd.info "sample" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg $ stats_arg)
+    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg)
 
 (* ---------------- volume ---------------- *)
 
@@ -132,8 +183,8 @@ let volume_cmd =
     let doc = "One of: exact (Lasserre + inclusion-exclusion), grid:GAMMA (fixed-dimension decomposition), sampling (DFK estimators)." in
     Arg.(value & opt string "sampling" & info [ "mode" ] ~doc)
   in
-  let run vars_s formula mode seed eps delta stats =
-    enable_stats stats;
+  let run vars_s formula mode seed eps delta stats stats_out =
+    enable_stats ?stats_out stats;
     let _, relation = or_die (parse_relation vars_s formula) in
     let rng = Rng.create seed in
     match mode with
@@ -156,7 +207,7 @@ let volume_cmd =
   in
   let doc = "Volume of the relation: exact, grid-decomposed, or the paper's (eps,delta)-estimator." in
   Cmd.v (Cmd.info "volume" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg $ stats_arg)
+    Term.(const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg $ stats_arg $ stats_out_arg)
 
 (* ---------------- qe ---------------- *)
 
@@ -181,8 +232,8 @@ let reconstruct_cmd =
   let n_arg =
     Arg.(value & opt int 200 & info [ "n"; "samples" ] ~doc:"Samples per convex piece.")
   in
-  let run vars_s formula n seed stats =
-    enable_stats stats;
+  let run vars_s formula n seed stats stats_out =
+    enable_stats ?stats_out stats;
     let vars, relation = or_die (parse_relation vars_s formula) in
     if List.length vars <> 2 then or_die (Error "reconstruct prints polygons: exactly 2 variables required");
     let rng = Rng.create seed in
@@ -205,7 +256,72 @@ let reconstruct_cmd =
   in
   let doc = "Approximate the 2-D shape of the relation as union of sample hulls (Algorithms 3-5)." in
   Cmd.v (Cmd.info "reconstruct" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ stats_arg)
+    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ stats_arg $ stats_out_arg)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let n_arg =
+    Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Number of points to draw.")
+  in
+  let chains_arg =
+    Arg.(value & opt int 4 & info [ "chains" ] ~doc:"Chains for the convergence check.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv) (default: stdout).")
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,json) (the self-contained spatialdb-report/1 document, the default), \
+       $(b,trace) (raw Chrome trace-event JSON, loadable in Perfetto) or $(b,tree) (indented \
+       text rendering of the spans)."
+    in
+    Arg.(value & opt string "json" & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Additionally write the raw Chrome trace to $(docv).")
+  in
+  let run vars_s formula n seed eps delta chains out format trace_out =
+    let vars = split_vars vars_s in
+    let report =
+      or_die (Scdb_gis.Report.generate ~eps ~delta ~samples:n ~chains ~vars ~formula ~seed ())
+    in
+    let body =
+      match format with
+      | "json" -> report.Scdb_gis.Report.json
+      | "trace" -> report.Scdb_gis.Report.chrome_trace ^ "\n"
+      | "tree" -> report.Scdb_gis.Report.text_tree
+      | f -> or_die (Error ("unknown format " ^ f))
+    in
+    (match out with
+    | None -> print_string body
+    | Some file ->
+        let oc = open_out file in
+        output_string oc body;
+        close_out oc);
+    match trace_out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc report.Scdb_gis.Report.chrome_trace;
+        output_char oc '\n';
+        close_out oc
+  in
+  let doc =
+    "Run the full pipeline with tracing, telemetry and convergence diagnostics enabled, and \
+     emit one self-contained JSON report."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ chains_arg
+      $ out_arg $ format_arg $ trace_out_arg)
 
 (* ---------------- plan ---------------- *)
 
@@ -247,4 +363,6 @@ let plan_cmd =
 let () =
   let doc = "uniform generation and volume estimation in spatial constraint databases" in
   let info = Cmd.info "spatialdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ sample_cmd; volume_cmd; qe_cmd; reconstruct_cmd; plan_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ sample_cmd; volume_cmd; qe_cmd; reconstruct_cmd; report_cmd; plan_cmd ]))

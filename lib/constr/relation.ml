@@ -15,7 +15,11 @@ let make ~dim tuples =
   check_vars dim tuples;
   { dim; tuples = List.filter_map Dnf.simplify_tuple tuples }
 
-let of_formula ~dim f = make ~dim (Dnf.of_formula f)
+let of_formula ~dim f =
+  Scdb_trace.Trace.span "dnf.normalize" ~attrs:[ ("dim", string_of_int dim) ] @@ fun () ->
+  let r = make ~dim (Dnf.of_formula f) in
+  Scdb_trace.Trace.add_attr_int "tuples" (List.length r.tuples);
+  r
 
 let to_formula r = Dnf.to_formula r.tuples
 let dim r = r.dim

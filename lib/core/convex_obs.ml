@@ -1,3 +1,5 @@
+module Trace = Scdb_trace.Trace
+
 type sampler = Grid_walk | Hit_and_run | Rejection_box
 
 type config = {
@@ -12,6 +14,9 @@ let practical_config =
   { sampler = Hit_and_run; volume_budget = Volume.Practical 2000; walk_steps = None }
 
 let of_polytope ?(config = default_config) ?relation rng poly =
+  Trace.span "generator.construct"
+    ~attrs:[ ("dim", string_of_int (Polytope.dim poly)) ]
+  @@ fun () ->
   match Rounding.round rng poly with
   | None -> None
   | Some rounded ->

@@ -1,0 +1,117 @@
+module Diag = Scdb_diag.Diag
+module Trace = Scdb_trace.Trace
+
+type chain = {
+  ess : float array;
+  mean : float array;
+  kept : int;
+  acceptance_rate : float;
+  max_stall : int;
+}
+
+type t = {
+  dim : int;
+  chains : chain array;
+  thin : int;
+  samples_per_chain : int;
+  rhat : float array;
+  verdict : Diag.verdict;
+}
+
+let default_chains = 4
+let default_samples_per_chain = 64
+
+let run ?(chains = default_chains) ?(samples_per_chain = default_samples_per_chain) rng poly =
+  if chains < 1 then invalid_arg "Diag_run.run: chains must be >= 1";
+  if samples_per_chain < 4 then invalid_arg "Diag_run.run: samples_per_chain must be >= 4";
+  let dim = Polytope.dim poly in
+  Trace.span "diag.run"
+    ~attrs:
+      [
+        ("dim", string_of_int dim);
+        ("chains", string_of_int chains);
+        ("samples_per_chain", string_of_int samples_per_chain);
+      ]
+  @@ fun () ->
+  match Rounding.round rng poly with
+  | None -> None
+  | Some rounded ->
+      let body = rounded.Rounding.rounded in
+      (* Thin at the paper-prescribed walk length: each retained draw
+         has had a full mixing budget since the previous one, so the
+         retained series is close to iid and R̂/ESS read cleanly. *)
+      let thin = Hit_and_run.default_steps ~dim in
+      let steps = thin * samples_per_chain in
+      let monitors =
+        Array.init chains (fun i ->
+            let m = Diag.Monitor.create ~thin ~dim () in
+            let chain_rng = Rng.create (Int64.to_int (Rng.bits64 rng) lxor (0x9e3779b9 * (i + 1))) in
+            Trace.span "diag.chain"
+              ~attrs:[ ("chain", string_of_int i); ("steps", string_of_int steps) ]
+            @@ fun () ->
+            ignore
+              (Hit_and_run.sample_polytope ~monitor:m chain_rng body ~start:(Vec.create dim)
+                 ~steps);
+            m)
+      in
+      let chains_stats =
+        Array.map
+          (fun m ->
+            {
+              ess = Diag.Monitor.ess_per_coord m;
+              mean = Diag.Monitor.mean_per_coord m;
+              kept = Diag.Monitor.kept m;
+              acceptance_rate = Diag.Monitor.acceptance_rate m;
+              max_stall = Diag.Monitor.max_stall m;
+            })
+          monitors
+      in
+      let monitor_list = Array.to_list monitors in
+      let rhat =
+        Array.init dim (fun c -> Diag.split_rhat_monitors monitor_list ~coord:c)
+      in
+      let ess = Array.map (fun c -> c.ess) chains_stats in
+      let verdict = Diag.assess ~rhat ~ess () in
+      Trace.add_attr "converged" (string_of_bool verdict.Diag.converged);
+      Some
+        {
+          dim;
+          chains = chains_stats;
+          thin;
+          samples_per_chain;
+          rhat;
+          verdict;
+        }
+
+let json_float v =
+  if Float.is_nan v then "\"nan\""
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let json_float_array a =
+  "[" ^ String.concat ", " (Array.to_list (Array.map json_float a)) ^ "]"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let chain_json c =
+    Printf.sprintf
+      "{\"kept\": %d, \"acceptance_rate\": %s, \"max_stall\": %d, \"ess\": %s, \"mean\": %s}"
+      c.kept (json_float c.acceptance_rate) c.max_stall (json_float_array c.ess)
+      (json_float_array c.mean)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"dim\": %d,\n" t.dim);
+  Buffer.add_string buf (Printf.sprintf "  \"chains\": %d,\n" (Array.length t.chains));
+  Buffer.add_string buf (Printf.sprintf "  \"thin\": %d,\n" t.thin);
+  Buffer.add_string buf (Printf.sprintf "  \"samples_per_chain\": %d,\n" t.samples_per_chain);
+  Buffer.add_string buf (Printf.sprintf "  \"rhat\": %s,\n" (json_float_array t.rhat));
+  Buffer.add_string buf "  \"per_chain\": [\n    ";
+  Buffer.add_string buf
+    (String.concat ",\n    " (Array.to_list (Array.map chain_json t.chains)));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"converged\": %b,\n" t.verdict.Diag.converged);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"reason\": \"%s\"\n" (String.escaped t.verdict.Diag.reason));
+  Buffer.add_string buf "}";
+  Buffer.contents buf

@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
 
 let tel_samples = Tel.Counter.make "diff.samples"
 let tel_trials = Tel.Counter.make "diff.trials"
@@ -14,6 +15,9 @@ let diff ?(poly_degree = 3) a b =
   let relation = Observable.combine_relations Relation.diff a b in
   let mem x = Observable.mem a x && not (Observable.mem b x) in
   let sample rng params =
+    Trace.span "diff.sample"
+      ~counters:[ "diff.trials"; "diff.miss"; "diff.child_failures"; "diff.exhausted" ]
+    @@ fun () ->
     Tel.Counter.incr tel_samples;
     let budget = Inter.budget_for ~dim ~poly_degree ~delta:(Params.delta params) in
     let rec attempt k =
@@ -38,7 +42,10 @@ let diff ?(poly_degree = 3) a b =
     attempt budget
   in
   let volume rng ~gamma ~eps ~delta =
+    Trace.span "diff.volume" @@ fun () ->
     Tel.Counter.incr tel_vol_calls;
+    Trace.add_attr_float "eps" eps;
+    Trace.add_attr_float "delta" delta;
     let eps2 = eps /. 2.0 in
     let mu_a = Observable.volume a rng ~gamma ~eps:eps2 ~delta:(delta /. 4.0) in
     let p_floor = 1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree) in

@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
 
 let tel_samples = Tel.Counter.make "inter.samples"
 let tel_trials = Tel.Counter.make "inter.trials"
@@ -38,7 +39,11 @@ let inter ?(poly_degree = 3) children =
     (!j, mu.(!j))
   in
   let sample rng params =
+    Trace.span "inter.sample"
+      ~counters:[ "inter.trials"; "inter.miss"; "inter.child_failures"; "inter.exhausted" ]
+    @@ fun () ->
     Tel.Counter.incr tel_samples;
+    Trace.add_attr_int "operands" m;
     let gamma = Params.gamma params in
     let eps3 = Params.eps params /. 3.0 in
     let delta = Params.delta params in
@@ -68,7 +73,10 @@ let inter ?(poly_degree = 3) children =
   let volume rng ~gamma ~eps ~delta =
     (* μ(T) = μ(S_j) · P[x ∈ T | x ~ S_j], with the poly-relatedness
        promise lower-bounding the acceptance probability. *)
+    Trace.span "inter.volume" @@ fun () ->
     Tel.Counter.incr tel_vol_calls;
+    Trace.add_attr_float "eps" eps;
+    Trace.add_attr_float "delta" delta;
     let eps2 = eps /. 2.0 in
     let j, mu_j = smallest rng ~gamma ~eps:eps2 ~delta:(delta /. float_of_int (4 * m)) in
     let p_floor = 1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree) in

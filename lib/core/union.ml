@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
 
 let tel_samples = Tel.Counter.make "union.samples"
 let tel_trials = Tel.Counter.make "union.trials"
@@ -40,7 +41,12 @@ let union children =
     Array.map (fun c -> Observable.volume c rng ~gamma ~eps ~delta) children
   in
   let sample rng params =
+    Trace.span "union.sample"
+      ~counters:
+        [ "union.trials"; "union.first_index_miss"; "union.child_failures"; "union.exhausted" ]
+    @@ fun () ->
     Tel.Counter.incr tel_samples;
+    Trace.add_attr_int "operands" m;
     let gamma = Params.gamma params in
     let eps3 = Params.eps params /. 3.0 in
     let delta = Params.delta params in
@@ -75,7 +81,13 @@ let union children =
   let volume rng ~gamma ~eps ~delta =
     (* Karp–Luby estimator: μ(∪) = (Σ μ̂ᵢ) · P[trial accepted], and the
        acceptance probability is at least 1/m. *)
+    Trace.span "union.volume"
+      ~counters:[ "union.volume.trials"; "union.volume.accepted" ]
+    @@ fun () ->
     Tel.Counter.incr tel_vol_calls;
+    Trace.add_attr_int "operands" m;
+    Trace.add_attr_float "eps" eps;
+    Trace.add_attr_float "delta" delta;
     let eps3 = eps /. 3.0 in
     let mu = volumes rng ~gamma ~eps:eps3 ~delta:(delta /. float_of_int (4 * m)) in
     let total = Array.fold_left ( +. ) 0.0 mu in

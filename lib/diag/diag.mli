@@ -1,0 +1,98 @@
+(** Online convergence diagnostics for the random-walk samplers.
+
+    The paper prescribes walk lengths under which its (γ,ε,δ) contracts
+    hold; this module measures whether a deployment's chains actually
+    mix at those lengths.  Building blocks:
+
+    - {!Welford}: streaming mean/variance in O(1) memory;
+    - {!ess}: effective sample size from lag-k autocorrelations
+      (Geyer's initial positive sequence estimator);
+    - {!split_rhat}: split-chain Gelman–Rubin potential scale reduction
+      across m independent chains;
+    - {!Monitor}: a per-chain hook the walk kernels
+      ([Hit_and_run], [Walk], [Ball_walk]) feed with positions and
+      accept/reject events, including a stall monitor (longest
+      consecutive-rejection run).
+
+    Everything is deterministic given the recorded series. *)
+
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val variance : t -> float
+  (** Unbiased sample variance ([n-1] denominator); [0.] for [n < 2]. *)
+
+  val std : t -> float
+end
+
+val autocovariance : float array -> int -> float
+(** Biased ([1/n]) autocovariance at the given lag. *)
+
+val autocorrelation : float array -> int -> float
+(** Lag-k autocorrelation in [[-1, 1]]; [0.] for a constant series. *)
+
+val ess : float array -> float
+(** Effective sample size: [n / (1 + 2 Σ ρ_k)] with the sum truncated
+    at the first non-positive consecutive-lag pair (Geyer initial
+    positive sequence), clamped to [[1, n]]. *)
+
+val split_rhat : float array array -> float
+(** Split-chain Gelman–Rubin R̂ over m ≥ 1 chains of one coordinate:
+    each chain is halved and between-half variance is compared to
+    within-half variance.  Values near 1 indicate agreement; ≥ 1.1
+    conventionally flags non-convergence.  Returns [1.] when fewer than
+    two halves of length ≥ 2 exist. *)
+
+module Monitor : sig
+  type t
+
+  val create : ?thin:int -> dim:int -> unit -> t
+  (** Fresh monitor for one chain.  [thin] keeps every [thin]-th
+      recorded position (default 1: keep all). *)
+
+  val record : t -> float array -> unit
+  (** Feed the chain position after a walk step (the kernels call this
+      once per step when a monitor is attached). *)
+
+  val accept : t -> unit
+  val reject : t -> unit
+
+  val dim : t -> int
+  val steps : t -> int
+  val kept : t -> int
+  val proposals : t -> int
+  val accepted : t -> int
+  val acceptance_rate : t -> float
+
+  val max_stall : t -> int
+  (** Longest run of consecutive rejections — a stalled walk (stuck in
+      a corner, step size too large) shows up here before it shows up
+      in R̂. *)
+
+  val series : t -> int -> float array
+  (** Retained positions of one coordinate, in order. *)
+
+  val ess_per_coord : t -> float array
+  val mean_per_coord : t -> float array
+end
+
+val split_rhat_monitors : Monitor.t list -> coord:int -> float
+(** {!split_rhat} over the recorded series of one coordinate across
+    chains. *)
+
+type verdict = { converged : bool; reason : string }
+
+val assess :
+  ?rhat_threshold:float ->
+  ?min_ess:float ->
+  rhat:float array ->
+  ess:float array array ->
+  unit ->
+  verdict
+(** Combine per-coordinate R̂ and per-chain ESS into a verdict.
+    Defaults: [rhat_threshold = 1.1], [min_ess = 16]. *)

@@ -133,6 +133,9 @@ let compile_piece ?config ?poly_degree rng inst ~free_dim piece =
       | Some pos_obs -> Diff.diff ?poly_degree pos_obs (membership_only guard_relation))
 
 let compile ?config ?poly_degree rng inst ~free_dim q =
+  Scdb_trace.Trace.span "eval.compile"
+    ~attrs:[ ("free_dim", string_of_int free_dim) ]
+  @@ fun () ->
   match Query.well_formed (Instance.schema inst) q with
   | Error e -> Error e
   | Ok () -> (

@@ -1,0 +1,131 @@
+module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
+module FM = Scdb_qe.Fourier_motzkin
+module Polytope = Scdb_polytope.Polytope
+
+type t = { json : string; chrome_trace : string; text_tree : string }
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
+    ?(chains = Diag_run.default_chains)
+    ?(samples_per_chain = Diag_run.default_samples_per_chain) ~vars ~formula ~seed () =
+  if vars = [] then Error "no variables given"
+  else begin
+    let tel_was = Tel.enabled () and trace_was = Trace.enabled () in
+    Tel.set_enabled true;
+    Tel.reset ();
+    Trace.set_enabled true;
+    Trace.reset ();
+    let dim = List.length vars in
+    let rng = Rng.create seed in
+    let result =
+      Trace.span "report"
+        ~attrs:[ ("seed", string_of_int seed); ("dim", string_of_int dim) ]
+      @@ fun () ->
+      let parsed =
+        Trace.span "formula.parse" (fun () ->
+            match Parser.parse ~vars formula with
+            | f -> Ok f
+            | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
+            | exception Lexer.Lex_error (m, pos) ->
+                Error (Printf.sprintf "lex error at %d: %s" pos m))
+      in
+      match parsed with
+      | Error e -> Error e
+      | Ok f -> (
+          let f =
+            if Formula.is_quantifier_free f then f
+            else Trace.span "qe.eliminate" (fun () -> FM.eliminate f)
+          in
+          let relation = Relation.of_formula ~dim f in
+          match
+            Eval.observable_of_relation ~config:Convex_obs.practical_config rng relation
+          with
+          | None -> Error "relation is empty, unbounded or lower-dimensional"
+          | Some obs ->
+              let params = Params.make ~gamma:0.05 ~eps ~delta () in
+              let pts =
+                Trace.span "report.sample" ~attrs:[ ("n", string_of_int samples) ]
+                  (fun () -> Observable.sample_many obs rng params ~n:samples)
+              in
+              let vol =
+                Trace.span "report.volume" (fun () ->
+                    match Observable.volume obs rng ~eps ~delta with
+                    | v -> Some v
+                    | exception Observable.Estimation_failed _ -> None)
+              in
+              let diag =
+                match Relation.tuples relation with
+                | tuple :: _ ->
+                    Diag_run.run ~chains ~samples_per_chain rng
+                      (Polytope.of_tuple ~dim tuple)
+                | [] -> None
+              in
+              Ok (relation, pts, vol, diag))
+    in
+    (* Export after the root span closes so every duration is final. *)
+    let out =
+      match result with
+      | Error e -> Error e
+      | Ok (relation, pts, vol, diag) ->
+          let chrome = Trace.to_chrome_json () in
+          let text = Trace.to_text_tree () in
+          let telemetry = Tel.dump ~only_nonzero:true () in
+          let buf = Buffer.create 8192 in
+          let add = Buffer.add_string buf in
+          add "{\n";
+          add "  \"schema\": \"spatialdb-report/1\",\n";
+          add "  \"args\": {\n";
+          add
+            (Printf.sprintf "    \"vars\": [%s],\n"
+               (String.concat ", "
+                  (List.map (fun v -> "\"" ^ Trace.json_escape v ^ "\"") vars)));
+          add (Printf.sprintf "    \"formula\": \"%s\",\n" (Trace.json_escape formula));
+          add (Printf.sprintf "    \"seed\": %d,\n" seed);
+          add (Printf.sprintf "    \"eps\": %s,\n" (json_float eps));
+          add (Printf.sprintf "    \"delta\": %s,\n" (json_float delta));
+          add (Printf.sprintf "    \"samples\": %d,\n" samples);
+          add (Printf.sprintf "    \"chains\": %d,\n" chains);
+          add (Printf.sprintf "    \"samples_per_chain\": %d\n" samples_per_chain);
+          add "  },\n";
+          add (Printf.sprintf "  \"dim\": %d,\n" dim);
+          add (Printf.sprintf "  \"tuples\": %d,\n" (List.length (Relation.tuples relation)));
+          add "  \"samples\": [\n";
+          add
+            (String.concat ",\n"
+               (List.map
+                  (fun p ->
+                    "    ["
+                    ^ String.concat ", "
+                        (List.map json_float (Array.to_list p))
+                    ^ "]")
+                  pts));
+          add "\n  ],\n";
+          add
+            (Printf.sprintf "  \"volume\": %s,\n"
+               (match vol with Some v -> json_float v | None -> "null"));
+          add "  \"diagnostics\": ";
+          (match diag with
+          | Some d ->
+              add
+                (String.concat "\n  "
+                   (String.split_on_char '\n' (Diag_run.to_json d)))
+          | None -> add "null");
+          add ",\n";
+          add (Printf.sprintf "  \"span_count\": %d,\n" (Trace.count ()));
+          add "  \"telemetry\": ";
+          add (String.concat "\n  " (String.split_on_char '\n' telemetry));
+          add ",\n";
+          add "  \"trace\": ";
+          add chrome;
+          add "\n}\n";
+          Ok { json = Buffer.contents buf; chrome_trace = chrome; text_tree = text }
+    in
+    Tel.set_enabled tel_was;
+    Trace.set_enabled trace_was;
+    out
+  end

@@ -1,0 +1,38 @@
+(** Self-contained run reports ([spatialdb report]).
+
+    Runs a full query pipeline — parse, normalize, build generators,
+    sample, estimate volume, and a multi-chain convergence check
+    ({!Scdb_core.Diag_run}) — with tracing and telemetry enabled, and
+    packages everything into one JSON document (schema
+    [spatialdb-report/1]) embedding:
+
+    - the CLI-equivalent arguments (vars, formula, seed, ε, δ, …);
+    - the drawn samples and the volume estimate;
+    - per-chain ESS, split-R̂ per coordinate and a convergence verdict;
+    - the telemetry snapshot ([spatialdb-telemetry/2]);
+    - the full Chrome trace (loadable in Perfetto as-is).
+
+    The previous telemetry/trace enabled states are restored on exit;
+    the recorded spans and counters reflect only this run. *)
+
+type t = {
+  json : string;  (** the [spatialdb-report/1] document *)
+  chrome_trace : string;  (** raw Chrome trace-event JSON *)
+  text_tree : string;  (** indented text rendering of the spans *)
+}
+
+val generate :
+  ?eps:float ->
+  ?delta:float ->
+  ?samples:int ->
+  ?chains:int ->
+  ?samples_per_chain:int ->
+  vars:string list ->
+  formula:string ->
+  seed:int ->
+  unit ->
+  (t, string) result
+(** Defaults: [eps = 0.2], [delta = 0.1], [samples = 10],
+    [chains = Diag_run.default_chains],
+    [samples_per_chain = Diag_run.default_samples_per_chain].
+    [Error reason] on parse errors or empty/unbounded relations. *)

@@ -1,4 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
+module Diag = Scdb_diag.Diag
 
 let tel_steps = Tel.Counter.make "ball_walk.steps"
 let tel_accepted = Tel.Counter.make "ball_walk.accepted"
@@ -7,23 +9,30 @@ type stats = { steps : int; accepted : int }
 
 let default_radius ~dim ~r_inscribed = r_inscribed /. sqrt (float_of_int dim)
 
-let walk rng ~mem ~start ~steps ~radius =
+let walk ?monitor rng ~mem ~start ~steps ~radius =
   if not (mem start) then invalid_arg "Ball_walk.walk: start outside the body";
+  let sp = Trace.start "ball_walk.walk" in
+  Trace.add_attr_int "steps" steps;
+  Trace.add_attr_float "radius" radius;
   let dim = Vec.dim start in
   let current = ref (Vec.copy start) in
   let accepted = ref 0 in
   for _ = 1 to steps do
     let proposal = Vec.add !current (Vec.scale radius (Rng.in_ball rng dim)) in
-    if mem proposal then begin
-      current := proposal;
-      incr accepted
-    end
+    (if mem proposal then begin
+       current := proposal;
+       incr accepted;
+       match monitor with Some m -> Diag.Monitor.accept m | None -> ()
+     end
+     else match monitor with Some m -> Diag.Monitor.reject m | None -> ());
+    match monitor with Some m -> Diag.Monitor.record m !current | None -> ()
   done;
   Tel.Counter.add tel_steps steps;
   Tel.Counter.add tel_accepted !accepted;
+  Trace.finish sp;
   (!current, { steps; accepted = !accepted })
 
-let sample_polytope rng poly ~start ~steps ?radius () =
+let sample_polytope ?monitor rng poly ~start ~steps ?radius () =
   let radius =
     match radius with
     | Some r -> r
@@ -32,4 +41,4 @@ let sample_polytope rng poly ~start ~steps ?radius () =
         | Some (_, r) when r > 0.0 -> default_radius ~dim:(Polytope.dim poly) ~r_inscribed:r
         | _ -> invalid_arg "Ball_walk.sample_polytope: degenerate body")
   in
-  fst (walk rng ~mem:(fun x -> Polytope.mem poly x) ~start ~steps ~radius)
+  fst (walk ?monitor rng ~mem:(fun x -> Polytope.mem poly x) ~start ~steps ~radius)

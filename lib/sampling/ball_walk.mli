@@ -12,6 +12,7 @@ type stats = { steps : int; accepted : int }
 val default_radius : dim:int -> r_inscribed:float -> float
 
 val walk :
+  ?monitor:Scdb_diag.Diag.Monitor.t ->
   Rng.t ->
   mem:(Vec.t -> bool) ->
   start:Vec.t ->
@@ -19,9 +20,12 @@ val walk :
   radius:float ->
   Vec.t * stats
 (** Final position and acceptance statistics.  The start must satisfy
-    [mem]. @raise Invalid_argument otherwise. *)
+    [mem]. @raise Invalid_argument otherwise.  When a [monitor] is
+    attached, every step records the chain position and an
+    accept/reject event. *)
 
 val sample_polytope :
+  ?monitor:Scdb_diag.Diag.Monitor.t ->
   Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> ?radius:float -> unit -> Vec.t
 (** Ball walk with the polytope membership oracle; the default radius
     uses the Chebyshev radius of the body. *)

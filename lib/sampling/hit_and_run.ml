@@ -1,4 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
+module Diag = Scdb_diag.Diag
 
 let tel_steps = Tel.Counter.make "hit_and_run.steps"
 let tel_samples = Tel.Counter.make "hit_and_run.samples"
@@ -31,19 +33,28 @@ let intersect_chords chords x dir =
   in
   go neg_infinity infinity chords
 
-let sample rng ~chord ~start ~steps =
+let sample ?monitor rng ~chord ~start ~steps =
   Tel.Counter.incr tel_samples;
   Tel.Counter.add tel_steps steps;
   let dim = Vec.dim start in
   let current = ref (Vec.copy start) in
   for _ = 1 to steps do
     let dir = Rng.unit_vector rng dim in
-    match chord !current dir with
-    | None -> Tel.Counter.incr tel_degenerate (* numerically outside; keep position *)
+    (match chord !current dir with
+    | None ->
+        (* numerically outside; keep position *)
+        Tel.Counter.incr tel_degenerate;
+        (match monitor with Some m -> Diag.Monitor.reject m | None -> ())
     | Some (lo, hi) ->
-        if hi > lo && Float.is_finite lo && Float.is_finite hi then
-          current := Vec.axpy (Rng.uniform rng lo hi) dir !current
-        else Tel.Counter.incr tel_degenerate
+        if hi > lo && Float.is_finite lo && Float.is_finite hi then begin
+          current := Vec.axpy (Rng.uniform rng lo hi) dir !current;
+          match monitor with Some m -> Diag.Monitor.accept m | None -> ()
+        end
+        else begin
+          Tel.Counter.incr tel_degenerate;
+          match monitor with Some m -> Diag.Monitor.reject m | None -> ()
+        end);
+    match monitor with Some m -> Diag.Monitor.record m !current | None -> ()
   done;
   !current
 
@@ -53,21 +64,34 @@ let sample rng ~chord ~start ~steps =
    buffer keeps the inner loop free of per-step allocation.  The rng
    stream is identical to the generic [sample] above, so trajectories
    agree with the naive kernel up to rounding. *)
-let sample_polytope rng poly ~start ~steps =
+let sample_polytope ?monitor rng poly ~start ~steps =
   Tel.Counter.incr tel_samples;
   Tel.Counter.add tel_steps steps;
+  let sp = Trace.start "hit_and_run.walk" in
+  Trace.add_attr_int "steps" steps;
+  Trace.add_attr_int "dim" (Polytope.dim poly);
   let cur = Polytope.Kernel.make poly start in
   let dir = Vec.create (Polytope.dim poly) in
   for _ = 1 to steps do
     Rng.unit_vector_into rng dir;
-    if Polytope.Kernel.chord cur dir then begin
-      let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
-      if hi > lo && Float.is_finite lo && Float.is_finite hi then
-        Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi)
-      else Tel.Counter.incr tel_degenerate
-    end
-    else Tel.Counter.incr tel_degenerate
+    (if Polytope.Kernel.chord cur dir then begin
+       let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
+       if hi > lo && Float.is_finite lo && Float.is_finite hi then begin
+         Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi);
+         match monitor with Some m -> Diag.Monitor.accept m | None -> ()
+       end
+       else begin
+         Tel.Counter.incr tel_degenerate;
+         match monitor with Some m -> Diag.Monitor.reject m | None -> ()
+       end
+     end
+     else begin
+       Tel.Counter.incr tel_degenerate;
+       match monitor with Some m -> Diag.Monitor.reject m | None -> ()
+     end);
+    match monitor with Some m -> Diag.Monitor.record m (Polytope.Kernel.pos cur) | None -> ()
   done;
+  Trace.finish sp;
   Polytope.Kernel.pos cur
 
 let default_steps ~dim =

@@ -19,11 +19,15 @@ val ball_chord : centre:Vec.t -> radius:float -> chord
 val intersect_chords : chord list -> chord
 (** Chord of the intersection of bodies. *)
 
-val sample : Rng.t -> chord:chord -> start:Vec.t -> steps:int -> Vec.t
+val sample :
+  ?monitor:Scdb_diag.Diag.Monitor.t -> Rng.t -> chord:chord -> start:Vec.t -> steps:int -> Vec.t
 (** Position after [steps] hit-and-run moves from [start] (which must
-    lie in the body: the chord through it must be non-empty). *)
+    lie in the body: the chord through it must be non-empty).  When a
+    [monitor] is attached, every step feeds it the current position and
+    an accept (moved) or reject (degenerate chord) event. *)
 
-val sample_polytope : Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
+val sample_polytope :
+  ?monitor:Scdb_diag.Diag.Monitor.t -> Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
 (** Like [sample] with [polytope_chord], but runs on the incremental
     cached-product kernel ({!Polytope.Kernel}): same rng stream and the
     same trajectory up to rounding, with an allocation-free inner

@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
 
 let tel_attempts = Tel.Counter.make "rejection.attempts"
 let tel_accepted = Tel.Counter.make "rejection.accepted"
@@ -15,16 +16,21 @@ let record s =
   if s.attempts > 0 then Tel.Histogram.observe tel_rate (acceptance_rate s)
 
 let sample rng ~lo ~hi ~mem ~max_attempts =
+  let sp = Trace.start "rejection.sample" in
   let rec go n =
     if n >= max_attempts then begin
       Tel.Counter.incr tel_exhausted;
       record { attempts = n; accepted = 0 };
+      Trace.add_attr_int "attempts" n;
+      Trace.finish sp;
       None
     end
     else begin
       let x = Rng.in_box rng lo hi in
       if mem x then begin
         record { attempts = n + 1; accepted = 1 };
+        Trace.add_attr_int "attempts" (n + 1);
+        Trace.finish sp;
         Some (x, n + 1)
       end
       else go (n + 1)

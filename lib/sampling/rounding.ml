@@ -42,6 +42,11 @@ let round rng ?(rounds = 2) ?samples_per_round poly =
   let samples_per_round = Option.value samples_per_round ~default:(16 * d) in
   if Polytope.is_empty poly || not (Polytope.is_bounded poly) then None
   else begin
+    Scdb_trace.Trace.span "rounding.round"
+      ~attrs:
+        [ ("dim", string_of_int d); ("rounds", string_of_int rounds);
+          ("samples_per_round", string_of_int samples_per_round) ]
+    @@ fun () ->
     match recentre poly with
     | None -> None
     | Some t0 ->

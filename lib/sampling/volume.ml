@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
 
 let tel_estimates = Tel.Counter.make "volume.estimates"
 let tel_phases = Tel.Counter.make "volume.phases"
@@ -82,10 +83,18 @@ let estimate rng ?(eps = 0.25) ?(delta = 0.25) ?(sampler = Hit_and_run) ?(budget
         Tel.Counter.incr tel_estimates;
         Tel.Counter.add tel_phases q;
         Tel.Counter.add tel_samples (q * samples_per_phase);
+        let sp_est = Trace.start "volume.estimate" in
+        Trace.add_attr_int "dim" d;
+        Trace.add_attr_int "phases" q;
+        Trace.add_attr_int "samples_per_phase" samples_per_phase;
+        Trace.add_attr_int "walk_steps" walk_steps;
         let product = ref 1.0 in
         let start = ref (Vec.create d) in
         for i = 1 to q do
           let r_small = radius (i - 1) and r_big = Float.min rq (radius i) in
+          let sp_phase = Trace.start "volume.phase" in
+          Trace.add_attr_int "phase" i;
+          Trace.add_attr_float "radius" r_big;
           let hits = ref 0 in
           for _ = 1 to samples_per_phase do
             let p =
@@ -99,8 +108,12 @@ let estimate rng ?(eps = 0.25) ?(delta = 0.25) ?(sampler = Hit_and_run) ?(budget
             else Float.max (float_of_int !hits /. float_of_int samples_per_phase) 1e-9
           in
           Tel.Histogram.observe tel_ratio ratio;
+          Trace.add_attr_int "hits" !hits;
+          Trace.add_attr_float "ratio" ratio;
+          Trace.finish sp_phase;
           product := !product /. ratio
         done;
+        Trace.finish sp_est;
         let inner = ball_volume ~dim:d ~radius:r0 in
         let vol_rounded = inner *. !product in
         let volume = vol_rounded /. Affine.volume_scale rounded.Rounding.transform in

@@ -1,4 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
+module Diag = Scdb_diag.Diag
 
 let tel_steps = Tel.Counter.make "walk.steps"
 let tel_walks = Tel.Counter.make "walk.walks"
@@ -11,7 +13,7 @@ let default_steps ~dim ~eps =
   let d = float_of_int dim in
   int_of_float (Float.max 200.0 (8.0 *. d *. d *. d *. log (1.0 /. eps)))
 
-let step rng grid mem current =
+let step ?monitor rng grid mem current =
   (* Lazy symmetric walk: stay with probability 1/2, otherwise try a
      uniformly random lattice neighbour and move only if it remains in
      the body. *)
@@ -25,52 +27,67 @@ let step rng grid mem current =
     Tel.Counter.incr tel_proposals;
     if mem (Grid.to_point grid candidate) then begin
       Tel.Counter.incr tel_accepted;
+      (match monitor with Some m -> Diag.Monitor.accept m | None -> ());
       candidate
     end
-    else current
+    else begin
+      (match monitor with Some m -> Diag.Monitor.reject m | None -> ());
+      current
+    end
   end
 
-let walk rng ~grid ~mem ~start ~steps =
+let walk ?monitor rng ~grid ~mem ~start ~steps =
   if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.walk: start outside the body";
   Tel.Counter.incr tel_walks;
   Tel.Counter.add tel_steps steps;
+  let sp = Trace.start "grid_walk.walk" in
+  Trace.add_attr_int "steps" steps;
   let current = ref start in
   for _ = 1 to steps do
-    current := step rng grid mem !current
+    current := step ?monitor rng grid mem !current;
+    match monitor with Some m -> Diag.Monitor.record m (Grid.to_point grid !current) | None -> ()
   done;
+  Trace.finish sp;
   !current
 
-let sample rng ~grid ~mem ~start ~steps =
+let sample ?monitor rng ~grid ~mem ~start ~steps =
   let start_idx = Grid.of_point grid start in
-  Grid.to_point grid (walk rng ~grid ~mem ~start:start_idx ~steps)
+  Grid.to_point grid (walk ?monitor rng ~grid ~mem ~start:start_idx ~steps)
 
 (* Polytope specialization on the incremental kernel: a lattice move
    changes one coordinate, so the membership test degrades from the
    O(m·d) oracle evaluation to an O(m) single-column update of the
    cached row products.  Draw order matches [sample] with the
    membership oracle exactly. *)
-let sample_polytope rng ~grid poly ~start ~steps =
+let sample_polytope ?monitor rng ~grid poly ~start ~steps =
   let g = (grid : Grid.t) in
   let idx = Grid.of_point grid start in
   let x = Grid.to_point grid idx in
   if not (Polytope.mem poly x) then invalid_arg "Walk.walk: start outside the body";
   Tel.Counter.incr tel_walks;
   Tel.Counter.add tel_steps steps;
+  let sp = Trace.start "grid_walk.walk" in
+  Trace.add_attr_int "steps" steps;
+  Trace.add_attr_int "dim" g.dim;
   let cur = Polytope.Kernel.make poly x in
   for _ = 1 to steps do
-    if not (Rng.bool rng) then begin
-      let coord = Rng.int rng g.dim in
-      let delta = if Rng.bool rng then 1 else -1 in
-      (* Same expression as [Grid.to_point], so accepted positions are
-         bit-identical to the oracle walk's. *)
-      let v = float_of_int (idx.(coord) + delta) *. g.step in
-      Tel.Counter.incr tel_proposals;
-      if Polytope.Kernel.try_set_coord cur coord v then begin
-        Tel.Counter.incr tel_accepted;
-        idx.(coord) <- idx.(coord) + delta
-      end
-    end
+    (if not (Rng.bool rng) then begin
+       let coord = Rng.int rng g.dim in
+       let delta = if Rng.bool rng then 1 else -1 in
+       (* Same expression as [Grid.to_point], so accepted positions are
+          bit-identical to the oracle walk's. *)
+       let v = float_of_int (idx.(coord) + delta) *. g.step in
+       Tel.Counter.incr tel_proposals;
+       if Polytope.Kernel.try_set_coord cur coord v then begin
+         Tel.Counter.incr tel_accepted;
+         (match monitor with Some m -> Diag.Monitor.accept m | None -> ());
+         idx.(coord) <- idx.(coord) + delta
+       end
+       else match monitor with Some m -> Diag.Monitor.reject m | None -> ()
+     end);
+    match monitor with Some m -> Diag.Monitor.record m (Polytope.Kernel.pos cur) | None -> ()
   done;
+  Trace.finish sp;
   Polytope.Kernel.pos cur
 
 let trajectory rng ~grid ~mem ~start ~steps =

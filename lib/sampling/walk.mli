@@ -15,16 +15,21 @@ val default_steps : dim:int -> eps:float -> int
     analysis is a worst-case bound, not a recipe). *)
 
 val walk :
+  ?monitor:Scdb_diag.Diag.Monitor.t ->
   Rng.t -> grid:Grid.t -> mem:oracle -> start:int array -> steps:int -> int array
 (** Final lattice vertex after [steps] transitions.  The start vertex
-    must satisfy the oracle. @raise Invalid_argument otherwise. *)
+    must satisfy the oracle. @raise Invalid_argument otherwise.  When a
+    [monitor] is attached, every step records the chain position and
+    every non-lazy proposal an accept/reject event. *)
 
 val sample :
+  ?monitor:Scdb_diag.Diag.Monitor.t ->
   Rng.t -> grid:Grid.t -> mem:oracle -> start:Vec.t -> steps:int -> Vec.t
 (** [walk] wrapped to float points: rounds [start] to the grid and
     returns the final vertex as a point. *)
 
 val sample_polytope :
+  ?monitor:Scdb_diag.Diag.Monitor.t ->
   Rng.t -> grid:Grid.t -> Polytope.t -> start:Vec.t -> steps:int -> Vec.t
 (** Specialization with the polytope membership oracle, run on the
     incremental cached-product kernel ({!Polytope.Kernel}): a lattice

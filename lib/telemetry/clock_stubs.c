@@ -1,0 +1,23 @@
+/* Monotonic clock for telemetry timers and trace spans.
+
+   CLOCK_MONOTONIC is immune to wall-clock steps (NTP slew/settimeofday),
+   which would otherwise corrupt duration histograms.  The native stub is
+   [@@noalloc] and returns an unboxed double, so the enabled timing path
+   costs one vDSO call and no OCaml allocation. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+double scdb_clock_monotonic(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+value scdb_clock_monotonic_byte(value unit)
+{
+  return caml_copy_double(scdb_clock_monotonic(unit));
+}

@@ -1,3 +1,11 @@
+module Clock = struct
+  (* CLOCK_MONOTONIC seconds: immune to wall-clock steps and NTP skew.
+     The native stub returns an unboxed double and never allocates. *)
+  external now : unit -> (float[@unboxed])
+    = "scdb_clock_monotonic_byte" "scdb_clock_monotonic"
+  [@@noalloc]
+end
+
 let enabled_flag =
   ref
     (match Sys.getenv_opt "SPATIALDB_STATS" with
@@ -100,14 +108,41 @@ module Histogram = struct
   let count h = h.n
   let sum h = h.sum
   let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+  (* Approximate quantile by linear interpolation inside the log-spaced
+     bucket that contains the rank; [vmin]/[vmax] sharpen the first and
+     last occupied buckets (and make the single-bucket case exact). *)
+  let quantile h q =
+    if h.n = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = q *. float_of_int h.n in
+      let rec go i cum =
+        if i >= n_buckets then h.vmax
+        else begin
+          let c = h.buckets.(i) in
+          let cum' = cum +. float_of_int c in
+          if c > 0 && cum' >= rank then begin
+            let lo = if i = 0 then h.vmin else bucket_bounds.(i - 1) in
+            let hi = if i >= Array.length bucket_bounds then h.vmax else bucket_bounds.(i) in
+            let lo = Float.max lo h.vmin and hi = Float.min hi h.vmax in
+            let frac = Float.max 0.0 (Float.min 1.0 ((rank -. cum) /. float_of_int c)) in
+            let v = if hi > lo then lo +. ((hi -. lo) *. frac) else lo in
+            Float.max h.vmin (Float.min h.vmax v)
+          end
+          else go (i + 1) cum'
+        end
+      in
+      go 0 0.0
+    end
 end
 
 module Timer = struct
   type t = histogram
 
   let make name = Histogram.make (name ^ ".seconds")
-  let start _t = if !enabled_flag then Unix.gettimeofday () else 0.0
-  let stop t t0 = if !enabled_flag then Histogram.observe t (Unix.gettimeofday () -. t0)
+  let start _t = if !enabled_flag then Clock.now () else 0.0
+  let stop t t0 = if !enabled_flag then Histogram.observe t (Clock.now () -. t0)
 
   let time t f =
     let t0 = start t in
@@ -155,7 +190,7 @@ let dump ?(only_nonzero = true) () =
   let counters = List.filter (function M_counter _ as m -> keep m | _ -> false) metrics in
   let histograms = List.filter (function M_histogram _ as m -> keep m | _ -> false) metrics in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"spatialdb-telemetry/1\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"spatialdb-telemetry/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"enabled\": %b,\n" !enabled_flag);
   Buffer.add_string buf "  \"counters\": {";
   List.iteri
@@ -174,11 +209,16 @@ let dump ?(only_nonzero = true) () =
       | M_histogram h ->
           Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
           Buffer.add_string buf
-            (Printf.sprintf "%S: {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s, \"buckets\": ["
+            (Printf.sprintf
+               "%S: {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s, \"p50\": \
+                %s, \"p90\": %s, \"p99\": %s, \"buckets\": ["
                h.h_name h.n (json_float h.sum)
                (json_float (if h.n = 0 then 0.0 else h.vmin))
                (json_float (if h.n = 0 then 0.0 else h.vmax))
-               (json_float (Histogram.mean h)));
+               (json_float (Histogram.mean h))
+               (json_float (Histogram.quantile h 0.50))
+               (json_float (Histogram.quantile h 0.90))
+               (json_float (Histogram.quantile h 0.99)));
           let first = ref true in
           Array.iteri
             (fun b k ->

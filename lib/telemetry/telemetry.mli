@@ -19,6 +19,13 @@
     already exists returns the existing instance, so a functor body or
     a re-executed module initializer never double-registers. *)
 
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic seconds ([CLOCK_MONOTONIC]): the origin is arbitrary,
+      but differences are real elapsed time, immune to wall-clock steps
+      and NTP skew.  Never allocates. *)
+end
+
 val enabled : unit -> bool
 (** Global switch; initially [false] unless the [SPATIALDB_STATS]
     environment variable is set to a non-empty, non-["0"] value. *)
@@ -53,18 +60,26 @@ module Histogram : sig
 
   val mean : t -> float
   (** [sum/count], or [0.] before the first observation. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [[0,1]]: approximate order statistic by
+      linear interpolation inside the log-spaced bucket containing the
+      rank, clamped to the observed [[min, max]].  Exact when all
+      observations share a bucket; otherwise accurate to the bucket
+      resolution (a factor of [√10]).  [0.] before the first
+      observation. *)
 end
 
 module Timer : sig
   type t
 
   val make : string -> t
-  (** A wall-clock timer; durations land in a histogram named
-      [<name>.seconds]. *)
+  (** An elapsed-time timer on the monotonic clock ({!Clock.now});
+      durations land in a histogram named [<name>.seconds]. *)
 
   val start : t -> float
-  (** Current wall clock, or [0.] when telemetry is disabled (no
-      syscall on the disabled path). *)
+  (** Current monotonic clock, or [0.] when telemetry is disabled (no
+      clock read on the disabled path). *)
 
   val stop : t -> float -> unit
   (** [stop t t0] records the elapsed time since [start]'s return. *)
@@ -82,10 +97,11 @@ module Scope : sig
 end
 
 val dump : ?only_nonzero:bool -> unit -> string
-(** JSON snapshot of the registry (schema [spatialdb-telemetry/1]):
+(** JSON snapshot of the registry (schema [spatialdb-telemetry/2]):
     [{"schema": …, "enabled": …, "counters": {name: value, …},
       "histograms": {name: {"count": …, "sum": …, "min": …, "max": …,
-      "mean": …, "buckets": [[le, n], …]}, …}}].
+      "mean": …, "p50": …, "p90": …, "p99": …,
+      "buckets": [[le, n], …]}, …}}].
     Buckets with zero count are omitted; [only_nonzero] (default
     [true]) also omits never-touched metrics.  Timers appear under
     [histograms] as [<name>.seconds]. *)

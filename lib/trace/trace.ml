@@ -1,0 +1,206 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "SPATIALDB_TRACE" with
+    | Some "" | Some "0" | None -> false
+    | Some _ -> true)
+
+let enabled () = !enabled_flag
+
+type span = {
+  id : int;
+  parent : int; (* -1 for roots *)
+  depth : int;
+  name : string;
+  start_s : float; (* monotonic seconds *)
+  mutable dur_s : float; (* < 0 while open *)
+  mutable attrs : (string * string) list;
+  counters0 : (string * int) list; (* telemetry snapshot at open *)
+}
+
+(* All spans in creation order (reversed), the stack of open spans, and
+   the monotonic origin every exported timestamp is relative to.  Spans
+   are created only on the enabled path; the disabled path is one
+   mutable load and a branch, like [Telemetry]'s. *)
+let all : span list ref = ref []
+let stack : span list ref = ref []
+let next_id = ref 0
+let epoch = ref (Tel.Clock.now ())
+
+(* Soft cap on recorded spans: beyond it new spans are not recorded
+   (children of unrecorded spans attach to the nearest recorded
+   ancestor), so a sampling loop can never make the trace unbounded. *)
+let span_limit = ref 200_000
+let set_span_limit n = span_limit := Stdlib.max 0 n
+let recording () = !enabled_flag && !next_id < !span_limit
+
+let reset () =
+  all := [];
+  stack := [];
+  next_id := 0;
+  epoch := Tel.Clock.now ()
+
+let set_enabled b = enabled_flag := b
+
+let counter_snapshot counters =
+  List.map (fun c -> (c, Option.value ~default:0 (Tel.counter_value c))) counters
+
+let open_span ~attrs ~counters name =
+  let parent, depth = match !stack with [] -> (-1, 0) | p :: _ -> (p.id, p.depth + 1) in
+  let s =
+    {
+      id = !next_id;
+      parent;
+      depth;
+      name;
+      start_s = Tel.Clock.now ();
+      dur_s = -1.0;
+      attrs;
+      counters0 = counter_snapshot counters;
+    }
+  in
+  incr next_id;
+  all := s :: !all;
+  stack := s :: !stack;
+  s
+
+let close_span s =
+  if s.dur_s < 0.0 then begin
+    s.dur_s <- Tel.Clock.now () -. s.start_s;
+    List.iter
+      (fun (c, v0) ->
+        match Tel.counter_value c with
+        | Some v -> s.attrs <- (c, string_of_int (v - v0)) :: s.attrs
+        | None -> ())
+      s.counters0;
+    (* Pop down to [s]; anything deeper was left open by a non-local
+       exit and is closed with the same end time. *)
+    let rec pop = function
+      | [] -> []
+      | x :: rest ->
+          if x.id = s.id then rest
+          else begin
+            if x.dur_s < 0.0 then x.dur_s <- s.start_s +. s.dur_s -. x.start_s;
+            pop rest
+          end
+    in
+    stack := pop !stack
+  end
+
+let span ?(attrs = []) ?(counters = []) name f =
+  if not (recording ()) then f ()
+  else begin
+    let s = open_span ~attrs ~counters name in
+    match f () with
+    | v ->
+        close_span s;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        s.attrs <- ("error", Printexc.to_string e) :: s.attrs;
+        close_span s;
+        Printexc.raise_with_backtrace e bt
+  end
+
+(* No-closure bracket for kernels: [start] returns the span id (or -1
+   when disabled), [finish] closes it.  Zero allocation when disabled. *)
+let start name = if not (recording ()) then -1 else (open_span ~attrs:[] ~counters:[] name).id
+
+let finish id =
+  if id >= 0 then
+    match List.find_opt (fun s -> s.id = id) !stack with
+    | Some s -> close_span s
+    | None -> ()
+
+let add_attr k v =
+  if !enabled_flag then match !stack with [] -> () | s :: _ -> s.attrs <- (k, v) :: s.attrs
+
+let add_attr_int k v = if !enabled_flag then add_attr k (string_of_int v)
+let add_attr_float k v = if !enabled_flag then add_attr k (Printf.sprintf "%.6g" v)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type view = {
+  v_id : int;
+  v_parent : int;
+  v_depth : int;
+  v_name : string;
+  v_ts_us : float;
+  v_dur_us : float;
+  v_attrs : (string * string) list;
+}
+
+let view_of s =
+  let dur = if s.dur_s < 0.0 then Tel.Clock.now () -. s.start_s else s.dur_s in
+  {
+    v_id = s.id;
+    v_parent = s.parent;
+    v_depth = s.depth;
+    v_name = s.name;
+    v_ts_us = Float.max 0.0 ((s.start_s -. !epoch) *. 1e6);
+    v_dur_us = Float.max 0.0 (dur *. 1e6);
+    v_attrs = List.rev s.attrs;
+  }
+
+let spans () = List.rev_map view_of !all
+let count () = List.length !all
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num v =
+  if Float.is_finite v then Printf.sprintf "%.3f" v else if v > 0.0 then "1e308" else "0"
+
+(* Chrome trace-event format: an object with a [traceEvents] array of
+   complete ("ph":"X") events, microsecond timestamps.  Loads in
+   chrome://tracing and Perfetto. *)
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i v ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\": \"%s\", \"cat\": \"spatialdb\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": %s, \"dur\": %s"
+           (json_escape v.v_name) (json_num v.v_ts_us) (json_num v.v_dur_us));
+      if v.v_attrs <> [] then begin
+        Buffer.add_string buf ", \"args\": {";
+        List.iteri
+          (fun j (k, value) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape value)))
+          v.v_attrs;
+        Buffer.add_string buf "}"
+      end;
+      Buffer.add_string buf "}")
+    (spans ());
+  Buffer.add_string buf "\n]}";
+  Buffer.contents buf
+
+let to_text_tree () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun v ->
+      let indent = String.make (2 * v.v_depth) ' ' in
+      let label = indent ^ v.v_name in
+      Buffer.add_string buf (Printf.sprintf "%-48s %10.3f ms" label (v.v_dur_us /. 1e3));
+      List.iter (fun (k, value) -> Buffer.add_string buf (Printf.sprintf "  %s=%s" k value)) v.v_attrs;
+      Buffer.add_char buf '\n')
+    (spans ());
+  Buffer.contents buf

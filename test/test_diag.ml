@@ -1,0 +1,177 @@
+(* Tests for the convergence diagnostics: Welford moments, ESS,
+   split-chain R-hat, the walk monitor, and the end-to-end multi-chain
+   harness on the Figure 1 triangle. *)
+
+module Diag = Scdb_diag.Diag
+module Diag_run = Scdb_core.Diag_run
+module P = Scdb_polytope.Polytope
+module Rng = Scdb_rng.Rng
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let welford_tests =
+  [
+    t "mean and variance match the direct formulas" (fun () ->
+        let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+        let w = Diag.Welford.create () in
+        Array.iter (Diag.Welford.add w) xs;
+        let n = float_of_int (Array.length xs) in
+        let mean = Array.fold_left ( +. ) 0.0 xs /. n in
+        let var =
+          Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+        in
+        Alcotest.(check int) "count" 8 (Diag.Welford.count w);
+        Alcotest.(check (float 1e-12)) "mean" mean (Diag.Welford.mean w);
+        Alcotest.(check (float 1e-12)) "variance" var (Diag.Welford.variance w));
+    t "degenerate cases are zero" (fun () ->
+        let w = Diag.Welford.create () in
+        Alcotest.(check (float 0.0)) "empty mean" 0.0 (Diag.Welford.mean w);
+        Diag.Welford.add w 3.0;
+        Alcotest.(check (float 0.0)) "n=1 variance" 0.0 (Diag.Welford.variance w));
+  ]
+
+let series_tests =
+  [
+    t "lag-0 autocorrelation is 1" (fun () ->
+        let rng = Rng.create 3 in
+        let xs = Array.init 256 (fun _ -> Rng.gaussian rng) in
+        Alcotest.(check (float 1e-12)) "rho_0" 1.0 (Diag.autocorrelation xs 0));
+    t "iid series has near-full ESS" (fun () ->
+        let rng = Rng.create 17 in
+        let xs = Array.init 1024 (fun _ -> Rng.gaussian rng) in
+        let e = Diag.ess xs in
+        Alcotest.(check bool) "ess > n/2" true (e > 512.0);
+        Alcotest.(check bool) "ess <= n" true (e <= 1024.0));
+    t "strongly autocorrelated series has small ESS" (fun () ->
+        let rng = Rng.create 17 in
+        let xs = Array.make 1024 0.0 in
+        for i = 1 to 1023 do
+          xs.(i) <- (0.98 *. xs.(i - 1)) +. (0.1 *. Rng.gaussian rng)
+        done;
+        let e = Diag.ess xs in
+        Alcotest.(check bool) "ess << n" true (e < 256.0));
+    t "constant series clamps to ESS 1..n" (fun () ->
+        let xs = Array.make 64 5.0 in
+        let e = Diag.ess xs in
+        Alcotest.(check bool) "in range" true (e >= 1.0 && e <= 64.0));
+    t "split R-hat near 1 for same-distribution chains" (fun () ->
+        let chains =
+          Array.init 4 (fun i ->
+              let rng = Rng.create (100 + i) in
+              Array.init 256 (fun _ -> Rng.gaussian rng))
+        in
+        let r = Diag.split_rhat chains in
+        Alcotest.(check bool) "close to 1" true (r < 1.1));
+    t "split R-hat flags shifted chains" (fun () ->
+        let chains =
+          Array.init 4 (fun i ->
+              let rng = Rng.create (200 + i) in
+              let shift = if i land 1 = 0 then 5.0 else -5.0 in
+              Array.init 256 (fun _ -> shift +. Rng.gaussian rng))
+        in
+        let r = Diag.split_rhat chains in
+        Alcotest.(check bool) "well above 1.1" true (r > 1.2));
+    t "split R-hat flags a drifting chain (within-chain split)" (fun () ->
+        (* A single chain whose two halves disagree: the "split" part of
+           split R-hat must catch it even with m = 1. *)
+        let chain = Array.init 256 (fun i -> if i < 128 then 0.0 else 10.0) in
+        let chain = Array.mapi (fun i x -> x +. (0.001 *. float_of_int (i mod 7))) chain in
+        let r = Diag.split_rhat [| chain |] in
+        Alcotest.(check bool) "above 1.1" true (r > 1.1));
+  ]
+
+let monitor_tests =
+  [
+    t "thinning keeps every k-th recorded position" (fun () ->
+        let m = Diag.Monitor.create ~thin:3 ~dim:1 () in
+        for i = 1 to 10 do
+          Diag.Monitor.record m [| float_of_int i |]
+        done;
+        Alcotest.(check int) "steps" 10 (Diag.Monitor.steps m);
+        let kept = Diag.Monitor.kept m in
+        Alcotest.(check bool) "kept about n/3" true (kept >= 3 && kept <= 4);
+        let s = Diag.Monitor.series m 0 in
+        Alcotest.(check int) "series length" kept (Array.length s));
+    t "acceptance and stall bookkeeping" (fun () ->
+        let m = Diag.Monitor.create ~dim:1 () in
+        Diag.Monitor.reject m;
+        Diag.Monitor.reject m;
+        Diag.Monitor.reject m;
+        Diag.Monitor.accept m;
+        Diag.Monitor.reject m;
+        Diag.Monitor.accept m;
+        Alcotest.(check int) "proposals" 6 (Diag.Monitor.proposals m);
+        Alcotest.(check int) "accepted" 2 (Diag.Monitor.accepted m);
+        Alcotest.(check (float 1e-12)) "rate" (2.0 /. 6.0) (Diag.Monitor.acceptance_rate m);
+        Alcotest.(check int) "max stall" 3 (Diag.Monitor.max_stall m));
+    t "per-coordinate means track the recorded series" (fun () ->
+        let m = Diag.Monitor.create ~dim:2 () in
+        Diag.Monitor.record m [| 1.0; 10.0 |];
+        Diag.Monitor.record m [| 3.0; 30.0 |];
+        let mu = Diag.Monitor.mean_per_coord m in
+        Alcotest.(check (float 1e-12)) "coord 0" 2.0 mu.(0);
+        Alcotest.(check (float 1e-12)) "coord 1" 20.0 mu.(1));
+  ]
+
+let assess_tests =
+  [
+    t "clean diagnostics converge" (fun () ->
+        let v =
+          Diag.assess ~rhat:[| 1.01; 1.02 |] ~ess:[| [| 50.0; 60.0 |]; [| 55.0; 45.0 |] |] ()
+        in
+        Alcotest.(check bool) "converged" true v.Diag.converged);
+    t "high R-hat fails" (fun () ->
+        let v = Diag.assess ~rhat:[| 1.5 |] ~ess:[| [| 100.0 |] |] () in
+        Alcotest.(check bool) "not converged" false v.Diag.converged);
+    t "low ESS fails" (fun () ->
+        let v = Diag.assess ~rhat:[| 1.0 |] ~ess:[| [| 2.0 |] |] () in
+        Alcotest.(check bool) "not converged" false v.Diag.converged);
+  ]
+
+let harness_tests =
+  [
+    ts "hit-and-run mixes on the Figure 1 triangle at the prescribed length" (fun () ->
+        let rng = Rng.create 42 in
+        match Diag_run.run rng (P.simplex 2) with
+        | None -> Alcotest.fail "triangle should round"
+        | Some d ->
+            Alcotest.(check int) "4 chains" 4 (Array.length d.Diag_run.chains);
+            Array.iter
+              (fun r -> Alcotest.(check bool) "R-hat < 1.1" true (r < 1.1))
+              d.Diag_run.rhat;
+            Array.iter
+              (fun (c : Diag_run.chain) ->
+                Alcotest.(check int) "kept" d.Diag_run.samples_per_chain c.Diag_run.kept;
+                Array.iter
+                  (fun e -> Alcotest.(check bool) "ess finite positive" true (Float.is_finite e && e >= 1.0))
+                  c.Diag_run.ess)
+              d.Diag_run.chains;
+            Alcotest.(check bool) "verdict converged" true d.Diag_run.verdict.Diag.converged);
+    ts "to_json parses and carries finite diagnostics" (fun () ->
+        let rng = Rng.create 7 in
+        match Diag_run.run ~samples_per_chain:16 rng (P.simplex 2) with
+        | None -> Alcotest.fail "triangle should round"
+        | Some d -> (
+            let module J = Scdb_trace.Json_min in
+            let doc = J.parse (Diag_run.to_json d) in
+            match J.member "rhat" doc with
+            | Some r ->
+                let l = Option.get (J.to_list r) in
+                Alcotest.(check int) "one rhat per coord" 2 (List.length l);
+                List.iter
+                  (fun v ->
+                    Alcotest.(check bool) "finite" true
+                      (Float.is_finite (Option.get (J.to_float v))))
+                  l
+            | None -> Alcotest.fail "rhat missing"));
+  ]
+
+let suites =
+  [
+    ("diag.welford", welford_tests);
+    ("diag.series", series_tests);
+    ("diag.monitor", monitor_tests);
+    ("diag.assess", assess_tests);
+    ("diag.harness", harness_tests);
+  ]

@@ -17,4 +17,8 @@ let () =
          Test_core.suites;
          Test_gis.suites;
          Test_uniformity.suites;
+         Test_telemetry.suites;
+         Test_trace.suites;
+         Test_diag.suites;
+         Test_report.suites;
        ])
