@@ -26,14 +26,25 @@ check:
 
 # check + perf smoke: fail if any kernel regresses >2x vs the committed
 # baseline, then a `spatialdb report` smoke query whose JSON must
-# validate (schema, trace events, finite diagnostics).  Throwaway
-# artifacts go to _build/.
+# validate (schema, trace events, finite diagnostics), then an
+# observability smoke: a recorded sample run with structured logging and
+# a Prometheus snapshot, both validated, and the flight record replayed
+# bit-for-bit.  Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
 	dune exec bin/spatialdb.exe -- report --vars x,y \
 	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 \
 	  -o _build/report_smoke.json
 	dune exec bench/validate_report.exe -- _build/report_smoke.json --require-converged
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 -n 5 \
+	  --log-level debug --log-out _build/ci_log.jsonl \
+	  --metrics-out _build/ci_metrics.prom \
+	  --record _build/ci.flightrec.json > _build/ci_samples.tsv
+	dune exec bench/validate_logs.exe -- --log _build/ci_log.jsonl \
+	  --metrics _build/ci_metrics.prom
+	dune exec bin/spatialdb.exe -- replay _build/ci.flightrec.json
 
 clean:
 	dune clean
+	rm -f *.flightrec.json

@@ -341,7 +341,7 @@ let check_against ~baseline results =
   end
   else Printf.printf "all kernels within 2x of %s\n" baseline
 
-let run ~fast ~out ~check =
+let run ~fast ~out ~check ~metrics_out =
   (* Timings measure the disabled-telemetry path — what production pays. *)
   Tel.set_enabled false;
   let rng = Rng.create 20060101 in
@@ -417,6 +417,13 @@ let run ~fast ~out ~check =
   List.iter (fun s -> if s < 2.0 then Printf.printf "WARNING: speedup %.2fx below the 2x target\n" s) checks;
   (* Per-run stats block: the probabilistic kernels observed end to end. *)
   let telemetry = telemetry_snapshot ~poly ~grid ~centre in
+  (* The counters the snapshot accumulated are still in the registry, so
+     the Prometheus exposition is just a second rendering of them. *)
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      Scdb_log.Metrics_export.write_file ~path;
+      Printf.printf "wrote %s\n" path);
   let diagnostics = diagnostics_block ~fast ~poly in
   (* JSON out. *)
   let oc = open_out out in
@@ -442,6 +449,7 @@ let () =
     | [] -> None
   in
   let check = after "--check" args in
+  let metrics_out = after "--metrics-out" args in
   let out =
     match after "-o" args with
     | Some f -> f
@@ -452,4 +460,4 @@ let () =
         in
         next 1
   in
-  run ~fast ~out ~check
+  run ~fast ~out ~check ~metrics_out

@@ -1,0 +1,192 @@
+(* Validator for observability artifacts produced by `make ci`:
+
+   Usage: validate_logs [--log FILE] [--metrics FILE]
+
+   --log FILE      a JSON-lines structured log (schema spatialdb-log/1):
+                   every line must parse, carry the right schema, a known
+                   level, a non-empty event name, an integer span id, a
+                   strictly increasing seq and a non-decreasing finite ts;
+                   field values must be finite when numeric.
+   --metrics FILE  a Prometheus text-format snapshot: every sample line
+                   must follow a # TYPE declaration for its metric family,
+                   names must match [a-zA-Z_:][a-zA-Z0-9_:]*, values must
+                   parse as finite non-NaN numbers, and counter samples
+                   (family declared `counter`) must be non-negative.
+
+   Exits 1 with a message on the first violation. *)
+
+module J = Scdb_trace.Json_min
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_logs: " ^ m); exit 1) fmt
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error m -> fail "%s" m
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+
+(* ---------------- structured log ---------------- *)
+
+let levels = [ "debug"; "info"; "warn"; "error" ]
+
+let check_log path =
+  let lines =
+    String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "%s: no log events" path;
+  let last_seq = ref (-1) in
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun i line ->
+      let doc =
+        try J.parse line with J.Parse_error m -> fail "%s:%d: invalid JSON: %s" path (i + 1) m
+      in
+      let get name =
+        match J.member name doc with
+        | Some v -> v
+        | None -> fail "%s:%d: missing field %s" path (i + 1) name
+      in
+      (match J.to_string (get "schema") with
+      | Some "spatialdb-log/1" -> ()
+      | Some other -> fail "%s:%d: unexpected schema %S" path (i + 1) other
+      | None -> fail "%s:%d: schema is not a string" path (i + 1));
+      (match J.to_string (get "level") with
+      | Some l when List.mem l levels -> ()
+      | Some l -> fail "%s:%d: unknown level %S" path (i + 1) l
+      | None -> fail "%s:%d: level is not a string" path (i + 1));
+      (match J.to_string (get "event") with
+      | Some "" -> fail "%s:%d: empty event name" path (i + 1)
+      | Some _ -> ()
+      | None -> fail "%s:%d: event is not a string" path (i + 1));
+      (match J.to_float (get "span") with
+      | Some v when Float.is_integer v -> ()
+      | _ -> fail "%s:%d: span is not an integer" path (i + 1));
+      (match J.to_float (get "seq") with
+      | Some v when Float.is_integer v ->
+          let seq = int_of_float v in
+          if seq <= !last_seq then
+            fail "%s:%d: seq not strictly increasing (%d after %d)" path (i + 1) seq !last_seq;
+          last_seq := seq
+      | _ -> fail "%s:%d: seq is not an integer" path (i + 1));
+      (match J.to_float (get "ts") with
+      | Some ts when Float.is_finite ts ->
+          if ts < !last_ts then
+            fail "%s:%d: ts went backwards (%g after %g)" path (i + 1) ts !last_ts;
+          last_ts := ts
+      | _ -> fail "%s:%d: ts is not a finite number" path (i + 1));
+      match get "fields" with
+      | J.Obj kvs ->
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | J.Num x when not (Float.is_finite x) ->
+                  fail "%s:%d: field %s is not finite" path (i + 1) k
+              | _ -> ())
+            kvs
+      | _ -> fail "%s:%d: fields is not an object" path (i + 1))
+    lines;
+  Printf.printf "validate_logs: %s OK (%d events)\n" path (List.length lines)
+
+(* ---------------- Prometheus snapshot ---------------- *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* Strip a {label="..."} block if present; quantile labels on summaries. *)
+let split_sample line =
+  match String.index_opt line '{' with
+  | Some i -> (
+      match String.rindex_opt line '}' with
+      | Some j when j > i ->
+          Some (String.sub line 0 i, String.trim (String.sub line (j + 1) (String.length line - j - 1)))
+      | _ -> None)
+  | None -> (
+      match String.index_opt line ' ' with
+      | Some i ->
+          Some (String.sub line 0 i, String.trim (String.sub line i (String.length line - i)))
+      | None -> None)
+
+let check_metrics path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  (* metric family -> declared type *)
+  let types = Hashtbl.create 16 in
+  let samples = ref 0 in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+        | [ name; ty ] ->
+            if not (valid_name name) then fail "%s:%d: invalid metric name %S" path lineno name;
+            if not (List.mem ty [ "counter"; "gauge"; "summary"; "histogram"; "untyped" ]) then
+              fail "%s:%d: invalid metric type %S" path lineno ty;
+            Hashtbl.replace types name ty
+        | _ -> fail "%s:%d: malformed TYPE line" path lineno
+      end
+      else if String.length line >= 1 && line.[0] = '#' then ()
+      else begin
+        match split_sample line with
+        | None -> fail "%s:%d: malformed sample line %S" path lineno line
+        | Some (name, value_s) ->
+            if not (valid_name name) then fail "%s:%d: invalid metric name %S" path lineno name;
+            (* A sample belongs to the family of its TYPE declaration;
+               summary samples may carry _sum/_count suffixes. *)
+            let family =
+              if Hashtbl.mem types name then Some name
+              else
+                let strip suffix =
+                  let n = String.length name and k = String.length suffix in
+                  if n > k && String.sub name (n - k) k = suffix then
+                    Some (String.sub name 0 (n - k))
+                  else None
+                in
+                match strip "_sum" with
+                | Some f when Hashtbl.mem types f -> Some f
+                | _ -> (
+                    match strip "_count" with
+                    | Some f when Hashtbl.mem types f -> Some f
+                    | _ -> None)
+            in
+            let family =
+              match family with
+              | Some f -> f
+              | None -> fail "%s:%d: sample %S has no preceding TYPE declaration" path lineno name
+            in
+            let v =
+              match float_of_string_opt value_s with
+              | Some v -> v
+              | None -> fail "%s:%d: value %S does not parse" path lineno value_s
+            in
+            if Float.is_nan v then fail "%s:%d: %s is NaN" path lineno name;
+            if not (Float.is_finite v) then fail "%s:%d: %s is not finite" path lineno name;
+            if Hashtbl.find types family = "counter" && v < 0.0 then
+              fail "%s:%d: counter %s is negative (%g)" path lineno name v;
+            incr samples
+      end)
+    lines;
+  if !samples = 0 then fail "%s: no metric samples" path;
+  Printf.printf "validate_logs: %s OK (%d samples)\n" path !samples
+
+let () =
+  let rec go = function
+    | [] -> ()
+    | "--log" :: file :: rest ->
+        check_log file;
+        go rest
+    | "--metrics" :: file :: rest ->
+        check_metrics file;
+        go rest
+    | a :: _ -> fail "usage: validate_logs [--log FILE] [--metrics FILE] (got %S)" a
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then fail "usage: validate_logs [--log FILE] [--metrics FILE]";
+  go args

@@ -13,6 +13,10 @@
 open Cmdliner
 module Rng = Scdb_rng.Rng
 module Tel = Scdb_telemetry.Telemetry
+module Log = Scdb_log.Log
+module Metrics = Scdb_log.Metrics_export
+module Flightrec = Scdb_log.Flightrec
+module Flight = Scdb_gis.Flight
 module FM = Scdb_qe.Fourier_motzkin
 module VE = Scdb_polytope.Volume_exact
 module GV = Scdb_polytope.Gridvol
@@ -70,6 +74,85 @@ let enable_stats ?stats_out stats =
             close_out oc)
   end
 
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("spatialdb: " ^ m);
+      exit 1
+
+(* ---------------- observability flags ---------------- *)
+
+type obs = {
+  log_level : string option;
+  log_out : string option;
+  metrics_out : string option;
+  metrics_interval : float;
+}
+
+let obs_term =
+  let log_level_arg =
+    let doc =
+      "Enable structured JSON-lines logging (schema spatialdb-log/1) at $(docv): one of \
+       $(b,debug), $(b,info), $(b,warn), $(b,error).  Events go to stderr unless \
+       $(b,--log-out) is given.  Also enabled by setting \\$(b,SPATIALDB_LOG)."
+    in
+    Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_out_arg =
+    let doc =
+      "Write structured log events to $(docv) as JSON lines (implies logging; default level \
+       info)."
+    in
+    Arg.(value & opt (some string) None & info [ "log-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out_arg =
+    let doc =
+      "Write a Prometheus text-format snapshot of the telemetry registry to $(docv) on exit \
+       (implies telemetry collection).  The write is atomic (temp file + rename), so the file \
+       is safe to scrape."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_interval_arg =
+    let doc =
+      "With $(b,--metrics-out), also re-emit the snapshot every $(docv) seconds from a \
+       background thread (node-exporter textfile-collector style)."
+    in
+    Arg.(value & opt float 0.0 & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let make log_level log_out metrics_out metrics_interval =
+    { log_level; log_out; metrics_out; metrics_interval }
+  in
+  Term.(const make $ log_level_arg $ log_out_arg $ metrics_out_arg $ metrics_interval_arg)
+
+let setup_obs o =
+  let level =
+    match o.log_level with
+    | None -> None
+    | Some s -> (
+        match Log.level_of_string s with
+        | Some l -> Some l
+        | None -> or_die (Error ("unknown log level " ^ s)))
+  in
+  if level <> None || o.log_out <> None then begin
+    Log.set_enabled true;
+    (match level with Some l -> Log.set_level l | None -> Log.set_level Log.Info);
+    match o.log_out with
+    | None -> Log.set_stderr true
+    | Some file ->
+        Log.open_file file;
+        at_exit Log.close_file
+  end;
+  match o.metrics_out with
+  | None -> ()
+  | Some path ->
+      Tel.set_enabled true;
+      at_exit (fun () ->
+          Metrics.stop_periodic ();
+          Metrics.write_file ~path);
+      if o.metrics_interval > 0.0 then
+        Metrics.start_periodic ~path ~interval_s:o.metrics_interval
+
 let split_vars s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
 
 let parse_relation vars_s formula =
@@ -83,12 +166,6 @@ let parse_relation vars_s formula =
     | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
     | exception Lexer.Lex_error (m, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos m)
   end
-
-let or_die = function
-  | Ok v -> v
-  | Error m ->
-      prerr_endline ("spatialdb: " ^ m);
-      exit 1
 
 let observable_or_die rng relation =
   match Scdb_gis.Eval.observable_of_relation ~config:Convex_obs.practical_config rng relation with
@@ -121,30 +198,50 @@ let sample_cmd =
   let chains_arg =
     Arg.(value & opt int 4 & info [ "chains" ] ~doc:"Chains for the $(b,--diag) check.")
   in
-  let run vars_s formula n seed eps delta method_ stats stats_out diag chains =
+  let record_arg =
+    let doc =
+      "Write a flight record (spatialdb-flightrec/1: arguments, seed, bit-exact sample stream, \
+       RNG lineage, telemetry, log tail) to $(docv), replayable with $(b,spatialdb replay)."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let record_anomaly_arg =
+    let doc =
+      "Like $(b,--record), but the record is written only when the run logged warnings or \
+       errors (sampler budget exhaustion, walker stalls, ...)."
+    in
+    Arg.(value & opt (some string) None & info [ "record-on-anomaly" ] ~docv:"FILE" ~doc)
+  in
+  let run vars_s formula n seed eps delta method_ stats stats_out diag chains o record
+      record_anomaly =
     enable_stats ?stats_out stats;
-    let sampler =
-      match method_ with
-      | "walk" -> Convex_obs.Hit_and_run
-      | "grid" -> Convex_obs.Grid_walk
-      | "rejection" -> Convex_obs.Rejection_box
-      | m -> or_die (Error ("unknown method " ^ m))
-    in
-    let config = { Convex_obs.practical_config with Convex_obs.sampler } in
-    let _, relation = or_die (parse_relation vars_s formula) in
-    let rng = Rng.create seed in
-    let obs =
-      match Scdb_gis.Eval.observable_of_relation ~config rng relation with
-      | Some o -> o
-      | None ->
-          prerr_endline "spatialdb: relation is empty, unbounded or lower-dimensional";
-          exit 1
-    in
-    let params = Params.make ~gamma:0.05 ~eps ~delta () in
+    setup_obs o;
+    (* Anomaly detection rides on the warn/error counters, so make sure
+       at least warn-level events are being counted (the ring buffer
+       captures the tail regardless of sinks). *)
+    if record_anomaly <> None && not (Log.would_log Log.Warn) then begin
+      Log.set_enabled true;
+      Log.set_level Log.Warn
+    end;
+    let args = { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_ } in
+    let track = record <> None || record_anomaly <> None in
+    let outcome = or_die (Flight.run ~track args) in
+    let relation = outcome.Flight.relation and rng = outcome.Flight.rng in
     List.iter
       (fun p ->
         print_endline (String.concat "\t" (List.map (Printf.sprintf "%.6f") (Array.to_list p))))
-      (Observable.sample_many obs rng params ~n);
+      outcome.Flight.points;
+    (match record with
+    | Some path -> Flightrec.write path (Flight.to_flightrec args outcome)
+    | None -> ());
+    (match record_anomaly with
+    | Some path when Log.warn_count () + Log.error_count () > 0 ->
+        Flightrec.write path (Flight.to_flightrec args outcome);
+        Printf.eprintf
+          "spatialdb: anomaly detected (%d warning(s), %d error(s)); flight record written to \
+           %s\n"
+          (Log.warn_count ()) (Log.error_count ()) path
+    | _ -> ());
     if diag then begin
       let dim = Relation.dim relation in
       match Relation.tuples relation with
@@ -174,7 +271,10 @@ let sample_cmd =
   in
   let doc = "Draw almost uniform points from the relation (Definition 2.2 generator)." in
   Cmd.v (Cmd.info "sample" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg)
+    Term.(
+      const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
+      $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg $ obs_term $ record_arg
+      $ record_anomaly_arg)
 
 (* ---------------- volume ---------------- *)
 
@@ -183,8 +283,9 @@ let volume_cmd =
     let doc = "One of: exact (Lasserre + inclusion-exclusion), grid:GAMMA (fixed-dimension decomposition), sampling (DFK estimators)." in
     Arg.(value & opt string "sampling" & info [ "mode" ] ~doc)
   in
-  let run vars_s formula mode seed eps delta stats stats_out =
+  let run vars_s formula mode seed eps delta stats stats_out o =
     enable_stats ?stats_out stats;
+    setup_obs o;
     let _, relation = or_die (parse_relation vars_s formula) in
     let rng = Rng.create seed in
     match mode with
@@ -207,7 +308,9 @@ let volume_cmd =
   in
   let doc = "Volume of the relation: exact, grid-decomposed, or the paper's (eps,delta)-estimator." in
   Cmd.v (Cmd.info "volume" ~doc)
-    Term.(const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg $ stats_arg $ stats_out_arg)
+    Term.(
+      const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg $ stats_arg
+      $ stats_out_arg $ obs_term)
 
 (* ---------------- qe ---------------- *)
 
@@ -288,7 +391,8 @@ let report_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Additionally write the raw Chrome trace to $(docv).")
   in
-  let run vars_s formula n seed eps delta chains out format trace_out =
+  let run vars_s formula n seed eps delta chains out format trace_out o =
+    setup_obs o;
     let vars = split_vars vars_s in
     let report =
       or_die (Scdb_gis.Report.generate ~eps ~delta ~samples:n ~chains ~vars ~formula ~seed ())
@@ -321,7 +425,33 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ chains_arg
-      $ out_arg $ format_arg $ trace_out_arg)
+      $ out_arg $ format_arg $ trace_out_arg $ obs_term)
+
+(* ---------------- replay ---------------- *)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Flight record ($(b,*.flightrec.json)) to replay.")
+  in
+  let run file o =
+    setup_obs o;
+    let r = or_die (Flightrec.read file) in
+    match Flight.replay r with
+    | Ok n ->
+        Printf.printf "replay OK: %d sample(s) reproduced bit-for-bit (seed %d)\n" n
+          r.Flightrec.seed
+    | Error m ->
+        prerr_endline ("spatialdb: replay FAILED: " ^ m);
+        exit 1
+  in
+  let doc =
+    "Re-execute a flight record and verify the emitted sample stream is bit-identical to the \
+     recorded one (diverging loudly with the first differing draw if not)."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ obs_term)
 
 (* ---------------- plan ---------------- *)
 
@@ -365,4 +495,5 @@ let () =
   let info = Cmd.info "spatialdb" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ sample_cmd; volume_cmd; qe_cmd; reconstruct_cmd; report_cmd; plan_cmd ]))
+       (Cmd.group info
+          [ sample_cmd; volume_cmd; qe_cmd; reconstruct_cmd; report_cmd; replay_cmd; plan_cmd ]))

@@ -1,5 +1,6 @@
 module Diag = Scdb_diag.Diag
 module Trace = Scdb_trace.Trace
+module Log = Scdb_log.Log
 
 type chain = {
   ess : float array;
@@ -72,6 +73,14 @@ let run ?(chains = default_chains) ?(samples_per_chain = default_samples_per_cha
       in
       let ess = Array.map (fun c -> c.ess) chains_stats in
       let verdict = Diag.assess ~rhat ~ess () in
+      if (not verdict.Diag.converged) && Log.would_log Log.Warn then
+        Log.warn "diag.not_converged"
+          [
+            Log.str "reason" verdict.Diag.reason;
+            Log.float "max_rhat" (Array.fold_left Float.max Float.nan rhat);
+            Log.int "chains" chains;
+            Log.int "samples_per_chain" samples_per_chain;
+          ];
       Trace.add_attr "converged" (string_of_bool verdict.Diag.converged);
       Some
         {

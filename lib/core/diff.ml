@@ -1,5 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
+module Log = Scdb_log.Log
 
 let tel_samples = Tel.Counter.make "diff.samples"
 let tel_trials = Tel.Counter.make "diff.trials"
@@ -23,6 +24,8 @@ let diff ?(poly_degree = 3) a b =
     let rec attempt k =
       if k = 0 then begin
         Tel.Counter.incr tel_exhausted;
+        if Log.would_log Log.Warn then
+          Log.warn "diff.exhausted" [ Log.int "budget" budget; Log.int "dim" dim ];
         None
       end
       else begin

@@ -1,5 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
+module Log = Scdb_log.Log
 
 let tel_samples = Tel.Counter.make "inter.samples"
 let tel_trials = Tel.Counter.make "inter.trials"
@@ -52,6 +53,9 @@ let inter ?(poly_degree = 3) children =
     let rec attempt k =
       if k = 0 then begin
         Tel.Counter.incr tel_exhausted;
+        if Log.would_log Log.Warn then
+          Log.warn "inter.exhausted"
+            [ Log.int "budget" budget; Log.int "operands" m; Log.int "dim" dim ];
         None
       end
       else begin

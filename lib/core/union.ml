@@ -1,5 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
+module Log = Scdb_log.Log
 
 let tel_samples = Tel.Counter.make "union.samples"
 let tel_trials = Tel.Counter.make "union.trials"
@@ -58,6 +59,8 @@ let union children =
     let rec attempt k =
       if k = 0 then begin
         Tel.Counter.incr tel_exhausted;
+        if Log.would_log Log.Warn then
+          Log.warn "union.exhausted" [ Log.int "trials" trials; Log.int "operands" m ];
         None
       end
       else begin

@@ -1,0 +1,49 @@
+(** Flight-recorded sampling runs: one code path for the CLI, the
+    recorder and the replayer.
+
+    {!Scdb_log.Flightrec} owns the record {e format}; this module owns
+    its {e semantics} — it can see the parser, the evaluator and the
+    observable pipeline, so it is the layer that turns a record back
+    into an execution.  [spatialdb sample] runs through {!run} whether
+    or not a record is being captured, which is what makes replay
+    meaningful: the recorded stream and the replayed stream come from
+    literally the same code. *)
+
+type args = {
+  vars : string list;  (** free variables, fixing dimension and coordinate order *)
+  formula : string;  (** FO+LIN source text *)
+  n : int;  (** points to draw *)
+  seed : int;
+  eps : float;
+  delta : float;
+  method_ : string;  (** ["walk"], ["grid"] or ["rejection"] *)
+}
+
+type outcome = {
+  points : Vec.t list;  (** the emitted sample stream, in order *)
+  relation : Relation.t;  (** the parsed (and quantifier-eliminated) relation *)
+  rng : Rng.t;  (** the root generator, post-run (for follow-on work like [--diag]) *)
+}
+
+val run : ?track:bool -> args -> (outcome, string) result
+(** Parse, build the observable, draw [n] points.  With [~track:true]
+    the RNG provenance registry is reset and enabled first, so the
+    lineage tree in {!to_flightrec} is complete and its ids are
+    reproducible.  Emits [sample.run] / [sample.done] info events. *)
+
+val to_flightrec : args -> outcome -> Scdb_log.Flightrec.t
+(** Snapshot a finished run as a [spatialdb-flightrec/1] record
+    (current provenance registry, telemetry dump if collection is on,
+    and the log ring tail). *)
+
+val args_of_flightrec : Scdb_log.Flightrec.t -> (args, string) result
+(** Recover the run arguments from a record.  Fails on records written
+    by a different subcommand or with missing/malformed arguments. *)
+
+val replay : Scdb_log.Flightrec.t -> (int, string) result
+(** Re-execute a record with provenance tracking and compare the
+    replayed stream bit-for-bit against the recorded one
+    ({!Scdb_log.Flightrec.compare_samples}), then cross-check total
+    RNG draw counts against the recorded lineage.  [Ok n] returns the
+    verified stream length; any divergence reports the first differing
+    sample, coordinate and both values. *)

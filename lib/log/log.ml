@@ -1,0 +1,167 @@
+module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
+
+type level = Debug | Info | Warn | Error
+
+let priority = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* SPATIALDB_LOG=warn enables stderr logging at that level; any other
+   non-empty, non-"0" value means Info. *)
+let env_level =
+  match Sys.getenv_opt "SPATIALDB_LOG" with
+  | None | Some "" | Some "0" -> None
+  | Some s -> Some (Option.value ~default:Info (level_of_string s))
+
+let enabled_flag = ref (env_level <> None)
+let min_priority = ref (priority (Option.value ~default:Info env_level))
+let stderr_sink = ref (env_level <> None)
+let file_sink : out_channel option ref = ref None
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let set_level l = min_priority := priority l
+
+let level () =
+  if !min_priority <= 0 then Debug
+  else if !min_priority = 1 then Info
+  else if !min_priority = 2 then Warn
+  else Error
+
+let would_log l = !enabled_flag && priority l >= !min_priority
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer (the flight recorder's last-N event tail)               *)
+(* ------------------------------------------------------------------ *)
+
+let ring : string array ref = ref (Array.make 256 "")
+let ring_next = ref 0 (* total events pushed since last clear *)
+
+let set_ring_capacity n =
+  ring := Array.make (Stdlib.max 1 n) "";
+  ring_next := 0
+
+let ring_push line =
+  let r = !ring in
+  r.(!ring_next mod Array.length r) <- line;
+  incr ring_next
+
+let tail () =
+  let r = !ring in
+  let cap = Array.length r in
+  let n = Stdlib.min !ring_next cap in
+  let first = !ring_next - n in
+  List.init n (fun i -> r.((first + i) mod cap))
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type field =
+  | F_str of string * string
+  | F_int of string * int
+  | F_float of string * float
+  | F_bool of string * bool
+
+let str k v = F_str (k, v)
+let int k v = F_int (k, v)
+let float k v = F_float (k, v)
+let bool k v = F_bool (k, v)
+
+let seq = ref 0
+let warns = ref 0
+let errors = ref 0
+let warn_count () = !warns
+let error_count () = !errors
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if v > 0.0 then "1e308"
+  else if v < 0.0 then "-1e308"
+  else "0"
+
+(* Shared scratch buffer: emission is rare relative to the kernels and
+   the library is single-threaded like the rest of the stack. *)
+let buf = Buffer.create 256
+
+let render level event fields =
+  Buffer.clear buf;
+  Buffer.add_string buf "{\"schema\": \"spatialdb-log/1\", \"seq\": ";
+  Buffer.add_string buf (string_of_int !seq);
+  Buffer.add_string buf (Printf.sprintf ", \"ts\": %.6f" (Tel.Clock.now ()));
+  Buffer.add_string buf ", \"level\": \"";
+  Buffer.add_string buf (level_name level);
+  Buffer.add_string buf "\", \"span\": ";
+  Buffer.add_string buf (string_of_int (Trace.current_id ()));
+  Buffer.add_string buf ", \"event\": \"";
+  Buffer.add_string buf (Trace.json_escape event);
+  Buffer.add_string buf "\", \"fields\": {";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ", ";
+      let key k = "\"" ^ Trace.json_escape k ^ "\": " in
+      match f with
+      | F_str (k, v) -> Buffer.add_string buf (key k ^ "\"" ^ Trace.json_escape v ^ "\"")
+      | F_int (k, v) -> Buffer.add_string buf (key k ^ string_of_int v)
+      | F_float (k, v) -> Buffer.add_string buf (key k ^ json_float v)
+      | F_bool (k, v) -> Buffer.add_string buf (key k ^ string_of_bool v))
+    fields;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let emit level event fields =
+  if would_log level then begin
+    let line = render level event fields in
+    incr seq;
+    (match level with Warn -> incr warns | Error -> incr errors | Debug | Info -> ());
+    ring_push line;
+    if !stderr_sink then begin
+      output_string stderr line;
+      output_char stderr '\n';
+      flush stderr
+    end;
+    match !file_sink with
+    | None -> ()
+    | Some oc ->
+        output_string oc line;
+        output_char oc '\n'
+  end
+
+let debug event fields = emit Debug event fields
+let info event fields = emit Info event fields
+let warn event fields = emit Warn event fields
+let error event fields = emit Error event fields
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_stderr b = stderr_sink := b
+
+let close_file () =
+  match !file_sink with
+  | None -> ()
+  | Some oc ->
+      flush oc;
+      close_out oc;
+      file_sink := None
+
+let open_file path =
+  close_file ();
+  file_sink := Some (open_out path)
+
+let reset () =
+  seq := 0;
+  warns := 0;
+  errors := 0;
+  let r = !ring in
+  Array.fill r 0 (Array.length r) "";
+  ring_next := 0

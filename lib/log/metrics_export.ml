@@ -1,0 +1,25 @@
+module Tel = Scdb_telemetry.Telemetry
+
+let write_file ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Tel.to_prometheus ());
+  close_out oc;
+  Sys.rename tmp path
+
+let running = ref false
+
+let start_periodic ~path ~interval_s =
+  if interval_s > 0.0 && not !running then begin
+    running := true;
+    ignore
+      (Thread.create
+         (fun () ->
+           while !running do
+             Thread.delay interval_s;
+             if !running then try write_file ~path with Sys_error _ -> ()
+           done)
+         ())
+  end
+
+let stop_periodic () = running := false

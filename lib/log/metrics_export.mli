@@ -1,0 +1,19 @@
+(** Prometheus textfile-collector emitter.
+
+    Renders the telemetry registry ({!Scdb_telemetry.Telemetry.to_prometheus})
+    into a file a node-exporter-style sidecar can scrape.  Writes are
+    atomic — the snapshot lands in [<path>.tmp] and is renamed over the
+    target — so a scraper never observes a torn file.  {!start_periodic}
+    spawns a daemon thread re-emitting on a fixed interval, which is
+    how a multi-hour volume estimation stays watchable live. *)
+
+val write_file : path:string -> unit
+(** One atomic snapshot (write [<path>.tmp], rename to [path]). *)
+
+val start_periodic : path:string -> interval_s:float -> unit
+(** Emit every [interval_s] seconds from a daemon thread until
+    {!stop_periodic} (or process exit).  No-op if [interval_s <= 0] or
+    an emitter is already running.  Write failures are swallowed: a
+    full disk must not kill the workload being observed. *)
+
+val stop_periodic : unit -> unit

@@ -20,6 +20,7 @@ type 'num outcome =
   | Optimal of { value : 'num; point : 'num array }
 
 module Tel = Scdb_telemetry.Telemetry
+module Log = Scdb_log.Log
 
 (* Shared across the float and exact functor instances: the registry is
    keyed by name, so both solvers report into the same counters. *)
@@ -99,6 +100,12 @@ module Make (F : FIELD) = struct
     let rec loop iter =
       if iter > iteration_cap then begin
         Tel.Counter.incr tel_cap;
+        (* Best-effort fallback: the basis is still primal feasible, so
+           the caller gets the current vertex — but the event must be
+           visible, it means round-off kept the pivot loop oscillating. *)
+        if Log.would_log Log.Warn then
+          Log.warn "simplex.iteration_cap"
+            [ Log.int "iterations" iteration_cap; Log.int "rows" m; Log.int "cols" t.ncols ];
         `Optimal
       end
       else begin
@@ -152,7 +159,10 @@ module Make (F : FIELD) = struct
             incr streak;
             if (not !bland) && !streak >= degeneracy_streak_limit then begin
               bland := true;
-              Tel.Counter.incr tel_bland
+              Tel.Counter.incr tel_bland;
+              if Log.would_log Log.Debug then
+                Log.debug "simplex.bland_switch"
+                  [ Log.int "degenerate_streak" !streak; Log.int "iteration" iter ]
             end
           end
           else streak := 0;

@@ -1,3 +1,5 @@
+module Log = Scdb_log.Log
+
 type stats = { constraints_generated : int; max_tuple_size : int }
 
 let empty_stats = { constraints_generated = 0; max_tuple_size = 0 }
@@ -58,7 +60,22 @@ let eliminate_var_tuple_raw v tuple =
               !lowers)
           !uppers
       in
-      List.rev_append !rest combined
+      let out = List.rev_append !rest combined in
+      (* The quadratic lower×upper product is where FM elimination
+         blows up; a >4x growth past a few hundred atoms is the signal
+         that the DNF is about to become intractable. *)
+      (if Log.would_log Log.Warn then begin
+         let n_out = List.length out in
+         if n_out > 256 && n_out > 4 * List.length tuple then
+           Log.warn "qe.dnf_blowup"
+             [
+               Log.int "input_atoms" (List.length tuple);
+               Log.int "output_atoms" n_out;
+               Log.int "lowers" (List.length !lowers);
+               Log.int "uppers" (List.length !uppers);
+             ]
+       end);
+      out
 
 let eliminate_var_tuple ?(prune = true) v tuple =
   let result = eliminate_var_tuple_raw v tuple in

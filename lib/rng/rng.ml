@@ -5,9 +5,17 @@
    write (4–6 heap allocations per [bits64] call without flambda),
    while the bytes load/store primitives below work on unboxed values,
    so the generator core allocates only its boxed return.  The output
-   stream is bit-identical to the record-based representation. *)
+   stream is bit-identical to the record-based representation.
 
-type t = Bytes.t
+   Stream provenance for the flight recorder rides alongside the state:
+   every generator carries a stable lineage id (assigned at
+   [create]/[split]/[copy]) and a per-handle draw counter bumped once
+   per raw [bits64] output.  The counter is a plain mutable [int]
+   field — one unboxed store per draw, no allocation — so the stream
+   position of any generator can be captured and compared during
+   replay. *)
+
+type t = { state : Bytes.t; id : int; mutable draws : int }
 
 external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
 external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
@@ -28,11 +36,33 @@ let of_splitmix state =
   set64 t 24 (splitmix64 state);
   t
 
-let create seed = of_splitmix (ref (Int64.of_int seed))
+(* Lineage registry.  Ids are always assigned (an [incr] per generator
+   creation); the tree itself — parent links plus the handle, so final
+   draw counts can be read at snapshot time — is only retained while
+   tracking is on, keeping long-running untracked workloads free of the
+   strong references. *)
+let prov_next = ref 0
+let prov_tracking = ref false
+
+type prov_node = { n_parent : int; n_op : string; n_gen : t }
+
+let prov_nodes : (int * prov_node) list ref = ref []
+
+let register ~parent ~op state =
+  let id = !prov_next in
+  incr prov_next;
+  let g = { state; id; draws = 0 } in
+  if !prov_tracking then
+    prov_nodes := (id, { n_parent = parent; n_op = op; n_gen = g }) :: !prov_nodes;
+  g
+
+let create seed = register ~parent:(-1) ~op:"create" (of_splitmix (ref (Int64.of_int seed)))
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =
+  t.draws <- t.draws + 1;
+  let t = t.state in
   let open Int64 in
   let s0 = get64 t 0 and s1 = get64 t 8 and s2 = get64 t 16 and s3 = get64 t 24 in
   let result = mul (rotl (mul s1 5L) 7) 9L in
@@ -51,9 +81,27 @@ let bits64 t =
 
 let split t =
   (* Derive a child state by hashing fresh output through splitmix64. *)
-  of_splitmix (ref (bits64 t))
+  register ~parent:t.id ~op:"split" (of_splitmix (ref (bits64 t)))
 
-let copy t = Bytes.copy t
+let copy t = register ~parent:t.id ~op:"copy" (Bytes.copy t.state)
+let lineage t = t.id
+let draw_count t = t.draws
+
+module Provenance = struct
+  type info = { id : int; parent : int; op : string; draws : int }
+
+  let set_tracking b = prov_tracking := b
+  let tracking () = !prov_tracking
+
+  let reset () =
+    prov_next := 0;
+    prov_nodes := []
+
+  let snapshot () =
+    List.rev_map
+      (fun (id, n) -> { id; parent = n.n_parent; op = n.n_op; draws = n.n_gen.draws })
+      !prov_nodes
+end
 
 let float t =
   (* Top 53 bits scaled to [0,1). *)

@@ -15,6 +15,44 @@ val split : t -> t
 
 val copy : t -> t
 
+(** {1 Stream provenance}
+
+    Every generator carries a stable lineage id (assigned at
+    {!create}/{!split}/{!copy} from a process-global counter) and a
+    draw counter bumped once per raw 64-bit output.  Together they give
+    the flight recorder a cheap, replayable description of which
+    streams a run consumed and how far each was advanced. *)
+
+val lineage : t -> int
+(** Lineage id of this generator (unique within the process since the
+    last {!Provenance.reset}). *)
+
+val draw_count : t -> int
+(** Raw 64-bit draws made through this handle since its creation
+    (copies start at 0). *)
+
+module Provenance : sig
+  type info = { id : int; parent : int; op : string; draws : int }
+  (** One lineage-tree node: [parent] is [-1] for roots, [op] is
+      ["create"], ["split"] or ["copy"], [draws] the handle's current
+      draw count. *)
+
+  val set_tracking : bool -> unit
+  (** Enable retention of the lineage tree (off by default: tracking
+      holds a reference to every registered generator, which a
+      long-running untracked workload should not pay). *)
+
+  val tracking : unit -> bool
+
+  val reset : unit -> unit
+  (** Drop the recorded tree and restart lineage ids at 0, so a replay
+      reproduces the original ids. *)
+
+  val snapshot : unit -> info list
+  (** All generators registered since the last {!reset} while tracking
+      was on, in creation order (ids ascending). *)
+end
+
 (** {1 Scalar draws} *)
 
 val float : t -> float

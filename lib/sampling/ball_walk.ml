@@ -1,6 +1,7 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
 module Diag = Scdb_diag.Diag
+module Log = Scdb_log.Log
 
 let tel_steps = Tel.Counter.make "ball_walk.steps"
 let tel_accepted = Tel.Counter.make "ball_walk.accepted"
@@ -29,6 +30,11 @@ let walk ?monitor rng ~mem ~start ~steps ~radius =
   done;
   Tel.Counter.add tel_steps steps;
   Tel.Counter.add tel_accepted !accepted;
+  (* Zero acceptances over a real budget: the proposal radius is too
+     large for the body (walker pinned at the start point). *)
+  if steps >= 16 && !accepted = 0 && Log.would_log Log.Warn then
+    Log.warn "ball_walk.stuck"
+      [ Log.int "steps" steps; Log.float "radius" radius; Log.int "dim" dim ];
   Trace.finish sp;
   (!current, { steps; accepted = !accepted })
 

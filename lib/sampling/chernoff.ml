@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Log = Scdb_log.Log
 
 let tel_samples = Tel.Counter.make "chernoff.samples"
 let tel_adaptive_calls = Tel.Counter.make "chernoff.adaptive.calls"
@@ -42,17 +43,35 @@ let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000)
   let finish n_main main_hits =
     float_of_int (pilot_hits + main_hits) /. float_of_int (pilot + n_main)
   in
+  (* The bound-prescribed budget can exceed [max_samples]; clamping
+     keeps the run alive but silently weakens the (ε,δ) contract, so
+     the clamp is a warn-level event. *)
+  let clamp phase want =
+    if want > max_samples then begin
+      if Log.would_log Log.Warn then
+        Log.warn "chernoff.budget_exhausted"
+          [
+            Log.str "phase" phase;
+            Log.int "wanted" want;
+            Log.int "max_samples" max_samples;
+            Log.float "eps" eps;
+            Log.float "delta" delta_phase;
+          ];
+      max_samples
+    end
+    else want
+  in
   if pilot_hits = 0 then begin
     (* No signal yet: spend the floor-based budget before concluding 0. *)
     Tel.Counter.incr tel_pilot_zero;
-    let n = Stdlib.min max_samples (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:p_floor) in
+    if Log.would_log Log.Info then
+      Log.info "chernoff.pilot_zero" [ Log.int "pilot" pilot; Log.float "p_floor" p_floor ];
+    let n = clamp "floor" (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:p_floor) in
     finish n (count n)
   end
   else begin
     let p_hat = float_of_int pilot_hits /. float_of_int pilot in
-    let n =
-      Stdlib.min max_samples (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:(p_hat /. 2.0))
-    in
+    let n = clamp "adaptive" (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:(p_hat /. 2.0)) in
     (* The pilot already contributed 400 of the [n] draws the bound asks
        for; only the remainder is drawn in the main phase. *)
     let n_main = Stdlib.max 0 (n - pilot) in

@@ -1,6 +1,7 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
 module Diag = Scdb_diag.Diag
+module Log = Scdb_log.Log
 
 let tel_steps = Tel.Counter.make "hit_and_run.steps"
 let tel_samples = Tel.Counter.make "hit_and_run.samples"
@@ -72,6 +73,7 @@ let sample_polytope ?monitor rng poly ~start ~steps =
   Trace.add_attr_int "dim" (Polytope.dim poly);
   let cur = Polytope.Kernel.make poly start in
   let dir = Vec.create (Polytope.dim poly) in
+  let degenerate = ref 0 in
   for _ = 1 to steps do
     Rng.unit_vector_into rng dir;
     (if Polytope.Kernel.chord cur dir then begin
@@ -82,15 +84,22 @@ let sample_polytope ?monitor rng poly ~start ~steps =
        end
        else begin
          Tel.Counter.incr tel_degenerate;
+         incr degenerate;
          match monitor with Some m -> Diag.Monitor.reject m | None -> ()
        end
      end
      else begin
        Tel.Counter.incr tel_degenerate;
+       incr degenerate;
        match monitor with Some m -> Diag.Monitor.reject m | None -> ()
      end);
     match monitor with Some m -> Diag.Monitor.record m (Polytope.Kernel.pos cur) | None -> ()
   done;
+  (* Every chord degenerate means the walker never moved: the start was
+     outside the body or the polytope is (numerically) lower-dimensional. *)
+  if steps >= 16 && !degenerate = steps && Log.would_log Log.Warn then
+    Log.warn "hit_and_run.stuck"
+      [ Log.int "steps" steps; Log.int "dim" (Polytope.dim poly) ];
   Trace.finish sp;
   Polytope.Kernel.pos cur
 

@@ -1,5 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
+module Log = Scdb_log.Log
 
 let tel_attempts = Tel.Counter.make "rejection.attempts"
 let tel_accepted = Tel.Counter.make "rejection.accepted"
@@ -13,7 +14,16 @@ let acceptance_rate s = if s.attempts = 0 then 0.0 else float_of_int s.accepted 
 let record s =
   Tel.Counter.add tel_attempts s.attempts;
   Tel.Counter.add tel_accepted s.accepted;
-  if s.attempts > 0 then Tel.Histogram.observe tel_rate (acceptance_rate s)
+  if s.attempts > 0 then begin
+    let rate = acceptance_rate s in
+    Tel.Histogram.observe tel_rate rate;
+    (* A collapsing acceptance rate is the classic curse-of-dimension
+       failure mode of box rejection — surface it before the budget
+       exhausts entirely. *)
+    if s.attempts >= 1000 && rate < 0.01 && Log.would_log Log.Warn then
+      Log.warn "rejection.rate_collapse"
+        [ Log.int "attempts" s.attempts; Log.int "accepted" s.accepted; Log.float "rate" rate ]
+  end
 
 let sample rng ~lo ~hi ~mem ~max_attempts =
   let sp = Trace.start "rejection.sample" in
@@ -21,6 +31,8 @@ let sample rng ~lo ~hi ~mem ~max_attempts =
     if n >= max_attempts then begin
       Tel.Counter.incr tel_exhausted;
       record { attempts = n; accepted = 0 };
+      if Log.would_log Log.Warn then
+        Log.warn "rejection.exhausted" [ Log.int "attempts" n; Log.int "max_attempts" max_attempts ];
       Trace.add_attr_int "attempts" n;
       Trace.finish sp;
       None
@@ -41,7 +53,17 @@ let sample rng ~lo ~hi ~mem ~max_attempts =
 let sample_many rng ~lo ~hi ~mem ~count ~max_attempts =
   let rec go acc accepted attempts =
     if accepted >= count || attempts >= max_attempts then begin
-      if accepted < count then Tel.Counter.incr tel_exhausted;
+      if accepted < count then begin
+        Tel.Counter.incr tel_exhausted;
+        if Log.would_log Log.Warn then
+          Log.warn "rejection.exhausted"
+            [
+              Log.int "attempts" attempts;
+              Log.int "max_attempts" max_attempts;
+              Log.int "accepted" accepted;
+              Log.int "wanted" count;
+            ]
+      end;
       let s = { attempts; accepted } in
       record s;
       (List.rev acc, s)

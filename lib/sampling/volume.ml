@@ -1,5 +1,6 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
+module Log = Scdb_log.Log
 
 let tel_estimates = Tel.Counter.make "volume.estimates"
 let tel_phases = Tel.Counter.make "volume.phases"
@@ -103,6 +104,17 @@ let estimate rng ?(eps = 0.25) ?(delta = 0.25) ?(sampler = Hit_and_run) ?(budget
             start := p;
             if Vec.norm p <= r_small then incr hits
           done;
+          (* The telescoping product needs every phase ratio ≥ ~1/2; a
+             zero-hit phase means the walk never reached the inner ball
+             and the floor below is doing all the work. *)
+          if !hits = 0 && samples_per_phase > 0 && Log.would_log Log.Warn then
+            Log.warn "volume.phase_collapse"
+              [
+                Log.int "phase" i;
+                Log.int "phases" q;
+                Log.int "samples_per_phase" samples_per_phase;
+                Log.float "radius" r_big;
+              ];
           let ratio =
             if samples_per_phase = 0 then 1.0
             else Float.max (float_of_int !hits /. float_of_int samples_per_phase) 1e-9

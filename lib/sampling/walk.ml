@@ -1,6 +1,7 @@
 module Tel = Scdb_telemetry.Telemetry
 module Trace = Scdb_trace.Trace
 module Diag = Scdb_diag.Diag
+module Log = Scdb_log.Log
 
 let tel_steps = Tel.Counter.make "walk.steps"
 let tel_walks = Tel.Counter.make "walk.walks"
@@ -70,6 +71,7 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
   Trace.add_attr_int "steps" steps;
   Trace.add_attr_int "dim" g.dim;
   let cur = Polytope.Kernel.make poly x in
+  let proposals = ref 0 and accepted = ref 0 in
   for _ = 1 to steps do
     (if not (Rng.bool rng) then begin
        let coord = Rng.int rng g.dim in
@@ -78,8 +80,10 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
           bit-identical to the oracle walk's. *)
        let v = float_of_int (idx.(coord) + delta) *. g.step in
        Tel.Counter.incr tel_proposals;
+       incr proposals;
        if Polytope.Kernel.try_set_coord cur coord v then begin
          Tel.Counter.incr tel_accepted;
+         incr accepted;
          (match monitor with Some m -> Diag.Monitor.accept m | None -> ());
          idx.(coord) <- idx.(coord) + delta
        end
@@ -87,6 +91,11 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
      end);
     match monitor with Some m -> Diag.Monitor.record m (Polytope.Kernel.pos cur) | None -> ()
   done;
+  (* Every proposal rejected: the grid step straddles the body (γ too
+     coarse for this polytope), so the lattice walk cannot mix. *)
+  if !proposals >= 32 && !accepted = 0 && Log.would_log Log.Warn then
+    Log.warn "walk.stuck"
+      [ Log.int "proposals" !proposals; Log.int "steps" steps; Log.float "grid_step" g.step ];
   Trace.finish sp;
   Polytope.Kernel.pos cur
 

@@ -238,6 +238,61 @@ let dump ?(only_nonzero = true) () =
   Buffer.add_string buf "}";
   Buffer.contents buf
 
+(* Prometheus text exposition format (version 0.0.4).  Counters render
+   as [counter] samples with the conventional [_total] suffix;
+   histograms render as [summary] families carrying the interpolated
+   p50/p90/p99 quantiles plus exact [_sum]/[_count] — the quantiles
+   inherit the log-bucket error bound documented in the interface, the
+   sum and count do not. *)
+let prometheus_name name =
+  let buf = Buffer.create (String.length name + 16) in
+  Buffer.add_string buf "spatialdb_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus_float v =
+  (* Prometheus accepts Go-style floats; keep them finite and plain. *)
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if v > 0.0 then "1e308"
+  else if v < 0.0 then "-1e308"
+  else "0"
+
+let to_prometheus ?(only_nonzero = true) () =
+  let name_of = function M_counter c -> c.c_name | M_histogram h -> h.h_name in
+  let metrics = List.sort (fun a b -> compare (name_of a) (name_of b)) (List.rev !order) in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun m ->
+      match m with
+      | M_counter c ->
+          if (not only_nonzero) || c.count <> 0 then begin
+            let n = prometheus_name c.c_name ^ "_total" in
+            Buffer.add_string buf (Printf.sprintf "# HELP %s spatialdb counter %s\n" n c.c_name);
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+            Buffer.add_string buf (Printf.sprintf "%s %d\n" n c.count)
+          end
+      | M_histogram h ->
+          if (not only_nonzero) || h.n <> 0 then begin
+            let n = prometheus_name h.h_name in
+            Buffer.add_string buf (Printf.sprintf "# HELP %s spatialdb histogram %s\n" n h.h_name);
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+            List.iter
+              (fun (label, q) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n label
+                     (prometheus_float (Histogram.quantile h q))))
+              [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
+            Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prometheus_float h.sum));
+            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.n)
+          end)
+    metrics;
+  Buffer.contents buf
+
 let counter_value name =
   match Hashtbl.find_opt registry name with Some (M_counter c) -> Some c.count | _ -> None
 

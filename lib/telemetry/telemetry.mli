@@ -64,9 +64,18 @@ module Histogram : sig
   val quantile : t -> float -> float
   (** [quantile h q] for [q] in [[0,1]]: approximate order statistic by
       linear interpolation inside the log-spaced bucket containing the
-      rank, clamped to the observed [[min, max]].  Exact when all
-      observations share a bucket; otherwise accurate to the bucket
-      resolution (a factor of [√10]).  [0.] before the first
+      rank, clamped to the observed [[min, max]].
+
+      {b Error bound.}  Bucket upper bounds grow by a factor of
+      [√10 ≈ 3.162] per bucket, so the reported quantile and the true
+      order statistic always fall inside one bucket of each other:
+      the result is within a multiplicative factor of [√10] of the true
+      quantile in the worst case (linear interpolation typically does
+      much better), and {e exact} when all observations share a bucket
+      (min/max clamping pins the single-bucket and extreme-rank cases).
+      [count] and [sum] are exact — only the quantiles carry the bucket
+      error, which is why the Prometheus export pairs every quantile
+      family with exact [_count]/[_sum] samples.  [0.] before the first
       observation. *)
 end
 
@@ -102,9 +111,22 @@ val dump : ?only_nonzero:bool -> unit -> string
       "histograms": {name: {"count": …, "sum": …, "min": …, "max": …,
       "mean": …, "p50": …, "p90": …, "p99": …,
       "buckets": [[le, n], …]}, …}}].
-    Buckets with zero count are omitted; [only_nonzero] (default
-    [true]) also omits never-touched metrics.  Timers appear under
-    [histograms] as [<name>.seconds]. *)
+    [count] and [sum] are exact; [p50]/[p90]/[p99] are interpolated and
+    carry the [√10] log-bucket error bound documented at
+    {!Histogram.quantile}.  [buckets] entries are per-bucket (not
+    cumulative) counts with [le] the bucket's inclusive upper bound
+    (["inf"] for the overflow bucket); zero-count buckets are omitted,
+    and [only_nonzero] (default [true]) also omits never-touched
+    metrics.  Timers appear under [histograms] as [<name>.seconds]. *)
+
+val to_prometheus : ?only_nonzero:bool -> unit -> string
+(** Render the registry in the Prometheus text exposition format
+    (version 0.0.4).  Metric names are prefixed [spatialdb_] with dots
+    mapped to underscores.  Counters become [counter] families with the
+    conventional [_total] suffix; histograms and timers become
+    [summary] families with [quantile="0.5"/"0.9"/"0.99"] samples plus
+    exact [_sum] and [_count].  All values are finite (non-finite sums
+    are clamped like {!dump}).  [only_nonzero] as in {!dump}. *)
 
 val counter_value : string -> int option
 (** Registry lookup by name, for tests and report generators. *)

@@ -113,6 +113,8 @@ let finish id =
     | Some s -> close_span s
     | None -> ()
 
+let current_id () = match !stack with [] -> -1 | s :: _ -> s.id
+
 let add_attr k v =
   if !enabled_flag then match !stack with [] -> () | s :: _ -> s.attrs <- (k, v) :: s.attrs
 

@@ -45,6 +45,11 @@ val finish : int -> unit
     non-local exit are closed with the same end time; closing [-1] or
     an already-closed id is a no-op. *)
 
+val current_id : unit -> int
+(** Id of the innermost open span, or [-1] when none is open (or
+    tracing is disabled).  One load and a match, no allocation — the
+    structured logger stamps every event with it. *)
+
 val add_attr : string -> string -> unit
 (** Attach an attribute to the innermost open span (no-op when tracing
     is disabled or no span is open). *)

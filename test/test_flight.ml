@@ -1,0 +1,139 @@
+(* Tests for the flight recorder: bit-exact record/replay on the
+   Figure 1 triangle, hex-float round-tripping, divergence reporting on
+   corrupted records, and RNG provenance capture. *)
+
+module Flight = Scdb_gis.Flight
+module Flightrec = Scdb_log.Flightrec
+module Rng = Scdb_rng.Rng
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let fig1 = "x >= 0 /\\ y >= 0 /\\ x + y <= 1"
+
+let args =
+  {
+    Flight.vars = [ "x"; "y" ];
+    formula = fig1;
+    n = 5;
+    seed = 123;
+    eps = 0.2;
+    delta = 0.1;
+    method_ = "walk";
+  }
+
+let run_ok ?track a =
+  match Flight.run ?track a with
+  | Ok o -> o
+  | Error m -> Alcotest.failf "Flight.run failed: %s" m
+
+let record () =
+  let o = run_ok ~track:true args in
+  let r = Flight.to_flightrec args o in
+  Rng.Provenance.set_tracking false;
+  r
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  k = 0 || go 0
+
+let tests =
+  [
+    ts "same seed yields a bit-identical stream" (fun () ->
+        let a = run_ok args and b = run_ok args in
+        match
+          Flightrec.compare_samples ~recorded:a.Flight.points ~replayed:b.Flight.points
+        with
+        | Ok n -> Alcotest.(check int) "length" 5 n
+        | Error m -> Alcotest.failf "streams diverged: %s" m);
+    ts "record round-trips through JSON bit-exactly" (fun () ->
+        let r = record () in
+        match Flightrec.of_json (Flightrec.to_json r) with
+        | Error m -> Alcotest.failf "re-parse failed: %s" m
+        | Ok r' ->
+            Alcotest.(check string) "command" r.Flightrec.command r'.Flightrec.command;
+            Alcotest.(check int) "seed" r.Flightrec.seed r'.Flightrec.seed;
+            Alcotest.(check (option string)) "formula" (Flightrec.arg r "formula")
+              (Flightrec.arg r' "formula");
+            Alcotest.(check int) "lineage nodes" (List.length r.Flightrec.lineage)
+              (List.length r'.Flightrec.lineage);
+            (match
+               Flightrec.compare_samples ~recorded:r.Flightrec.samples
+                 ~replayed:r'.Flightrec.samples
+             with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "samples changed in round-trip: %s" m));
+    t "hex floats survive extreme values" (fun () ->
+        let weird = [| 0.1; -0.0; 1e-300; Float.pi; 4.9e-324 |] in
+        let r =
+          {
+            Flightrec.command = "sample";
+            args = [];
+            seed = 0;
+            samples = [ weird ];
+            lineage = [];
+            telemetry = None;
+            log_tail = [];
+          }
+        in
+        match Flightrec.of_json (Flightrec.to_json r) with
+        | Error m -> Alcotest.failf "re-parse failed: %s" m
+        | Ok r' -> (
+            match
+              Flightrec.compare_samples ~recorded:r.Flightrec.samples
+                ~replayed:r'.Flightrec.samples
+            with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "bit drift: %s" m));
+    ts "replay reproduces the recorded stream" (fun () ->
+        let r = record () in
+        (match Flight.replay r with
+        | Ok n -> Alcotest.(check int) "verified length" 5 n
+        | Error m -> Alcotest.failf "replay failed: %s" m);
+        Rng.Provenance.set_tracking false);
+    ts "corrupted record diverges with the first differing draw" (fun () ->
+        let r = record () in
+        let samples =
+          match r.Flightrec.samples with
+          | p :: rest ->
+              let p' = Array.copy p in
+              p'.(0) <- Int64.float_of_bits (Int64.add (Int64.bits_of_float p.(0)) 1L);
+              p' :: rest
+          | [] -> Alcotest.fail "empty sample stream"
+        in
+        (match Flight.replay { r with Flightrec.samples } with
+        | Ok _ -> Alcotest.fail "corrupted record replayed cleanly"
+        | Error m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "message names the divergence: %s" m)
+              true
+              (contains m "first divergence at sample 0, coordinate 0"));
+        Rng.Provenance.set_tracking false);
+    ts "provenance captures the root generator and its draws" (fun () ->
+        let r = record () in
+        match r.Flightrec.lineage with
+        | [] -> Alcotest.fail "no lineage captured"
+        | root :: _ ->
+            Alcotest.(check int) "root id" 0 root.Rng.Provenance.id;
+            Alcotest.(check int) "root parent" (-1) root.Rng.Provenance.parent;
+            Alcotest.(check string) "root op" "create" root.Rng.Provenance.op;
+            Alcotest.(check bool) "draws counted" true (root.Rng.Provenance.draws > 0));
+    t "replay rejects records from other commands" (fun () ->
+        let r =
+          {
+            Flightrec.command = "volume";
+            args = [];
+            seed = 1;
+            samples = [];
+            lineage = [];
+            telemetry = None;
+            log_tail = [];
+          }
+        in
+        match Flight.replay r with
+        | Ok _ -> Alcotest.fail "replayed a volume record"
+        | Error m -> Alcotest.(check bool) "explains" true (contains m "only \"sample\""));
+  ]
+
+let suites = [ ("gis.flight", tests) ]

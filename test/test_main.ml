@@ -21,4 +21,6 @@ let () =
          Test_trace.suites;
          Test_diag.suites;
          Test_report.suites;
+         Test_log.suites;
+         Test_flight.suites;
        ])

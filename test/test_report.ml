@@ -76,6 +76,41 @@ let report_tests =
         | Ok a, Ok b ->
             Alcotest.(check (float 0.0)) "same volume" (volume_of a) (volume_of b)
         | _ -> Alcotest.fail "generate failed");
+    ts "whole report JSON is identical modulo clock fields" (fun () ->
+        (* Strip everything wall-clock dependent — span timestamps and
+           durations, plus timer histograms (named *.seconds), whose
+           bucket placement depends on measured durations — and require
+           the rest of the two documents to be structurally equal. *)
+        let rec strip v =
+          match v with
+          | J.Obj kvs ->
+              J.Obj
+                (List.filter_map
+                   (fun (k, v) ->
+                     if k = "ts" || k = "dur" then None
+                     else
+                       match (k, v) with
+                       | "histograms", J.Obj hs ->
+                           Some
+                             ( k,
+                               J.Obj
+                                 (List.filter
+                                    (fun (n, _) ->
+                                      not (String.ends_with ~suffix:".seconds" n))
+                                    hs) )
+                       | _ -> Some (k, strip v))
+                   kvs)
+          | J.Arr l -> J.Arr (List.map strip l)
+          | x -> x
+        in
+        match
+          ( Report.generate ~vars:[ "x"; "y" ] ~formula:fig1 ~seed:11 ~samples:4 (),
+            Report.generate ~vars:[ "x"; "y" ] ~formula:fig1 ~seed:11 ~samples:4 () )
+        with
+        | Ok a, Ok b ->
+            let da = strip (J.parse a.Report.json) and db = strip (J.parse b.Report.json) in
+            Alcotest.(check bool) "structurally equal" true (da = db)
+        | _ -> Alcotest.fail "generate failed");
     t "parse errors surface as Error" (fun () ->
         match Report.generate ~vars:[ "x" ] ~formula:"x >=" ~seed:1 () with
         | Error _ -> ()
