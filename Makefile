@@ -26,9 +26,13 @@ check:
 
 # check + perf smoke: fail if any kernel regresses >2x vs the committed
 # baseline, then a `spatialdb report` smoke query whose JSON must
-# validate (schema, trace events, finite diagnostics), then an
-# observability smoke: a recorded sample run with structured logging and
-# a Prometheus snapshot, both validated, and the flight record replayed
+# validate (schema, trace events, plan + cost attribution, finite
+# diagnostics), then a cost-model smoke: `spatialdb explain` of the
+# Figure 1 triangle plus a short progressed sample run, with the plan
+# JSON schema-validated and every executed node required to have a
+# finite actual/predicted ratio, then an observability smoke: a
+# recorded sample run with structured logging and a Prometheus
+# snapshot, both validated, and the flight record replayed
 # bit-for-bit.  Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
@@ -36,6 +40,14 @@ ci: check
 	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 \
 	  -o _build/report_smoke.json
 	dune exec bench/validate_report.exe -- _build/report_smoke.json --require-converged
+	dune exec bin/spatialdb.exe -- explain --vars x,y \
+	  --formula "x >= 0 and y >= 0 and x + y <= 1" \
+	  --format json > _build/plan_smoke.json
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 -n 3 \
+	  --progress > /dev/null
+	dune exec bench/validate_plan.exe -- --plan _build/plan_smoke.json \
+	  --report _build/report_smoke.json
 	dune exec bin/spatialdb.exe -- sample --vars x,y \
 	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 -n 5 \
 	  --log-level debug --log-out _build/ci_log.jsonl \

@@ -257,6 +257,44 @@ let telemetry_snapshot ~poly ~grid ~centre =
   json
 
 (* ------------------------------------------------------------------ *)
+(* Plan calibration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute the Figure 1 two-piece union through the plan-tagged
+   pipeline (Scdb_gis.Plan_exec) and embed the predicted-vs-actual
+   cost attribution, so the cost model's calibration trajectory rides
+   along in BENCH_<n>.json like the telemetry does.  Rows carry
+   id/op/predicted/actual/ratio — no "name"/"ns_per_op" keys, so the
+   --check baseline scanner skips the block naturally. *)
+let plan_calibration ~fast =
+  let module Plan_exec = Scdb_gis.Plan_exec in
+  let module Progress = Scdb_progress.Progress in
+  let rng = Rng.create 11_2026 in
+  let vars = [ "x"; "y" ] in
+  let formula =
+    "(x >= 0 /\\ y >= 0 /\\ x + y <= 1) \\/ (x >= 2 /\\ x <= 3 /\\ y >= 0 /\\ y <= 1)"
+  in
+  let relation = Relation.of_formula ~dim:2 (Parser.parse ~vars formula) in
+  let n = if fast then 16 else 64 in
+  match
+    Plan_exec.observable_of_relation ~config:Convex_obs.practical_config ~gamma:0.05 ~eps:0.3
+      ~delta:0.2 ~task:(Scdb_plan.Plan.Sample n) rng relation
+  with
+  | None -> "null"
+  | Some (plan, obs) ->
+      Plan_exec.arm plan;
+      let params = Params.make ~gamma:0.05 ~eps:0.3 ~delta:0.2 () in
+      for _ = 1 to n do
+        ignore (Observable.sample obs rng params)
+      done;
+      let attribution = Plan_exec.attribution plan in
+      Progress.stop ();
+      let root = attribution.(0) in
+      Printf.printf "plan calibration: root %s actual/predicted %.2fx over %d nodes\n"
+        root.Plan_exec.op root.Plan_exec.ratio (Array.length attribution);
+      Plan_exec.attribution_json attribution
+
+(* ------------------------------------------------------------------ *)
 (* Convergence diagnostics                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,18 +462,20 @@ let run ~fast ~out ~check ~metrics_out =
   | Some path ->
       Scdb_log.Metrics_export.write_file ~path;
       Printf.printf "wrote %s\n" path);
+  let calibration = plan_calibration ~fast in
   let diagnostics = diagnostics_block ~fast ~poly in
   (* JSON out. *)
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/3\",\n  \"results\": [\n";
+  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/4\",\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.3f, \"trials\": %d}%s\n" r.name
         r.ns_per_op r.trials
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ],\n  \"telemetry\": %s,\n  \"diagnostics\": %s\n}\n"
-    (String.trim telemetry) (String.trim diagnostics);
+  Printf.fprintf oc
+    "  ],\n  \"plan_calibration\": %s,\n  \"telemetry\": %s,\n  \"diagnostics\": %s\n}\n"
+    (String.trim calibration) (String.trim telemetry) (String.trim diagnostics);
   close_out oc;
   Printf.printf "\nwrote %s\n" out;
   Option.iter (fun baseline -> check_against ~baseline results) check

@@ -1,0 +1,103 @@
+(* Validator for spatialdb-plan/1 documents (see Scdb_plan.Plan) and
+   for the predicted-vs-actual attribution a progressed run prints.
+
+   Usage: validate_plan --plan FILE [--report FILE]
+
+   Exits 1 with a message on the first violation:
+   - the plan file must parse as schema spatialdb-plan/1 through
+     Scdb_plan.Plan.of_json (which checks node-id contiguity, child
+     structure and attribute sanity), with node_count >= 1 and a
+     positive finite total_work;
+   - every node budget must be finite and non-negative, and the root
+     budget positive;
+   - with --report, the report document must be spatialdb-report/2 and
+     every cost_attribution row for a node that ran (actual > 0) must
+     carry a finite positive ratio — a NaN serializes as null and
+     fails, and a missing ratio key fails.
+
+   `make ci` runs this on a fresh `spatialdb explain` plan of the
+   Figure 1 triangle plus the smoke report. *)
+
+module J = Scdb_trace.Json_min
+module Plan = Scdb_plan.Plan
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_plan: " ^ m); exit 1) fmt
+
+let get name = function Some v -> v | None -> fail "missing field %s" name
+
+let num name v =
+  match J.to_float v with
+  | Some x when Float.is_finite x -> x
+  | _ -> fail "field %s is not a finite number" name
+
+let read_file file =
+  let ic = try open_in file with Sys_error m -> fail "%s" m in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let check_plan file =
+  let doc =
+    try J.parse (read_file file) with J.Parse_error m -> fail "%s: invalid JSON: %s" file m
+  in
+  let plan =
+    match Plan.of_json doc with Ok p -> p | Error m -> fail "%s: %s" file m
+  in
+  if plan.Plan.node_count < 1 then fail "%s: empty plan" file;
+  if not (Float.is_finite plan.Plan.total_work && plan.Plan.total_work > 0.0) then
+    fail "%s: total_work %g is not finite positive" file plan.Plan.total_work;
+  Plan.iter_nodes
+    (fun n ->
+      let b = plan.Plan.budgets.(n.Plan.id) in
+      if not (Float.is_finite b && b >= 0.0) then
+        fail "%s: node %d budget %g is not finite non-negative" file n.Plan.id b)
+    plan;
+  if plan.Plan.budgets.(plan.Plan.root.Plan.id) <= 0.0 then
+    fail "%s: root budget is not positive" file;
+  Printf.printf "validate_plan: %s ok (%d nodes, total predicted work %g)\n" file
+    plan.Plan.node_count plan.Plan.total_work
+
+let check_report file =
+  let doc =
+    try J.parse (read_file file) with J.Parse_error m -> fail "%s: invalid JSON: %s" file m
+  in
+  (match J.to_string (get "schema" (J.member "schema" doc)) with
+  | Some "spatialdb-report/2" -> ()
+  | Some other -> fail "%s: unexpected schema %S" file other
+  | None -> fail "%s: schema is not a string" file);
+  let rows =
+    match J.to_list (get "cost_attribution" (J.member "cost_attribution" doc)) with
+    | Some l -> l
+    | None -> fail "%s: cost_attribution is not an array" file
+  in
+  if rows = [] then fail "%s: cost_attribution is empty" file;
+  let executed = ref 0 in
+  List.iteri
+    (fun i row ->
+      let ctx = Printf.sprintf "cost_attribution[%d]" i in
+      ignore (num (ctx ^ ".id") (get (ctx ^ ".id") (J.member "id" row)));
+      ignore (num (ctx ^ ".predicted") (get (ctx ^ ".predicted") (J.member "predicted" row)));
+      let actual = num (ctx ^ ".actual") (get (ctx ^ ".actual") (J.member "actual" row)) in
+      if actual > 0.0 then begin
+        incr executed;
+        let ratio = num (ctx ^ ".ratio") (get (ctx ^ ".ratio") (J.member "ratio" row)) in
+        if ratio <= 0.0 then fail "%s: %s.ratio is %g (need > 0)" file ctx ratio
+      end)
+    rows;
+  if !executed = 0 then fail "%s: no cost_attribution row has actual > 0" file;
+  Printf.printf "validate_plan: %s attribution ok (%d rows, %d executed)\n" file
+    (List.length rows) !executed
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec after flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> after flag rest
+    | [] -> None
+  in
+  let plan = after "--plan" args in
+  let report = after "--report" args in
+  if plan = None && report = None then
+    fail "usage: validate_plan --plan FILE [--report FILE]";
+  Option.iter check_plan plan;
+  Option.iter check_report report

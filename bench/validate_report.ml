@@ -1,11 +1,16 @@
-(* Validator for spatialdb-report/1 documents (see Scdb_gis.Report).
+(* Validator for spatialdb-report/2 documents (see Scdb_gis.Report).
 
    Usage: validate_report FILE [--require-converged]
 
    Exits 1 with a message on the first violation:
-   - schema must be "spatialdb-report/1";
+   - schema must be "spatialdb-report/2";
    - the embedded trace must hold >= 10 events, every ts/dur finite and
      non-negative, ts non-decreasing (creation order);
+   - the embedded plan must be schema spatialdb-plan/1 with a positive
+     total_work;
+   - the cost_attribution table must be non-empty and every row whose
+     node actually ran (actual > 0) must carry a finite positive
+     actual/predicted ratio (a NaN serializes as null and fails);
    - the telemetry block must be schema spatialdb-telemetry/2;
    - diagnostics must be present with >= 4 chains, every R-hat and ESS
      finite (a NaN serializes as null and fails the number check);
@@ -38,7 +43,7 @@ let () =
   let doc = try J.parse s with J.Parse_error m -> fail "invalid JSON: %s" m in
   (* Schema. *)
   (match J.to_string (get "schema" (J.member "schema" doc)) with
-  | Some "spatialdb-report/1" -> ()
+  | Some "spatialdb-report/2" -> ()
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "schema is not a string");
   (* Trace. *)
@@ -60,6 +65,30 @@ let () =
       if ts < !last_ts then fail "event %d breaks ts monotonicity (%g < %g)" i ts !last_ts;
       last_ts := ts)
     events;
+  (* Plan. *)
+  let plan = get "plan" (J.member "plan" doc) in
+  (match J.to_string (get "plan.schema" (J.member "schema" plan)) with
+  | Some "spatialdb-plan/1" -> ()
+  | Some other -> fail "unexpected plan schema %S" other
+  | None -> fail "plan schema is not a string");
+  let total_work = num "plan.total_work" (get "plan.total_work" (J.member "total_work" plan)) in
+  if total_work <= 0.0 then fail "plan.total_work is %g (need > 0)" total_work;
+  (* Cost attribution. *)
+  let attribution =
+    match J.to_list (get "cost_attribution" (J.member "cost_attribution" doc)) with
+    | Some l -> l
+    | None -> fail "cost_attribution is not an array"
+  in
+  if attribution = [] then fail "cost_attribution is empty";
+  List.iteri
+    (fun i row ->
+      let actual = num (Printf.sprintf "cost_attribution[%d].actual" i) (get "actual" (J.member "actual" row)) in
+      ignore (num (Printf.sprintf "cost_attribution[%d].predicted" i) (get "predicted" (J.member "predicted" row)));
+      if actual > 0.0 then begin
+        let ratio = num (Printf.sprintf "cost_attribution[%d].ratio" i) (get "ratio" (J.member "ratio" row)) in
+        if ratio <= 0.0 then fail "cost_attribution[%d].ratio is %g (need > 0)" i ratio
+      end)
+    attribution;
   (* Telemetry. *)
   let tel = get "telemetry" (J.member "telemetry" doc) in
   (match J.to_string (get "telemetry.schema" (J.member "schema" tel)) with
@@ -102,8 +131,9 @@ let () =
     | Some false -> fail "diagnostics report non-convergence"
     | None -> fail "diagnostics.converged is not a bool"
   end;
-  Printf.printf "validate_report: %s ok (%d trace events, %d chains, max R-hat %.4f)\n" file
-    n_events chains
+  Printf.printf
+    "validate_report: %s ok (%d trace events, %d plan nodes, %d chains, max R-hat %.4f)\n" file
+    n_events (List.length attribution) chains
     (List.fold_left
        (fun acc v -> match J.to_float v with Some x -> Float.max acc x | None -> acc)
        0.0 rhat)

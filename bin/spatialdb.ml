@@ -80,6 +80,39 @@ let or_die = function
       prerr_endline ("spatialdb: " ^ m);
       exit 1
 
+(* Exit-code convention: 2 for usage/value errors (bad flag values,
+   with the valid choices listed), 1 for runtime errors (parse
+   failures, empty relations, estimation failures), and cmdliner's own
+   124 for malformed command lines (unknown flags/subcommands). *)
+let usage_die what got valid =
+  Printf.eprintf "spatialdb: unknown %s %S (expected one of: %s)\n" what got
+    (String.concat ", " valid);
+  exit 2
+
+let methods = [ "walk"; "grid"; "rejection" ]
+
+let check_method m =
+  if not (List.mem m methods) then usage_die "method" m methods
+
+let progress_arg =
+  let doc =
+    "Show a live progress line on stderr (per-plan-node percent complete and an ETA derived \
+     from the cost model's predicted budgets), and print the predicted-vs-actual cost \
+     attribution table when the run finishes."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let overrun_arg =
+  let doc =
+    "Watchdog threshold for $(b,--progress): log a $(b,plan.budget_overrun) warning when a \
+     plan node's actual work exceeds its predicted budget by this factor."
+  in
+  Arg.(value & opt float 4.0 & info [ "overrun-factor" ] ~docv:"FACTOR" ~doc)
+
+let print_attribution plan =
+  prerr_endline "cost attribution (predicted vs actual, work units = steps + trials):";
+  prerr_string (Scdb_gis.Plan_exec.attribution_text (Scdb_gis.Plan_exec.attribution plan))
+
 (* ---------------- observability flags ---------------- *)
 
 type obs = {
@@ -132,7 +165,7 @@ let setup_obs o =
     | Some s -> (
         match Log.level_of_string s with
         | Some l -> Some l
-        | None -> or_die (Error ("unknown log level " ^ s)))
+        | None -> usage_die "log level" s [ "debug"; "info"; "warn"; "error" ])
   in
   if level <> None || o.log_out <> None then begin
     Log.set_enabled true;
@@ -166,13 +199,6 @@ let parse_relation vars_s formula =
     | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
     | exception Lexer.Lex_error (m, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos m)
   end
-
-let observable_or_die rng relation =
-  match Scdb_gis.Eval.observable_of_relation ~config:Convex_obs.practical_config rng relation with
-  | Some o -> o
-  | None ->
-      prerr_endline "spatialdb: relation is empty, unbounded or lower-dimensional";
-      exit 1
 
 (* ---------------- sample ---------------- *)
 
@@ -213,7 +239,8 @@ let sample_cmd =
     Arg.(value & opt (some string) None & info [ "record-on-anomaly" ] ~docv:"FILE" ~doc)
   in
   let run vars_s formula n seed eps delta method_ stats stats_out diag chains o record
-      record_anomaly =
+      record_anomaly progress overrun_factor =
+    check_method method_;
     enable_stats ?stats_out stats;
     setup_obs o;
     (* Anomaly detection rides on the warn/error counters, so make sure
@@ -225,7 +252,8 @@ let sample_cmd =
     end;
     let args = { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_ } in
     let track = record <> None || record_anomaly <> None in
-    let outcome = or_die (Flight.run ~track args) in
+    let outcome = or_die (Flight.run ~track ~progress ~overrun_factor args) in
+    if progress then print_attribution outcome.Flight.plan;
     let relation = outcome.Flight.relation and rng = outcome.Flight.rng in
     List.iter
       (fun p ->
@@ -274,7 +302,7 @@ let sample_cmd =
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
       $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg $ obs_term $ record_arg
-      $ record_anomaly_arg)
+      $ record_anomaly_arg $ progress_arg $ overrun_arg)
 
 (* ---------------- volume ---------------- *)
 
@@ -283,7 +311,7 @@ let volume_cmd =
     let doc = "One of: exact (Lasserre + inclusion-exclusion), grid:GAMMA (fixed-dimension decomposition), sampling (DFK estimators)." in
     Arg.(value & opt string "sampling" & info [ "mode" ] ~doc)
   in
-  let run vars_s formula mode seed eps delta stats stats_out o =
+  let run vars_s formula mode seed eps delta stats stats_out o progress overrun_factor =
     enable_stats ?stats_out stats;
     setup_obs o;
     let _, relation = or_die (parse_relation vars_s formula) in
@@ -295,22 +323,38 @@ let volume_cmd =
         | exception VE.Unbounded -> or_die (Error "relation is unbounded")
         | exception Invalid_argument m -> or_die (Error m))
     | "sampling" -> (
-        let obs = observable_or_die rng relation in
-        match Observable.volume obs rng ~eps ~delta with
-        | v -> Printf.printf "%.6f\n" v
-        | exception Observable.Estimation_failed m -> or_die (Error m))
+        match
+          Scdb_gis.Plan_exec.observable_of_relation ~gamma:Flight.gamma ~eps ~delta
+            ~task:Scdb_plan.Plan.Volume rng relation
+        with
+        | None -> or_die (Error "relation is empty, unbounded or lower-dimensional")
+        | Some (plan, obs) -> (
+            if progress then begin
+              Scdb_gis.Plan_exec.arm ~overrun_factor plan;
+              Scdb_progress.Progress.start_ticker ()
+            end;
+            match Observable.volume obs rng ~eps ~delta with
+            | v ->
+                if progress then begin
+                  Scdb_progress.Progress.stop ();
+                  print_attribution plan
+                end;
+                Printf.printf "%.6f\n" v
+            | exception Observable.Estimation_failed m ->
+                if progress then Scdb_progress.Progress.stop ();
+                or_die (Error m)))
     | m when String.length m > 5 && String.sub m 0 5 = "grid:" -> (
         let gamma = float_of_string (String.sub m 5 (String.length m - 5)) in
         match GV.build ~gamma relation with
         | Some g -> Printf.printf "%.6f\n" (GV.volume g)
         | None -> or_die (Error "relation is empty or unbounded"))
-    | m -> or_die (Error ("unknown mode " ^ m))
+    | m -> usage_die "mode" m [ "exact"; "sampling"; "grid:GAMMA" ]
   in
   let doc = "Volume of the relation: exact, grid-decomposed, or the paper's (eps,delta)-estimator." in
   Cmd.v (Cmd.info "volume" ~doc)
     Term.(
       const run $ vars_arg $ formula_arg $ mode_arg $ seed_arg $ eps_arg $ delta_arg $ stats_arg
-      $ stats_out_arg $ obs_term)
+      $ stats_out_arg $ obs_term $ progress_arg $ overrun_arg)
 
 (* ---------------- qe ---------------- *)
 
@@ -391,18 +435,22 @@ let report_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Additionally write the raw Chrome trace to $(docv).")
   in
-  let run vars_s formula n seed eps delta chains out format trace_out o =
+  let run vars_s formula n seed eps delta chains out format trace_out o progress
+      overrun_factor =
     setup_obs o;
+    if not (List.mem format [ "json"; "trace"; "tree" ]) then
+      usage_die "format" format [ "json"; "trace"; "tree" ];
     let vars = split_vars vars_s in
     let report =
-      or_die (Scdb_gis.Report.generate ~eps ~delta ~samples:n ~chains ~vars ~formula ~seed ())
+      or_die
+        (Scdb_gis.Report.generate ~eps ~delta ~samples:n ~chains ~progress ~overrun_factor
+           ~vars ~formula ~seed ())
     in
     let body =
       match format with
       | "json" -> report.Scdb_gis.Report.json
       | "trace" -> report.Scdb_gis.Report.chrome_trace ^ "\n"
-      | "tree" -> report.Scdb_gis.Report.text_tree
-      | f -> or_die (Error ("unknown format " ^ f))
+      | _ -> report.Scdb_gis.Report.text_tree
     in
     (match out with
     | None -> print_string body
@@ -425,7 +473,7 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ chains_arg
-      $ out_arg $ format_arg $ trace_out_arg $ obs_term)
+      $ out_arg $ format_arg $ trace_out_arg $ obs_term $ progress_arg $ overrun_arg)
 
 (* ---------------- replay ---------------- *)
 
@@ -490,10 +538,79 @@ let plan_cmd =
   let doc = "Show which evaluation strategy the cost model would choose for the formula." in
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ vars_arg $ formula_arg $ eps_arg $ delta_arg)
 
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "samples" ] ~doc:"Points the plan is budgeted for (sample/report tasks).")
+  in
+  let method_arg =
+    let doc = "Per-piece sampler the plan is costed for: $(b,walk), $(b,grid) or $(b,rejection)." in
+    Arg.(value & opt string "walk" & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,tree) (indented text, the default) or $(b,json) (the \
+               spatialdb-plan/1 document)." in
+    Arg.(value & opt string "tree" & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let task_arg =
+    let doc = "What to budget for: $(b,sample) ($(b,-n) points, the default), $(b,volume) (one \
+               estimation) or $(b,report) (both)." in
+    Arg.(value & opt string "sample" & info [ "task" ] ~docv:"TASK" ~doc)
+  in
+  let run vars_s formula n eps delta method_ format task_s =
+    check_method method_;
+    if not (List.mem format [ "tree"; "json" ]) then
+      usage_die "format" format [ "tree"; "json" ];
+    let task =
+      match task_s with
+      | "sample" -> Scdb_plan.Plan.Sample n
+      | "volume" -> Scdb_plan.Plan.Volume
+      | "report" -> Scdb_plan.Plan.Report n
+      | t -> usage_die "task" t [ "sample"; "volume"; "report" ]
+    in
+    let _, relation = or_die (parse_relation vars_s formula) in
+    let sampler =
+      match method_ with
+      | "grid" -> Convex_obs.Grid_walk
+      | "rejection" -> Convex_obs.Rejection_box
+      | _ -> Convex_obs.Hit_and_run
+    in
+    let config = { Convex_obs.practical_config with Convex_obs.sampler } in
+    match
+      Scdb_gis.Plan_build.of_relation ~config ~gamma:Flight.gamma ~eps ~delta ~task relation
+    with
+    | None -> or_die (Error "relation is empty, unbounded or lower-dimensional")
+    | Some plan ->
+        print_string
+          (match format with
+          | "json" -> Scdb_plan.Plan.to_json plan
+          | _ -> Scdb_plan.Plan.to_text_tree plan)
+  in
+  let doc =
+    "Show the query plan and its paper-derived cost estimates (predicted walk steps, trials, \
+     rng draws, membership tests and per-node work budgets) without sampling anything."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ vars_arg $ formula_arg $ n_arg $ eps_arg $ delta_arg $ method_arg $ format_arg
+      $ task_arg)
+
 let () =
   let doc = "uniform generation and volume estimation in spatial constraint databases" in
   let info = Cmd.info "spatialdb" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ sample_cmd; volume_cmd; qe_cmd; reconstruct_cmd; report_cmd; replay_cmd; plan_cmd ]))
+          [
+            sample_cmd;
+            volume_cmd;
+            qe_cmd;
+            reconstruct_cmd;
+            report_cmd;
+            replay_cmd;
+            plan_cmd;
+            explain_cmd;
+          ]))

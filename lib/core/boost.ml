@@ -1,8 +1,5 @@
-let runs_for ~delta =
-  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Boost.runs_for";
-  let n = int_of_float (ceil (18.0 *. log (1.0 /. delta))) in
-  let n = Stdlib.max 1 n in
-  if n mod 2 = 0 then n + 1 else n
+(* Shared with the static cost model: see [Scdb_plan.Cost]. *)
+let runs_for ~delta = Scdb_plan.Cost.boost_runs ~delta
 
 let median_volume rng ?gamma obs ~eps ~delta =
   let runs = runs_for ~delta in

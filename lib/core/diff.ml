@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Log = Scdb_log.Log
 
@@ -30,6 +31,7 @@ let diff ?(poly_degree = 3) a b =
       end
       else begin
         Tel.Counter.incr tel_trials;
+        Progress.add_trials 1;
         match Observable.sample a rng (Params.third_eps params) with
         | None ->
             Tel.Counter.incr tel_child_failures;

@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Log = Scdb_log.Log
 
@@ -9,10 +10,9 @@ let tel_child_failures = Tel.Counter.make "inter.child_failures"
 let tel_exhausted = Tel.Counter.make "inter.exhausted"
 let tel_vol_calls = Tel.Counter.make "inter.volume.calls"
 
+(* Shared with the static cost model: see [Scdb_plan.Cost]. *)
 let budget_for ~dim ~poly_degree ~delta =
-  let d = Float.max 2.0 (float_of_int dim) in
-  let bound = (d ** float_of_int poly_degree) *. log (1.0 /. delta) in
-  Stdlib.max 32 (int_of_float (ceil bound))
+  Scdb_plan.Cost.rejection_budget ~dim ~poly_degree ~delta
 
 let inter ?(poly_degree = 3) children =
   if children = [] then invalid_arg "Inter.inter: empty list";
@@ -60,6 +60,7 @@ let inter ?(poly_degree = 3) children =
       end
       else begin
         Tel.Counter.incr tel_trials;
+        Progress.add_trials 1;
         match Observable.sample children.(j) rng (Params.third_eps params) with
         | None ->
             Tel.Counter.incr tel_child_failures;

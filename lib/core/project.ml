@@ -1,3 +1,5 @@
+module Progress = Scdb_progress.Progress
+
 type fiber_volume = Exact | Estimated of int
 
 let complement ~dim keep = List.filter (fun i -> not (List.mem i keep)) (List.init dim Fun.id)
@@ -133,7 +135,8 @@ let project ?fiber_volume ?(pilot_samples = 32) rng poly ~keep =
           let sub = Params.third_eps params in
           let rec attempt k =
             if k = 0 then None
-            else
+            else begin
+              Progress.add_trials 1;
               match Observable.sample source sample_rng sub with
               | None -> attempt (k - 1)
               | Some x ->
@@ -142,6 +145,7 @@ let project ?fiber_volume ?(pilot_samples = 32) rng poly ~keep =
                   if hy <= 0.0 then attempt (k - 1)
                   else if Rng.float sample_rng < Float.min 1.0 (c /. hy) then Some y
                   else attempt (k - 1)
+            end
           in
           attempt trials
         in

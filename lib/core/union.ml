@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Log = Scdb_log.Log
 
@@ -12,8 +13,8 @@ let tel_vol_trials = Tel.Counter.make "union.volume.trials"
 let tel_vol_accepted = Tel.Counter.make "union.volume.accepted"
 let tel_accept_rate = Tel.Histogram.make "union.volume.acceptance_rate"
 
-let trials_for ~m ~delta =
-  Stdlib.max 4 (int_of_float (ceil (float_of_int m *. log (1.0 /. delta))))
+(* Shared with the static cost model: see [Scdb_plan.Cost]. *)
+let trials_for ~m ~delta = Scdb_plan.Cost.union_trials ~m ~delta
 
 let union children =
   if children = [] then invalid_arg "Union.union: empty list";
@@ -65,6 +66,7 @@ let union children =
       end
       else begin
         Tel.Counter.incr tel_trials;
+        Progress.add_trials 1;
         let j = Rng.categorical rng mu in
         match Observable.sample children.(j) rng (Params.third_eps params) with
         | None ->
@@ -111,6 +113,7 @@ let union children =
         | None -> ()
         | Some x -> if first_index x = Some j then incr accepted
       done;
+      Progress.add_trials n;
       Tel.Counter.add tel_vol_trials n;
       Tel.Counter.add tel_vol_accepted !accepted;
       if n > 0 then Tel.Histogram.observe tel_accept_rate (float_of_int !accepted /. float_of_int n);

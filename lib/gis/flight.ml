@@ -13,7 +13,12 @@ type args = {
   method_ : string;
 }
 
-type outcome = { points : Vec.t list; relation : Relation.t; rng : Rng.t }
+type outcome = {
+  points : Vec.t list;
+  relation : Relation.t;
+  rng : Rng.t;
+  plan : Scdb_plan.Plan.t;
+}
 
 let ( let* ) = Result.bind
 
@@ -38,7 +43,7 @@ let parse_relation a =
     | exception Lexer.Lex_error (m, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos m)
   end
 
-let run ?(track = false) a =
+let run ?(track = false) ?(progress = false) ?overrun_factor a =
   let* sampler = sampler_of_method a.method_ in
   let* relation = parse_relation a in
   if track then begin
@@ -47,9 +52,17 @@ let run ?(track = false) a =
   end;
   let rng = Rng.create a.seed in
   let config = { Convex_obs.practical_config with Convex_obs.sampler } in
-  match Eval.observable_of_relation ~config rng relation with
+  match
+    Plan_exec.observable_of_relation ~config ~gamma ~eps:a.eps ~delta:a.delta
+      ~task:(Scdb_plan.Plan.Sample a.n) rng relation
+  with
   | None -> Error "relation is empty, unbounded or lower-dimensional"
-  | Some obs -> (
+  | Some (plan, obs) -> (
+      if progress then begin
+        Plan_exec.arm ?overrun_factor plan;
+        Scdb_progress.Progress.start_ticker ()
+      end;
+      let finish_progress () = if progress then Scdb_progress.Progress.stop () in
       let params = Params.make ~gamma ~eps:a.eps ~delta:a.delta () in
       if Log.would_log Log.Info then
         Log.info "sample.run"
@@ -63,11 +76,14 @@ let run ?(track = false) a =
           ];
       match Observable.sample_many obs rng params ~n:a.n with
       | points ->
+          finish_progress ();
           if Log.would_log Log.Info then
             Log.info "sample.done"
               [ Log.int "points" (List.length points); Log.int "draws" (Rng.draw_count rng) ];
-          Ok { points; relation; rng }
-      | exception Observable.Estimation_failed m -> Error m)
+          Ok { points; relation; rng; plan }
+      | exception Observable.Estimation_failed m ->
+          finish_progress ();
+          Error m)
 
 let to_flightrec a (o : outcome) =
   {

@@ -19,17 +19,31 @@ type args = {
   method_ : string;  (** ["walk"], ["grid"] or ["rejection"] *)
 }
 
+val gamma : float
+(** The CLI's fixed grid parameter (0.05): replay and the cost model
+    must reproduce it exactly, so it lives here rather than in bin/. *)
+
 type outcome = {
   points : Vec.t list;  (** the emitted sample stream, in order *)
   relation : Relation.t;  (** the parsed (and quantifier-eliminated) relation *)
   rng : Rng.t;  (** the root generator, post-run (for follow-on work like [--diag]) *)
+  plan : Scdb_plan.Plan.t;
+      (** the cost-model plan the run was budgeted against (task
+          [Sample n]); with [~progress:true] its predicted-vs-actual
+          attribution is readable via {!Plan_exec.attribution} after
+          the run *)
 }
 
-val run : ?track:bool -> args -> (outcome, string) result
-(** Parse, build the observable, draw [n] points.  With [~track:true]
-    the RNG provenance registry is reset and enabled first, so the
-    lineage tree in {!to_flightrec} is complete and its ids are
-    reproducible.  Emits [sample.run] / [sample.done] info events. *)
+val run :
+  ?track:bool -> ?progress:bool -> ?overrun_factor:float -> args -> (outcome, string) result
+(** Parse, build the plan-tagged observable, draw [n] points.  With
+    [~track:true] the RNG provenance registry is reset and enabled
+    first, so the lineage tree in {!to_flightrec} is complete and its
+    ids are reproducible.  With [~progress:true] the progress bus is
+    armed with the plan's budgets and a stderr ticker runs for the
+    duration ([overrun_factor] tunes the watchdog).  Neither option
+    perturbs the RNG stream, so replay is unaffected.  Emits
+    [sample.run] / [sample.done] info events. *)
 
 val to_flightrec : args -> outcome -> Scdb_log.Flightrec.t
 (** Snapshot a finished run as a [spatialdb-flightrec/1] record

@@ -1,0 +1,43 @@
+(** Static query plans for GIS relations — the EXPLAIN path.
+
+    Mirrors {!Eval.observable_of_relation} without touching an RNG:
+    every viable generalized tuple becomes a DFK leaf (costed for the
+    configured sampler and volume budget), and multi-tuple relations
+    get a Karp–Luby union root whose children are costed at the
+    sub-call parameters the runtime threads down (ε/3, δ/(4m)).
+    Nothing is sampled; viability is the static polytope check
+    (non-empty, bounded), a conservative stand-in for the runtime's
+    well-rounding test. *)
+
+val method_name : Convex_obs.config -> string
+(** ["walk"], ["grid"] or ["rejection"] — the plan-leaf method label
+    for a sampler configuration. *)
+
+val leaf_node :
+  ?config:Convex_obs.config ->
+  eps:float ->
+  delta:float ->
+  dim:int ->
+  Scdb_constr.Dnf.tuple ->
+  Scdb_plan.Plan.node
+(** Unchecked DFK leaf for one tuple (the executor calls this for
+    tuples it has already built an observable for).  Default config is
+    {!Convex_obs.practical_config}. *)
+
+val node_of_relation :
+  ?config:Convex_obs.config ->
+  eps:float ->
+  delta:float ->
+  Relation.t ->
+  Scdb_plan.Plan.node option
+(** Plan tree for a relation: [None] when no tuple is viable. *)
+
+val of_relation :
+  ?config:Convex_obs.config ->
+  gamma:float ->
+  eps:float ->
+  delta:float ->
+  task:Scdb_plan.Plan.task ->
+  Relation.t ->
+  Scdb_plan.Plan.t option
+(** {!node_of_relation} followed by [Plan.finalize]. *)

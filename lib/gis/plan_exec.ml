@@ -1,0 +1,100 @@
+module Plan = Scdb_plan.Plan
+module Progress = Scdb_progress.Progress
+
+let tag id (obs : Observable.t) =
+  {
+    obs with
+    Observable.sample =
+      (fun rng params -> Progress.with_node id (fun () -> obs.Observable.sample rng params));
+    volume =
+      (fun rng ~gamma ~eps ~delta ->
+        Progress.with_node id (fun () -> obs.Observable.volume rng ~gamma ~eps ~delta));
+  }
+
+let observable_of_relation ?(config = Convex_obs.practical_config) ~gamma ~eps ~delta ~task
+    rng r =
+  let dim = Relation.dim r in
+  let pieces =
+    List.filter_map
+      (fun tuple ->
+        Option.map
+          (fun obs -> (tuple, obs))
+          (Convex_obs.make ~config rng (Relation.make ~dim [ tuple ])))
+      (Relation.tuples r)
+  in
+  match pieces with
+  | [] -> None
+  | [ (tuple, obs) ] ->
+      let node = Plan_build.leaf_node ~config ~eps ~delta ~dim tuple in
+      let plan = Plan.finalize ~gamma ~eps ~delta ~task node in
+      Some (plan, tag plan.Plan.root.Plan.id obs)
+  | many ->
+      let m = List.length many in
+      let sub_eps = eps /. 3.0 and sub_delta = delta /. float_of_int (4 * m) in
+      let leaves =
+        List.map
+          (fun (tuple, _) -> Plan_build.leaf_node ~config ~eps:sub_eps ~delta:sub_delta ~dim tuple)
+          many
+      in
+      let plan = Plan.finalize ~gamma ~eps ~delta ~task (Plan.union_ ~eps ~delta leaves) in
+      let wrapped =
+        List.map2
+          (fun child (_, obs) -> tag child.Plan.id obs)
+          plan.Plan.root.Plan.children many
+      in
+      Some (plan, tag plan.Plan.root.Plan.id (Union.union wrapped))
+
+let arm ?overrun_factor plan =
+  let rows =
+    Array.map (fun (id, label, budget) -> (id, label, budget)) (Plan.budget_rows plan)
+  in
+  Progress.start ?overrun_factor ~rows ()
+
+type attribution_row = {
+  id : int;
+  op : string;
+  predicted : float;
+  actual : float;
+  ratio : float;  (** [actual/predicted]; [nan] when the node never ran *)
+}
+
+let attribution plan =
+  let actuals = Progress.rows () in
+  Array.map
+    (fun (id, op, predicted) ->
+      let actual =
+        if id < Array.length actuals then Progress.row_work actuals.(id) else 0.0
+      in
+      let ratio =
+        if actual <= 0.0 then Float.nan
+        else if predicted > 0.0 then actual /. predicted
+        else Float.infinity
+      in
+      { id; op; predicted; actual; ratio })
+    (Plan.budget_rows plan)
+
+let attribution_json rows =
+  let jnum v =
+    if Float.is_nan v then "null"
+    else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.17g" v
+  in
+  let row r =
+    Printf.sprintf
+      "    {\"id\": %d, \"op\": \"%s\", \"predicted\": %s, \"actual\": %s, \"ratio\": %s}"
+      r.id r.op (jnum r.predicted) (jnum r.actual)
+      (if Float.is_finite r.ratio then jnum r.ratio else "null")
+  in
+  "[\n" ^ String.concat ",\n" (List.map row (Array.to_list rows)) ^ "\n  ]"
+
+let attribution_text rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%4s  %-8s %14s %14s %8s\n" "id" "op" "predicted" "actual" "ratio");
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%4d  %-8s %14.3g %14.3g %8s\n" r.id r.op r.predicted r.actual
+           (if Float.is_finite r.ratio then Printf.sprintf "%.2f" r.ratio else "-")))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Plan-tagged execution: the bridge from static plans to the
+    progress bus and the predicted-vs-actual attribution table.
+
+    Builds the same observable tree as {!Eval.observable_of_relation}
+    while constructing the matching {!Scdb_plan.Plan.t}, and wraps
+    every observable so its sample/volume calls run inside
+    [Progress.with_node] with the plan-node id — the accrued actuals
+    land on exactly the node whose budget predicted them.  The wrapper
+    is transparent to the RNG stream, so flight-recorder replay is
+    unaffected. *)
+
+val tag : int -> Observable.t -> Observable.t
+(** Wrap sample/volume in [Progress.with_node id]. *)
+
+val observable_of_relation :
+  ?config:Convex_obs.config ->
+  gamma:float ->
+  eps:float ->
+  delta:float ->
+  task:Scdb_plan.Plan.task ->
+  Rng.t ->
+  Relation.t ->
+  (Scdb_plan.Plan.t * Observable.t) option
+(** Build plan and tagged observable together, from the tuples that
+    actually yielded observables — plan ids and runtime attribution
+    agree by construction. *)
+
+val arm : ?overrun_factor:float -> Scdb_plan.Plan.t -> unit
+(** [Progress.start] with the plan's budget rows. *)
+
+type attribution_row = {
+  id : int;
+  op : string;
+  predicted : float;
+  actual : float;
+  ratio : float;  (** [actual/predicted]; [nan] when the node never ran *)
+}
+
+val attribution : Scdb_plan.Plan.t -> attribution_row array
+(** Join the plan's budgets with the progress bus's accrued actuals,
+    in node-id order.  Call after the run, before the next
+    [Progress.start]. *)
+
+val attribution_json : attribution_row array -> string
+(** JSON array (two-space indented block) with [null] ratios for nodes
+    that never ran. *)
+
+val attribution_text : attribution_row array -> string
+(** Fixed-width table for terminals. *)

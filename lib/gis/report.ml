@@ -12,7 +12,8 @@ let json_float v =
 
 let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
     ?(chains = Diag_run.default_chains)
-    ?(samples_per_chain = Diag_run.default_samples_per_chain) ~vars ~formula ~seed () =
+    ?(samples_per_chain = Diag_run.default_samples_per_chain) ?(progress = false)
+    ?overrun_factor ~vars ~formula ~seed () =
   if vars = [] then Error "no variables given"
   else begin
     let tel_was = Tel.enabled () and trace_was = Trace.enabled () in
@@ -43,10 +44,17 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
           in
           let relation = Relation.of_formula ~dim f in
           match
-            Eval.observable_of_relation ~config:Convex_obs.practical_config rng relation
+            Plan_exec.observable_of_relation ~config:Convex_obs.practical_config ~gamma:0.05
+              ~eps ~delta ~task:(Scdb_plan.Plan.Report samples) rng relation
           with
           | None -> Error "relation is empty, unbounded or lower-dimensional"
-          | Some obs ->
+          | Some (plan, obs) ->
+              (* The progress bus collects per-node actuals for the
+                 attribution table; armed only around the planned work
+                 (diagnostics below are outside the plan and must not
+                 pollute the root's actuals). *)
+              Plan_exec.arm ?overrun_factor plan;
+              if progress then Scdb_progress.Progress.start_ticker ();
               let params = Params.make ~gamma:0.05 ~eps ~delta () in
               let pts =
                 Trace.span "report.sample" ~attrs:[ ("n", string_of_int samples) ]
@@ -58,6 +66,8 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
                     | v -> Some v
                     | exception Observable.Estimation_failed _ -> None)
               in
+              let attribution = Plan_exec.attribution plan in
+              Scdb_progress.Progress.stop ();
               let diag =
                 match Relation.tuples relation with
                 | tuple :: _ ->
@@ -65,20 +75,20 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
                       (Polytope.of_tuple ~dim tuple)
                 | [] -> None
               in
-              Ok (relation, pts, vol, diag))
+              Ok (relation, plan, attribution, pts, vol, diag))
     in
     (* Export after the root span closes so every duration is final. *)
     let out =
       match result with
       | Error e -> Error e
-      | Ok (relation, pts, vol, diag) ->
+      | Ok (relation, plan, attribution, pts, vol, diag) ->
           let chrome = Trace.to_chrome_json () in
           let text = Trace.to_text_tree () in
           let telemetry = Tel.dump ~only_nonzero:true () in
           let buf = Buffer.create 8192 in
           let add = Buffer.add_string buf in
           add "{\n";
-          add "  \"schema\": \"spatialdb-report/1\",\n";
+          add "  \"schema\": \"spatialdb-report/2\",\n";
           add "  \"args\": {\n";
           add
             (Printf.sprintf "    \"vars\": [%s],\n"
@@ -108,6 +118,14 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
           add
             (Printf.sprintf "  \"volume\": %s,\n"
                (match vol with Some v -> json_float v | None -> "null"));
+          add "  \"plan\": ";
+          add
+            (String.concat "\n  "
+               (String.split_on_char '\n' (String.trim (Scdb_plan.Plan.to_json plan))));
+          add ",\n";
+          add "  \"cost_attribution\": ";
+          add (Plan_exec.attribution_json attribution);
+          add ",\n";
           add "  \"diagnostics\": ";
           (match diag with
           | Some d ->

@@ -4,19 +4,26 @@
     sample, estimate volume, and a multi-chain convergence check
     ({!Scdb_core.Diag_run}) — with tracing and telemetry enabled, and
     packages everything into one JSON document (schema
-    [spatialdb-report/1]) embedding:
+    [spatialdb-report/2]) embedding:
 
     - the CLI-equivalent arguments (vars, formula, seed, ε, δ, …);
     - the drawn samples and the volume estimate;
+    - the cost-model plan ([spatialdb-plan/1], task [Report n]) and the
+      predicted-vs-actual cost attribution per plan node (absolute work
+      in steps + trials, and the actual/predicted ratio — [null] for
+      nodes that never ran);
     - per-chain ESS, split-R̂ per coordinate and a convergence verdict;
     - the telemetry snapshot ([spatialdb-telemetry/2]);
     - the full Chrome trace (loadable in Perfetto as-is).
 
-    The previous telemetry/trace enabled states are restored on exit;
-    the recorded spans and counters reflect only this run. *)
+    The progress bus is armed around the planned work (sampling and the
+    volume estimate); the diagnostics run outside it so they cannot
+    pollute the attribution.  The previous telemetry/trace enabled
+    states are restored on exit; the recorded spans and counters
+    reflect only this run. *)
 
 type t = {
-  json : string;  (** the [spatialdb-report/1] document *)
+  json : string;  (** the [spatialdb-report/2] document *)
   chrome_trace : string;  (** raw Chrome trace-event JSON *)
   text_tree : string;  (** indented text rendering of the spans *)
 }
@@ -27,6 +34,8 @@ val generate :
   ?samples:int ->
   ?chains:int ->
   ?samples_per_chain:int ->
+  ?progress:bool ->
+  ?overrun_factor:float ->
   vars:string list ->
   formula:string ->
   seed:int ->
@@ -35,4 +44,6 @@ val generate :
 (** Defaults: [eps = 0.2], [delta = 0.1], [samples = 10],
     [chains = Diag_run.default_chains],
     [samples_per_chain = Diag_run.default_samples_per_chain].
+    [progress] additionally runs the live stderr ticker;
+    [overrun_factor] tunes the budget watchdog (default 4).
     [Error reason] on parse errors or empty/unbounded relations. *)

@@ -1,0 +1,52 @@
+let samples_for_additive ~eps ~delta =
+  if eps <= 0.0 || delta <= 0.0 then invalid_arg "Cost.samples_for_additive";
+  int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
+
+let samples_for_ratio ~eps ~delta ~p_lower =
+  if eps <= 0.0 || delta <= 0.0 || p_lower <= 0.0 then invalid_arg "Cost.samples_for_ratio";
+  int_of_float (ceil (3.0 *. log (2.0 /. delta) /. (eps *. eps *. p_lower)))
+
+let union_trials ~m ~delta =
+  Stdlib.max 4 (int_of_float (ceil (float_of_int m *. log (1.0 /. delta))))
+
+let rejection_budget ~dim ~poly_degree ~delta =
+  let d = Float.max 2.0 (float_of_int dim) in
+  let bound = (d ** float_of_int poly_degree) *. log (1.0 /. delta) in
+  Stdlib.max 32 (int_of_float (ceil bound))
+
+let poly_floor ~dim ~poly_degree =
+  1.0 /. (Float.max 2.0 (float_of_int dim) ** float_of_int poly_degree)
+
+let boost_runs ~delta =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Cost.boost_runs";
+  let n = int_of_float (ceil (18.0 *. log (1.0 /. delta))) in
+  let n = Stdlib.max 1 n in
+  if n mod 2 = 0 then n + 1 else n
+
+let hit_and_run_steps ~dim =
+  let d = float_of_int dim in
+  int_of_float (Float.max 60.0 (12.0 *. d *. log (d +. 2.0) *. log (d +. 2.0)))
+
+let lattice_steps ~dim ~eps =
+  let d = float_of_int dim in
+  int_of_float (Float.max 200.0 (8.0 *. d *. d *. d *. log (1.0 /. eps)))
+
+let rejection_box_trials ~dim =
+  let d = Stdlib.min dim 16 in
+  Stdlib.min 20_000 (4 * (1 lsl d))
+
+let volume_phases ~dim ?aspect () =
+  if dim = 0 then 0
+  else begin
+    let d = float_of_int dim in
+    let aspect = match aspect with Some a -> a | None -> Float.max 2.0 (d ** 1.5) in
+    if aspect <= 1.0 then 0
+    else int_of_float (ceil (d *. (log aspect /. log 2.0)))
+  end
+
+let volume_samples_per_phase ~eps ~delta ~phases =
+  if phases = 0 then 0
+  else begin
+    let q = float_of_int phases in
+    samples_for_ratio ~eps:(eps /. (2.0 *. q)) ~delta:(delta /. q) ~p_lower:0.5
+  end

@@ -1,0 +1,74 @@
+(** The paper's a-priori budget formulas, in one audited place.
+
+    Every operator of the pipeline prescribes its own trial/sample/step
+    budget up front — the DFK walk length for convex relations (§2),
+    the [m·ln(1/δ)] Karp–Luby retry budget for unions (Thm 4.1), the
+    [d^k]-sized rejection budget for intersections (Prop 4.1), the
+    multi-phase sample sizing of the volume estimator, and the
+    Chernoff/Hoeffding sample counts underneath them all.  The runtime
+    ({!Scdb_sampling.Chernoff}, [Union], [Inter], [Diff], [Boost], the
+    walk schedules) and the static cost model ({!Plan}) both call this
+    module, so a query plan's predicted budget and the budget the
+    executor actually spends come from literally the same formula —
+    the invariant the budget-equality regression test pins down. *)
+
+val samples_for_additive : eps:float -> delta:float -> int
+(** Hoeffding: [⌈ln(2/δ)/(2ε²)⌉] draws estimate a Bernoulli mean within
+    additive [ε] with confidence [1−δ].
+    @raise Invalid_argument unless [eps > 0] and [delta > 0]. *)
+
+val samples_for_ratio : eps:float -> delta:float -> p_lower:float -> int
+(** Multiplicative Chernoff: [⌈3·ln(2/δ)/(ε²·p_lower)⌉] draws estimate
+    a Bernoulli mean [p ≥ p_lower] within ratio [1+ε] with confidence
+    [1−δ]. @raise Invalid_argument unless all arguments are positive. *)
+
+val union_trials : m:int -> delta:float -> int
+(** Karp–Luby retry budget (Theorem 4.1/Corollary 4.2): per-trial
+    success probability is at least [1/m], so [max 4 ⌈m·ln(1/δ)⌉]
+    trials fail with probability below [δ]. *)
+
+val rejection_budget : dim:int -> poly_degree:int -> delta:float -> int
+(** Intersection/difference rejection budget (Proposition 4.1): under
+    the poly-relatedness promise [μ(S)/μ(T) ≤ d^k] the acceptance rate
+    is at least [d^{−k}], so [max 32 ⌈d^k·ln(1/δ)⌉] trials suffice
+    ([d] is clamped below at 2 so dimension 1 is not free). *)
+
+val poly_floor : dim:int -> poly_degree:int -> float
+(** The acceptance-probability floor [1/(max 2 d)^k] of the same
+    promise — the [p_lower] the volume estimators feed to
+    {!samples_for_ratio}. *)
+
+val boost_runs : delta:float -> int
+(** Median-boosting repetition count: the smallest odd [n ≥ 18·ln(1/δ)]
+    such that the median of [n] 3/4-confident runs fails with
+    probability at most [δ].
+    @raise Invalid_argument unless [delta] lies in (0,1). *)
+
+val hit_and_run_steps : dim:int -> int
+(** The practical hit-and-run schedule [max 60 ⌈12·d·ln²(d+2)⌉] used by
+    the pipeline (the [O*(d³)] mixing bound is a worst case, not a
+    recipe). *)
+
+val lattice_steps : dim:int -> eps:float -> int
+(** The practical DFK lattice-walk schedule
+    [max 200 ⌈8·d³·ln(1/ε)⌉]. *)
+
+val rejection_box_trials : dim:int -> int
+(** Heuristic attempt budget for naive rejection from a bounding box:
+    the body-to-box volume ratio collapses geometrically with
+    dimension, modelled as [min 20000 (4·2^d)].  A prediction aid for
+    the cost model only — the runtime budget is the sampler's
+    [max_attempts] argument. *)
+
+val volume_phases : dim:int -> ?aspect:float -> unit -> int
+(** Number of telescoping phases of the multi-phase volume estimator:
+    [⌈d·log₂(R/r)⌉] for a rounded body with enclosing/inscribed radius
+    ratio [R/r = aspect].  The default aspect is the a-priori rounding
+    guarantee [d^{3/2}] (the runtime recomputes the exact count from
+    the body it actually rounded). *)
+
+val volume_samples_per_phase : eps:float -> delta:float -> phases:int -> int
+(** Rigorous per-phase sample count of the multi-phase estimator: each
+    phase ratio is ≥ 1/2, the per-phase ratio target is [ε/(2q)] and
+    the per-phase failure budget [δ/q], all through
+    {!samples_for_ratio}.  [0] when [phases = 0]. *)

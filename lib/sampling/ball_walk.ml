@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Diag = Scdb_diag.Diag
 module Log = Scdb_log.Log
@@ -30,6 +31,7 @@ let walk ?monitor rng ~mem ~start ~steps ~radius =
   done;
   Tel.Counter.add tel_steps steps;
   Tel.Counter.add tel_accepted !accepted;
+  Progress.add_steps steps;
   (* Zero acceptances over a real budget: the proposal radius is too
      large for the body (walker pinned at the start point). *)
   if steps >= 16 && !accepted = 0 && Log.would_log Log.Warn then

@@ -1,21 +1,20 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Log = Scdb_log.Log
 
 let tel_samples = Tel.Counter.make "chernoff.samples"
 let tel_adaptive_calls = Tel.Counter.make "chernoff.adaptive.calls"
 let tel_pilot_zero = Tel.Counter.make "chernoff.adaptive.pilot_zero"
 
-let samples_for_additive ~eps ~delta =
-  if eps <= 0.0 || delta <= 0.0 then invalid_arg "Chernoff.samples_for_additive";
-  int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
-
-let samples_for_ratio ~eps ~delta ~p_lower =
-  if eps <= 0.0 || delta <= 0.0 || p_lower <= 0.0 then invalid_arg "Chernoff.samples_for_ratio";
-  int_of_float (ceil (3.0 *. log (2.0 /. delta) /. (eps *. eps *. p_lower)))
+(* The sizing formulas live in [Scdb_plan.Cost] so the static cost
+   model and the runtime spend budgets from the same source. *)
+let samples_for_additive = Scdb_plan.Cost.samples_for_additive
+let samples_for_ratio = Scdb_plan.Cost.samples_for_ratio
 
 let estimate_fraction rng ~samples f =
   if samples <= 0 then invalid_arg "Chernoff.estimate_fraction";
   Tel.Counter.add tel_samples samples;
+  Progress.add_trials samples;
   let hits = ref 0 in
   for _ = 1 to samples do
     if f rng then incr hits
@@ -26,6 +25,7 @@ let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000)
   Tel.Counter.incr tel_adaptive_calls;
   let count n =
     Tel.Counter.add tel_samples n;
+    Progress.add_trials n;
     let hits = ref 0 in
     for _ = 1 to n do
       if f rng then incr hits
@@ -80,6 +80,7 @@ let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000)
 
 let median_of_means rng ~blocks ~block_size f =
   if blocks <= 0 || block_size <= 0 then invalid_arg "Chernoff.median_of_means";
+  Progress.add_trials (blocks * block_size);
   let means =
     Array.init blocks (fun _ ->
         let s = ref 0.0 in

@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Diag = Scdb_diag.Diag
 module Log = Scdb_log.Log
@@ -37,6 +38,7 @@ let intersect_chords chords x dir =
 let sample ?monitor rng ~chord ~start ~steps =
   Tel.Counter.incr tel_samples;
   Tel.Counter.add tel_steps steps;
+  Progress.add_steps steps;
   let dim = Vec.dim start in
   let current = ref (Vec.copy start) in
   for _ = 1 to steps do
@@ -68,6 +70,7 @@ let sample ?monitor rng ~chord ~start ~steps =
 let sample_polytope ?monitor rng poly ~start ~steps =
   Tel.Counter.incr tel_samples;
   Tel.Counter.add tel_steps steps;
+  Progress.add_steps steps;
   let sp = Trace.start "hit_and_run.walk" in
   Trace.add_attr_int "steps" steps;
   Trace.add_attr_int "dim" (Polytope.dim poly);
@@ -103,6 +106,5 @@ let sample_polytope ?monitor rng poly ~start ~steps =
   Trace.finish sp;
   Polytope.Kernel.pos cur
 
-let default_steps ~dim =
-  let d = float_of_int dim in
-  int_of_float (Float.max 60.0 (12.0 *. d *. log (d +. 2.0) *. log (d +. 2.0)))
+(* Shared with the static cost model: see [Scdb_plan.Cost]. *)
+let default_steps ~dim = Scdb_plan.Cost.hit_and_run_steps ~dim

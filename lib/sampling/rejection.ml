@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Log = Scdb_log.Log
 
@@ -14,6 +15,7 @@ let acceptance_rate s = if s.attempts = 0 then 0.0 else float_of_int s.accepted 
 let record s =
   Tel.Counter.add tel_attempts s.attempts;
   Tel.Counter.add tel_accepted s.accepted;
+  Progress.add_trials s.attempts;
   if s.attempts > 0 then begin
     let rate = acceptance_rate s in
     Tel.Histogram.observe tel_rate rate;

@@ -1,4 +1,5 @@
 module Tel = Scdb_telemetry.Telemetry
+module Progress = Scdb_progress.Progress
 module Trace = Scdb_trace.Trace
 module Diag = Scdb_diag.Diag
 module Log = Scdb_log.Log
@@ -10,9 +11,8 @@ let tel_accepted = Tel.Counter.make "walk.accepted"
 
 type oracle = Vec.t -> bool
 
-let default_steps ~dim ~eps =
-  let d = float_of_int dim in
-  int_of_float (Float.max 200.0 (8.0 *. d *. d *. d *. log (1.0 /. eps)))
+(* Shared with the static cost model: see [Scdb_plan.Cost]. *)
+let default_steps ~dim ~eps = Scdb_plan.Cost.lattice_steps ~dim ~eps
 
 let step ?monitor rng grid mem current =
   (* Lazy symmetric walk: stay with probability 1/2, otherwise try a
@@ -41,6 +41,7 @@ let walk ?monitor rng ~grid ~mem ~start ~steps =
   if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.walk: start outside the body";
   Tel.Counter.incr tel_walks;
   Tel.Counter.add tel_steps steps;
+  Progress.add_steps steps;
   let sp = Trace.start "grid_walk.walk" in
   Trace.add_attr_int "steps" steps;
   let current = ref start in
@@ -67,6 +68,7 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
   if not (Polytope.mem poly x) then invalid_arg "Walk.walk: start outside the body";
   Tel.Counter.incr tel_walks;
   Tel.Counter.add tel_steps steps;
+  Progress.add_steps steps;
   let sp = Trace.start "grid_walk.walk" in
   Trace.add_attr_int "steps" steps;
   Trace.add_attr_int "dim" g.dim;

@@ -1,0 +1,69 @@
+(* End-to-end exit-code tests for the spatialdb binary.
+
+   The convention under test (see bin/spatialdb.ml): 2 for usage/value
+   errors with the valid choices listed, 1 for runtime errors (parse
+   failures, empty relations), cmdliner's 124 for malformed command
+   lines, 0 on success.  The binary is a declared dune dependency of
+   the test runner, sitting at ../bin/spatialdb.exe relative to it. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let binary =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "spatialdb.exe")
+
+let run args = Sys.command (Filename.quote binary ^ " " ^ args ^ " >/dev/null 2>&1")
+
+let fig1 = "-v x,y -f \"x >= 0 /\\ y >= 0 /\\ x + y <= 1\""
+
+let check name expected args = Alcotest.(check int) name expected (run args)
+
+let success_tests =
+  [
+    t "binary exists where the test expects it" (fun () ->
+        Alcotest.(check bool) binary true (Sys.file_exists binary));
+    t "explain exits 0 (tree and json)" (fun () ->
+        check "tree" 0 ("explain " ^ fig1);
+        check "json" 0 ("explain " ^ fig1 ^ " --format json");
+        check "volume task" 0 ("explain " ^ fig1 ^ " --task volume"));
+    t "volume --mode exact exits 0" (fun () -> check "exact" 0 ("volume " ^ fig1 ^ " --mode exact"));
+  ]
+
+let usage_tests =
+  [
+    t "unknown volume mode exits 2" (fun () ->
+        check "mode" 2 ("volume " ^ fig1 ^ " --mode bogus"));
+    t "unknown sample method exits 2" (fun () ->
+        check "method" 2 ("sample " ^ fig1 ^ " --method bogus"));
+    t "unknown explain format/task exit 2" (fun () ->
+        check "format" 2 ("explain " ^ fig1 ^ " --format bogus");
+        check "task" 2 ("explain " ^ fig1 ^ " --task bogus"));
+    t "unknown report format exits 2" (fun () ->
+        check "format" 2 ("report " ^ fig1 ^ " --format bogus"));
+    t "unknown log level exits 2" (fun () ->
+        check "level" 2 ("sample " ^ fig1 ^ " -n 1 --log-level bogus"));
+  ]
+
+let cmdline_tests =
+  [
+    t "unknown flag exits 124" (fun () -> check "flag" 124 ("explain " ^ fig1 ^ " --bogus-flag"));
+    t "unknown subcommand exits 124" (fun () -> check "subcommand" 124 "frobnicate");
+    t "missing required arguments exit 124" (fun () -> check "no args" 124 "sample");
+  ]
+
+let runtime_tests =
+  [
+    t "formula parse error exits 1" (fun () ->
+        check "parse" 1 "explain -v x -f \"x >= nonsense\"");
+    t "empty relation exits 1" (fun () ->
+        check "empty" 1 "sample -v x -f \"x >= 1 /\\ x <= 0\" -n 1");
+  ]
+
+let suites =
+  [
+    ("cli.success", success_tests);
+    ("cli.usage", usage_tests);
+    ("cli.cmdline", cmdline_tests);
+    ("cli.runtime", runtime_tests);
+  ]

@@ -23,4 +23,7 @@ let () =
          Test_report.suites;
          Test_log.suites;
          Test_flight.suites;
+         Test_plan.suites;
+         Test_progress.suites;
+         Test_cli.suites;
        ])

@@ -1,0 +1,206 @@
+(* Tests for the static cost model (Scdb_plan): the budget-equality
+   invariant (the runtime and the planner call the same formulas),
+   monotonicity of predicted cost in the accuracy parameters, and the
+   spatialdb-plan/1 JSON round trip. *)
+
+module Plan = Scdb_plan.Plan
+module Cost = Scdb_plan.Cost
+module J = Scdb_trace.Json_min
+module Chernoff = Scdb_sampling.Chernoff
+module HR = Scdb_sampling.Hit_and_run
+module W = Scdb_sampling.Walk
+module Union = Scdb_core.Union
+module Inter = Scdb_core.Inter
+module Boost = Scdb_core.Boost
+
+let t name f = Alcotest.test_case name `Quick f
+
+let leaf ?(eps = 0.2) ?(delta = 0.1) ?(dim = 2) () =
+  Plan.dfk ~eps ~delta ~dim ~method_:"walk" ~constraints:3 ~volume_budget:2000 ()
+
+let plan_of ?(eps = 0.2) ?(delta = 0.1) ~task node =
+  Plan.finalize ~gamma:0.05 ~eps ~delta ~task node
+
+(* ---------------- budget equality ---------------- *)
+
+(* The invariant the shared Cost module exists for: the budget a plan
+   node advertises is the budget the runtime spends, because both call
+   the same function.  Checked both at the formula level (runtime
+   delegation) and at the plan-attribute level. *)
+let equality_tests =
+  [
+    t "union trials: runtime = Cost = plan attribute" (fun () ->
+        List.iter
+          (fun (m, delta) ->
+            Alcotest.(check int)
+              (Printf.sprintf "m=%d delta=%g" m delta)
+              (Cost.union_trials ~m ~delta)
+              (Union.trials_for ~m ~delta))
+          [ (1, 0.1); (2, 0.1); (5, 0.05); (17, 0.01); (3, 0.5) ];
+        let children = [ leaf (); leaf () ] in
+        let plan = plan_of ~task:(Plan.Sample 1) (Plan.union_ ~eps:0.2 ~delta:0.1 children) in
+        match plan.Plan.root.Plan.op with
+        | Plan.Union_op { trials; _ } ->
+            Alcotest.(check int) "plan union trials" (Union.trials_for ~m:2 ~delta:0.1) trials
+        | _ -> Alcotest.fail "root is not a union");
+    t "intersection budget: runtime = Cost = plan attribute" (fun () ->
+        List.iter
+          (fun (dim, k, delta) ->
+            Alcotest.(check int)
+              (Printf.sprintf "dim=%d k=%d delta=%g" dim k delta)
+              (Cost.rejection_budget ~dim ~poly_degree:k ~delta)
+              (Inter.budget_for ~dim ~poly_degree:k ~delta))
+          [ (1, 1, 0.1); (2, 1, 0.1); (3, 2, 0.05); (6, 2, 0.01) ];
+        let plan =
+          plan_of ~task:(Plan.Sample 1)
+            (Plan.inter_ ~poly_degree:1 ~eps:0.2 ~delta:0.1 [ leaf (); leaf () ])
+        in
+        match plan.Plan.root.Plan.op with
+        | Plan.Inter_op { budget; _ } ->
+            Alcotest.(check int) "plan inter budget"
+              (Inter.budget_for ~dim:2 ~poly_degree:1 ~delta:0.1)
+              budget
+        | _ -> Alcotest.fail "root is not an intersection");
+    t "chernoff sizing: runtime = Cost" (fun () ->
+        List.iter
+          (fun (eps, delta) ->
+            Alcotest.(check int)
+              (Printf.sprintf "additive eps=%g delta=%g" eps delta)
+              (Cost.samples_for_additive ~eps ~delta)
+              (Chernoff.samples_for_additive ~eps ~delta);
+            Alcotest.(check int)
+              (Printf.sprintf "ratio eps=%g delta=%g" eps delta)
+              (Cost.samples_for_ratio ~eps ~delta ~p_lower:0.25)
+              (Chernoff.samples_for_ratio ~eps ~delta ~p_lower:0.25))
+          [ (0.3, 0.2); (0.1, 0.1); (0.05, 0.01) ]);
+    t "boost runs: runtime = Cost = plan attribute" (fun () ->
+        List.iter
+          (fun delta ->
+            let n = Boost.runs_for ~delta in
+            Alcotest.(check int) (Printf.sprintf "delta=%g" delta) (Cost.boost_runs ~delta) n;
+            Alcotest.(check bool) "odd" true (n land 1 = 1))
+          [ 0.2; 0.1; 0.01; 0.001 ];
+        let plan = plan_of ~task:Plan.Volume (Plan.boost_ ~delta:0.1 (leaf ())) in
+        match plan.Plan.root.Plan.op with
+        | Plan.Boost_op { runs } ->
+            Alcotest.(check int) "plan boost runs" (Boost.runs_for ~delta:0.1) runs
+        | _ -> Alcotest.fail "root is not a boost");
+    t "walk schedules: runtime = Cost = plan attribute" (fun () ->
+        for dim = 1 to 8 do
+          Alcotest.(check int)
+            (Printf.sprintf "hit-and-run dim=%d" dim)
+            (Cost.hit_and_run_steps ~dim) (HR.default_steps ~dim);
+          Alcotest.(check int)
+            (Printf.sprintf "lattice dim=%d" dim)
+            (Cost.lattice_steps ~dim ~eps:0.2)
+            (W.default_steps ~dim ~eps:0.2)
+        done;
+        let node = Plan.dfk ~eps:0.2 ~delta:0.1 ~dim:3 ~method_:"walk" () in
+        match node.Plan.op with
+        | Plan.Dfk { walk_steps; _ } ->
+            Alcotest.(check int) "plan walk steps" (HR.default_steps ~dim:3) walk_steps
+        | _ -> Alcotest.fail "not a dfk leaf");
+  ]
+
+(* ---------------- monotonicity ---------------- *)
+
+let total ?(eps = 0.2) ?(delta = 0.1) ?(arity = 2) ?(dim = 2) task =
+  let children = List.init arity (fun _ -> leaf ~eps:(eps /. 3.0) ~delta:(delta /. 4.0) ~dim ()) in
+  let root =
+    if arity = 1 then leaf ~eps ~delta ~dim () else Plan.union_ ~eps ~delta children
+  in
+  (plan_of ~eps ~delta ~task root).Plan.total_work
+
+let check_nondecreasing name xs =
+  List.iteri
+    (fun i (label, w) ->
+      if i > 0 then begin
+        let _, prev = List.nth xs (i - 1) in
+        if w < prev then
+          Alcotest.fail (Printf.sprintf "%s: %s gives %g < previous %g" name label w prev)
+      end)
+    xs
+
+let monotonicity_tests =
+  [
+    t "total work non-decreasing in 1/eps" (fun () ->
+        check_nondecreasing "volume task, shrinking eps"
+          (List.map
+             (fun eps -> (Printf.sprintf "eps=%g" eps, total ~eps Plan.Volume))
+             [ 0.5; 0.3; 0.2; 0.1; 0.05 ]));
+    t "total work non-decreasing in ln(1/delta)" (fun () ->
+        check_nondecreasing "sample task, shrinking delta"
+          (List.map
+             (fun delta -> (Printf.sprintf "delta=%g" delta, total ~delta (Plan.Sample 4)))
+             [ 0.5; 0.2; 0.1; 0.01; 0.001 ]));
+    t "total work non-decreasing in dimension" (fun () ->
+        check_nondecreasing "sample task, growing dim"
+          (List.map
+             (fun dim -> (Printf.sprintf "dim=%d" dim, total ~dim (Plan.Sample 4)))
+             [ 1; 2; 3; 5; 8 ]));
+    t "total work non-decreasing in union arity" (fun () ->
+        check_nondecreasing "sample task, growing arity"
+          (List.map
+             (fun arity -> (Printf.sprintf "arity=%d" arity, total ~arity (Plan.Sample 4)))
+             [ 2; 3; 5; 9 ]));
+    t "sample budget non-decreasing in n" (fun () ->
+        check_nondecreasing "growing n"
+          (List.map
+             (fun n -> (Printf.sprintf "n=%d" n, total (Plan.Sample n)))
+             [ 1; 10; 100 ]));
+  ]
+
+(* ---------------- JSON round trip ---------------- *)
+
+let mixed_plan () =
+  let a = leaf () and b = leaf ~dim:2 () in
+  let g = Plan.grid_leaf ~dim:2 ~cells:400.0 in
+  let u = Plan.union_ ~eps:0.2 ~delta:0.025 [ a; b; g ] in
+  let d = Plan.diff_ ~eps:0.2 ~delta:0.1 u (Plan.guard ~dim:2) in
+  plan_of ~task:(Plan.Report 10) d
+
+let json_tests =
+  [
+    t "to_json parses and round-trips bit-exactly" (fun () ->
+        let plan = mixed_plan () in
+        let s = Plan.to_json plan in
+        let doc = try J.parse s with J.Parse_error m -> Alcotest.fail ("parse: " ^ m) in
+        (match J.to_string (Option.get (J.member "schema" doc)) with
+        | Some schema -> Alcotest.(check string) "schema" Plan.schema schema
+        | None -> Alcotest.fail "schema missing");
+        match Plan.of_json doc with
+        | Error m -> Alcotest.fail ("of_json: " ^ m)
+        | Ok plan' ->
+            Alcotest.(check int) "node_count" plan.Plan.node_count plan'.Plan.node_count;
+            Alcotest.(check (float 0.0)) "total_work" plan.Plan.total_work plan'.Plan.total_work;
+            Array.iteri
+              (fun i b ->
+                Alcotest.(check (float 0.0))
+                  (Printf.sprintf "budget[%d]" i)
+                  b
+                  plan'.Plan.budgets.(i))
+              plan.Plan.budgets;
+            Alcotest.(check string) "re-emission is identical" s (Plan.to_json plan'));
+    t "of_json rejects a broken document" (fun () ->
+        let bad = J.parse {|{"schema": "spatialdb-plan/1", "task": "sample"}|} in
+        match Plan.of_json bad with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a document without a root");
+    t "budget rows cover every node exactly once" (fun () ->
+        let plan = mixed_plan () in
+        let rows = Plan.budget_rows plan in
+        Alcotest.(check int) "row count" plan.Plan.node_count (Array.length rows);
+        Array.iteri
+          (fun i (id, name, w) ->
+            Alcotest.(check int) "dense ids" i id;
+            Alcotest.(check bool) "named" true (name <> "");
+            Alcotest.(check bool) "finite budget" true (Float.is_finite w && w >= 0.0))
+          rows);
+  ]
+
+let suites =
+  [
+    ("plan.budget_equality", equality_tests);
+    ("plan.monotonicity", monotonicity_tests);
+    ("plan.json", json_tests);
+  ]

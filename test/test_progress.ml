@@ -1,0 +1,131 @@
+(* Tests for the progress bus (Scdb_progress): inclusive accrual onto
+   the node stack, the budget-overrun watchdog (log warning + telemetry
+   counter, once per node), and the percent/ETA snapshot API. *)
+
+module Progress = Scdb_progress.Progress
+module Tel = Scdb_telemetry.Telemetry
+module Log = Scdb_log.Log
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Arm the bus (and capture log/telemetry) for one test, restoring the
+   global state after — the bus is process-global. *)
+let with_bus ?overrun_factor rows f =
+  let tel_was = Tel.enabled () in
+  Tel.set_enabled true;
+  Tel.reset ();
+  Log.set_enabled true;
+  Log.set_stderr false;
+  Log.set_level Log.Warn;
+  Log.reset ();
+  Progress.start ?overrun_factor ~rows ();
+  Fun.protect
+    ~finally:(fun () ->
+      Progress.stop ();
+      Log.set_enabled false;
+      Log.set_stderr true;
+      Tel.set_enabled tel_was)
+    f
+
+let watchdog_tests =
+  [
+    t "overrun fires on an artificially starved prediction" (fun () ->
+        (* Budget says 10 work units; the node spends 100.  With the
+           default factor 4 the watchdog must trip. *)
+        with_bus [| (0, "root", 10.0) |] (fun () ->
+            Progress.with_node 0 (fun () -> Progress.add_steps 100);
+            Alcotest.(check int) "overrun count" 1 (Progress.overrun_count ());
+            Alcotest.(check (option int))
+              "telemetry counter ticked" (Some 1)
+              (Tel.counter_value "progress.overruns");
+            Alcotest.(check bool) "warn logged" true (Log.warn_count () >= 1);
+            let logged = String.concat "\n" (Log.tail ()) in
+            Alcotest.(check bool) "event name in ring" true
+              (let needle = "plan.budget_overrun" in
+               let n = String.length needle and l = String.length logged in
+               let rec scan i = i + n <= l && (String.sub logged i n = needle || scan (i + 1)) in
+               scan 0)));
+    t "overrun fires once per node, not per accrual" (fun () ->
+        with_bus [| (0, "root", 10.0) |] (fun () ->
+            Progress.with_node 0 (fun () ->
+                Progress.add_steps 100;
+                Progress.add_trials 100;
+                Progress.add_steps 100);
+            Alcotest.(check int) "still one overrun" 1 (Progress.overrun_count ())));
+    t "factor is respected and zero-budget nodes never flag" (fun () ->
+        with_bus ~overrun_factor:50.0
+          [| (0, "root", 10.0); (1, "free", 0.0) |]
+          (fun () ->
+            Progress.with_node 0 (fun () -> Progress.add_steps 100);
+            Progress.with_node 1 (fun () -> Progress.add_steps 1_000_000);
+            Alcotest.(check int) "under 50x, zero budget ignored" 0
+              (Progress.overrun_count ())));
+  ]
+
+let accrual_tests =
+  [
+    t "accrual is inclusive over the node stack" (fun () ->
+        with_bus [| (0, "union", 100.0); (1, "leaf", 50.0) |] (fun () ->
+            Progress.with_node 0 (fun () ->
+                Progress.with_node 1 (fun () -> Progress.add_steps 7);
+                Progress.add_trials 3);
+            Alcotest.(check (float 0.0)) "leaf work" 7.0 (Progress.actual_work 1);
+            Alcotest.(check (float 0.0)) "root work (inclusive)" 10.0 (Progress.actual_work 0)));
+    t "work outside any with_node lands on the root" (fun () ->
+        with_bus [| (0, "root", 10.0); (1, "leaf", 5.0) |] (fun () ->
+            Progress.add_steps 4;
+            Alcotest.(check (float 0.0)) "root" 4.0 (Progress.actual_work 0);
+            Alcotest.(check (float 0.0)) "leaf untouched" 0.0 (Progress.actual_work 1)));
+    t "draws and mems are informational, not work" (fun () ->
+        with_bus [| (0, "root", 10.0) |] (fun () ->
+            Progress.with_node 0 (fun () ->
+                Progress.add_draws 100;
+                Progress.add_mems 100);
+            Alcotest.(check (float 0.0)) "work is zero" 0.0 (Progress.actual_work 0);
+            let r = (Progress.rows ()).(0) in
+            Alcotest.(check (float 0.0)) "draws recorded" 100.0 r.Progress.draws;
+            Alcotest.(check (float 0.0)) "mems recorded" 100.0 r.Progress.mems));
+    t "accrual is a no-op when the bus is inactive" (fun () ->
+        Alcotest.(check bool) "inactive" false (Progress.active ());
+        Progress.add_steps 5;
+        Progress.with_node 3 (fun () -> Progress.add_trials 5));
+  ]
+
+let snapshot_tests =
+  [
+    t "eta appears once work lands and shrinks toward completion" (fun () ->
+        with_bus [| (0, "root", 100.0) |] (fun () ->
+            Alcotest.(check bool) "no eta before work" true (Progress.eta () = None);
+            Progress.with_node 0 (fun () -> Progress.add_steps 50);
+            match Progress.eta () with
+            | None -> Alcotest.fail "eta missing after work"
+            | Some e -> Alcotest.(check bool) "finite, non-negative" true
+                (Float.is_finite e && e >= 0.0)));
+    t "render_line mentions every node" (fun () ->
+        with_bus [| (0, "union", 100.0); (1, "dfk", 50.0) |] (fun () ->
+            Progress.with_node 0 (fun () -> Progress.add_steps 10);
+            let line = Progress.render_line () in
+            Alcotest.(check bool) "non-empty" true (String.length line > 0);
+            List.iter
+              (fun needle ->
+                let n = String.length needle and l = String.length line in
+                let rec scan i = i + n <= l && (String.sub line i n = needle || scan (i + 1)) in
+                Alcotest.(check bool) (needle ^ " present") true (scan 0))
+              [ "union"; "dfk"; "%" ]));
+    t "actuals survive stop until the next start" (fun () ->
+        with_bus [| (0, "root", 10.0) |] (fun () ->
+            Progress.with_node 0 (fun () -> Progress.add_steps 6));
+        (* with_bus's finally already stopped the bus. *)
+        Alcotest.(check bool) "inactive" false (Progress.active ());
+        Alcotest.(check (float 0.0)) "actual readable" 6.0 (Progress.actual_work 0);
+        Progress.start ~rows:[| (0, "root", 1.0) |] ();
+        Alcotest.(check (float 0.0)) "reset by start" 0.0 (Progress.actual_work 0);
+        Progress.stop ());
+  ]
+
+let suites =
+  [
+    ("progress.watchdog", watchdog_tests);
+    ("progress.accrual", accrual_tests);
+    ("progress.snapshot", snapshot_tests);
+  ]

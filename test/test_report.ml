@@ -1,4 +1,4 @@
-(* End-to-end tests for the spatialdb-report/1 generator on the paper's
+(* End-to-end tests for the spatialdb-report/2 generator on the paper's
    Figure 1 triangle. *)
 
 module Report = Scdb_gis.Report
@@ -20,8 +20,40 @@ let report_tests =
         | Error e -> Alcotest.failf "generate failed: %s" e
         | Ok r ->
             let doc = J.parse r.Report.json in
-            Alcotest.(check (option string)) "schema" (Some "spatialdb-report/1")
+            Alcotest.(check (option string)) "schema" (Some "spatialdb-report/2")
               (J.to_string (get "schema" (J.member "schema" doc)));
+            (* The embedded plan is a valid spatialdb-plan/1 document
+               budgeted for the report task. *)
+            let plan = get "plan" (J.member "plan" doc) in
+            Alcotest.(check (option string)) "plan schema" (Some "spatialdb-plan/1")
+              (J.to_string (get "plan.schema" (J.member "schema" plan)));
+            Alcotest.(check (option string)) "plan task" (Some "report")
+              (J.to_string (get "plan.task" (J.member "task" plan)));
+            (match Scdb_plan.Plan.of_json plan with
+            | Ok p ->
+                Alcotest.(check bool) "plan total_work positive" true
+                  (p.Scdb_plan.Plan.total_work > 0.0)
+            | Error e -> Alcotest.failf "embedded plan does not round-trip: %s" e);
+            (* Every executed node has a finite, positive actual/predicted
+               ratio. *)
+            let rows =
+              Option.get (J.to_list (get "cost_attribution" (J.member "cost_attribution" doc)))
+            in
+            Alcotest.(check bool) "attribution rows present" true (rows <> []);
+            List.iter
+              (fun row ->
+                let actual =
+                  Option.get (J.to_float (get "actual" (J.member "actual" row)))
+                in
+                let ratio = J.member "ratio" row in
+                if actual > 0.0 then begin
+                  match Option.bind ratio J.to_float with
+                  | Some r ->
+                      Alcotest.(check bool) "ratio finite and positive" true
+                        (Float.is_finite r && r > 0.0)
+                  | None -> Alcotest.fail "executed node has no finite ratio"
+                end)
+              rows;
             (* Arguments echo back. *)
             let args = get "args" (J.member "args" doc) in
             Alcotest.(check (option (float 0.0))) "seed" (Some 42.0)
