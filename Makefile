@@ -33,7 +33,9 @@ check:
 # finite actual/predicted ratio, then an observability smoke: a
 # recorded sample run with structured logging and a Prometheus
 # snapshot, both validated, and the flight record replayed
-# bit-for-bit.  Throwaway artifacts go to _build/.
+# bit-for-bit.  A second recorded run drives the batched multi-chain
+# kernel (`--diag --chains 4`) through its own record -> replay round
+# trip.  Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
 	dune exec bin/spatialdb.exe -- report --vars x,y \
@@ -56,6 +58,11 @@ ci: check
 	dune exec bench/validate_logs.exe -- --log _build/ci_log.jsonl \
 	  --metrics _build/ci_metrics.prom
 	dune exec bin/spatialdb.exe -- replay _build/ci.flightrec.json
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "x >= 0 and y >= 0 and x + y <= 1" --seed 42 -n 5 \
+	  --diag --chains 4 \
+	  --record _build/ci_batch.flightrec.json > _build/ci_batch_samples.tsv
+	dune exec bin/spatialdb.exe -- replay _build/ci_batch.flightrec.json
 
 clean:
 	dune clean

@@ -70,6 +70,22 @@ let tests () =
     Test.make ~name:"hit_and_run.100steps(cube4,kernel)"
       (Staged.stage (fun () ->
            ignore (HR.sample_polytope rng cube4 ~start:(Array.make 4 0.5) ~steps:100)));
+    Test.make ~name:"hit_and_run.100steps(cube4,batchK1)"
+      (Staged.stage (fun () ->
+           ignore
+             (HR.sample_polytope_batch [| rng |] cube4
+                ~starts:[| Array.make 4 0.5 |]
+                ~steps:100)));
+    Test.make ~name:"hit_and_run.100steps(cube4,batchK4)"
+      (Staged.stage
+         (let rngs = Array.init 4 (fun _ -> Rng.split rng) in
+          let starts = Array.init 4 (fun _ -> Array.make 4 0.5) in
+          fun () -> ignore (HR.sample_polytope_batch rngs cube4 ~starts ~steps:100)));
+    Test.make ~name:"hit_and_run.100steps(cube4,batchK16)"
+      (Staged.stage
+         (let rngs = Array.init 16 (fun _ -> Rng.split rng) in
+          let starts = Array.init 16 (fun _ -> Array.make 4 0.5) in
+          fun () -> ignore (HR.sample_polytope_batch rngs cube4 ~starts ~steps:100)));
     Test.make ~name:"hull_lp.mem(40pts,3d)"
       (Staged.stage (fun () -> ignore (HL.mem hull (Rng.in_ball rng 3))));
     Test.make ~name:"relation.mem_float(simplex3)"

@@ -397,6 +397,66 @@ let run ~fast ~out ~check ~metrics_out =
   let simplex4_tuple = List.concat (Relation.tuples (Relation.standard_simplex 4)) in
   let dir = Rng.unit_vector rng dim in
   let cursor = P.Kernel.make poly centre in
+  let batched_bench k =
+    let rngs = Array.init k (fun i -> Rng.create (777 + i)) in
+    let starts = Array.init k (fun _ -> Vec.create dim) in
+    measure ~fast
+      ~name:(Printf.sprintf "hit_and_run.step.batched.K%d" k)
+      ~ops:(k * hr_steps)
+      (fun () -> ignore (HR.sample_polytope_batch rngs poly ~starts ~steps:hr_steps))
+  in
+  (* Direction-bound companion fixture: the standard simplex at the
+     same dimension.  With m = dim+1 rows the per-draw cost is
+     dominated by the direction draw, so this sweep isolates what
+     batching actually buys (per-draw overhead amortization plus the
+     ziggurat direction stream) — the 72-row union fixture above is
+     flop-bound: its O(m·d) chord scan is per-chain work that no
+     batching can amortize, capping its K16 speedup well below 2x (see
+     EXPERIMENTS.md).  Longer invocations amortize batch setup to
+     noise. *)
+  let sdim = 16 in
+  let spoly = P.simplex sdim in
+  let scentroid = Array.make sdim (1.0 /. float_of_int (sdim + 1)) in
+  let dirbound_steps = 256 in
+  let batched_dirbound_bench k =
+    let rngs = Array.init k (fun i -> Rng.create (4242 + i)) in
+    let starts = Array.init k (fun _ -> Vec.copy scentroid) in
+    measure ~fast
+      ~name:(Printf.sprintf "hit_and_run.step.batched.dirbound.K%d" k)
+      ~ops:(k * dirbound_steps)
+      (fun () -> ignore (HR.sample_polytope_batch rngs spoly ~starts ~steps:dirbound_steps))
+  in
+  (* The K16-vs-K1 scaling gate gets its own paired measurement:
+     interleaved rounds and a min estimator (scheduler noise only ever
+     adds time, so the min is the stable per-draw cost — the medians
+     above can catch a noise spike on one side of the ratio and flake
+     the gate on a loaded box). *)
+  let dirbound_gate () =
+    let rounds = if fast then 7 else 9 in
+    let steps = dirbound_steps in
+    let rngs1 = [| Rng.create 5151 |] in
+    let starts1 = [| Vec.copy scentroid |] in
+    let rngs16 = Array.init 16 (fun i -> Rng.create (6161 + i)) in
+    let starts16 = Array.init 16 (fun _ -> Vec.copy scentroid) in
+    let reps1 = 32 and reps16 = 4 in
+    let min1 = ref infinity and min16 = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps1 do
+        ignore (HR.sample_polytope_batch rngs1 spoly ~starts:starts1 ~steps)
+      done;
+      let t1 = Unix.gettimeofday () in
+      for _ = 1 to reps16 do
+        ignore (HR.sample_polytope_batch rngs16 spoly ~starts:starts16 ~steps)
+      done;
+      let t2 = Unix.gettimeofday () in
+      let ns1 = (t1 -. t0) *. 1e9 /. float_of_int (reps1 * steps) in
+      let ns16 = (t2 -. t1) *. 1e9 /. float_of_int (reps16 * 16 * steps) in
+      if ns1 < !min1 then min1 := ns1;
+      if ns16 < !min16 then min16 := ns16
+    done;
+    (!min1, !min16, !min1 /. !min16)
+  in
   let results =
     [
       measure ~fast ~name:"hit_and_run.step.seed" ~ops:hr_steps (fun () ->
@@ -405,6 +465,19 @@ let run ~fast ~out ~check ~metrics_out =
           ignore (HR.sample rng ~chord:(HR.polytope_chord poly) ~start:centre ~steps:hr_steps));
       measure ~fast ~name:"hit_and_run.step.incremental" ~ops:hr_steps (fun () ->
           ignore (HR.sample_polytope rng poly ~start:centre ~steps:hr_steps));
+      (* Batched SoA kernel at K chains: ns per chain-step (one draw),
+         so draws/sec = 1e9 / ns_per_op.  Production defaults per K:
+         Compat (polar) directions at K=1, Fast (ziggurat) at K>1. *)
+      batched_bench 1;
+      batched_bench 2;
+      batched_bench 4;
+      batched_bench 8;
+      batched_bench 16;
+      batched_dirbound_bench 1;
+      batched_dirbound_bench 2;
+      batched_dirbound_bench 4;
+      batched_dirbound_bench 8;
+      batched_dirbound_bench 16;
       measure ~fast ~name:"walk.step.seed" ~ops:walk_steps (fun () ->
           ignore (seed_walk_sample seed_rng ~grid ~mem ~start:centre ~steps:walk_steps));
       measure ~fast ~name:"walk.step.incremental" ~ops:walk_steps (fun () ->
@@ -453,6 +526,55 @@ let run ~fast ~out ~check ~metrics_out =
     ]
   in
   List.iter (fun s -> if s < 2.0 then Printf.printf "WARNING: speedup %.2fx below the 2x target\n" s) checks;
+  (* Draws/sec vs K on both fixtures: the batched kernel's scaling
+     headline.  The direction-bound K16 throughput is the acceptance
+     gate — enforced under --check; the flop-bound union sweep rides
+     along so chord-dominated scaling regressions stay visible too. *)
+  let batch_ks = [ 1; 2; 4; 8; 16 ] in
+  let sweep_of prefix =
+    List.map (fun k -> find (Printf.sprintf "%s.K%d" prefix k)) batch_ks
+  in
+  let print_sweep label rs =
+    Printf.printf "\nbatched hit-and-run draws/sec vs K (%s):\n" label;
+    let k1_ns = (List.hd rs).ns_per_op in
+    List.iter2
+      (fun k r ->
+        Printf.printf "  K=%-3d %8.1f ns/draw  %12.0f draws/sec  %5.2fx\n" k r.ns_per_op
+          (1e9 /. r.ns_per_op) (k1_ns /. r.ns_per_op))
+      batch_ks rs
+  in
+  let union_results = sweep_of "hit_and_run.step.batched" in
+  let dirbound_results = sweep_of "hit_and_run.step.batched.dirbound" in
+  print_sweep "union fixture, flop-bound" union_results;
+  print_sweep "simplex fixture, direction-bound" dirbound_results;
+  let gate_k1_ns, gate_k16_ns, batch_speedup_k16 = dirbound_gate () in
+  Printf.printf
+    "\ndirbound scaling gate (paired min): K1 %.1f ns/draw, K16 %.1f ns/draw, %.2fx\n"
+    gate_k1_ns gate_k16_ns batch_speedup_k16;
+  let sweep_json rs =
+    let k1_ns = (List.hd rs).ns_per_op in
+    "[\n      "
+    ^ String.concat ",\n      "
+        (List.map2
+           (fun k r ->
+             Printf.sprintf
+               "{\"chains\": %d, \"ns_per_draw\": %.3f, \"draws_per_sec\": %.0f, \
+                \"speedup_vs_k1\": %.3f}"
+               k r.ns_per_op (1e9 /. r.ns_per_op) (k1_ns /. r.ns_per_op))
+           batch_ks rs)
+    ^ "\n    ]"
+  in
+  let batch_sweep_json =
+    Printf.sprintf
+      "{\n\
+      \    \"union\": %s,\n\
+      \    \"dirbound_simplex\": %s,\n\
+      \    \"dirbound_gate\": {\"k1_ns_per_draw\": %.3f, \"k16_ns_per_draw\": %.3f, \
+       \"k16_speedup\": %.3f}\n\
+      \  }"
+      (sweep_json union_results) (sweep_json dirbound_results) gate_k1_ns gate_k16_ns
+      batch_speedup_k16
+  in
   (* Per-run stats block: the probabilistic kernels observed end to end. *)
   let telemetry = telemetry_snapshot ~poly ~grid ~centre in
   (* The counters the snapshot accumulated are still in the registry, so
@@ -466,7 +588,7 @@ let run ~fast ~out ~check ~metrics_out =
   let diagnostics = diagnostics_block ~fast ~poly in
   (* JSON out. *)
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/4\",\n  \"results\": [\n";
+  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/5\",\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.3f, \"trials\": %d}%s\n" r.name
@@ -474,11 +596,38 @@ let run ~fast ~out ~check ~metrics_out =
         (if i = List.length results - 1 then "" else ","))
     results;
   Printf.fprintf oc
-    "  ],\n  \"plan_calibration\": %s,\n  \"telemetry\": %s,\n  \"diagnostics\": %s\n}\n"
-    (String.trim calibration) (String.trim telemetry) (String.trim diagnostics);
+    "  ],\n\
+    \  \"batch_sweep\": %s,\n\
+    \  \"plan_calibration\": %s,\n\
+    \  \"telemetry\": %s,\n\
+    \  \"diagnostics\": %s\n\
+     }\n"
+    batch_sweep_json (String.trim calibration) (String.trim telemetry)
+    (String.trim diagnostics);
   close_out oc;
   Printf.printf "\nwrote %s\n" out;
-  Option.iter (fun baseline -> check_against ~baseline results) check
+  Option.iter
+    (fun baseline ->
+      check_against ~baseline results;
+      (* Scaling gate: on the direction-bound fixture the batched
+         kernel must hold >= 2x draws/sec at K=16 over K=1, on top of
+         the per-kernel 2x-slower gate above.  (The union fixture is
+         not gated at 2x: its per-chain O(m·d) chord flops dominate and
+         cannot amortize across chains, so its honest ceiling is lower
+         — its sweep is still recorded and covered by the per-kernel
+         regression check.) *)
+      if batch_speedup_k16 < 2.0 then begin
+        Printf.printf
+          "FAIL: batched K16 draws/sec only %.2fx of K1 on the direction-bound fixture (gate: \
+           >= 2x)\n"
+          batch_speedup_k16;
+        exit 1
+      end
+      else
+        Printf.printf
+          "batched K16 draws/sec %.2fx of K1 on the direction-bound fixture (gate: >= 2x)\n"
+          batch_speedup_k16)
+    check
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

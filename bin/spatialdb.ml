@@ -222,7 +222,12 @@ let sample_cmd =
     Arg.(value & flag & info [ "diag" ] ~doc)
   in
   let chains_arg =
-    Arg.(value & opt int 4 & info [ "chains" ] ~doc:"Chains for the $(b,--diag) check.")
+    Arg.(
+      value & opt int 4
+      & info [ "chains" ]
+          ~doc:
+            "Chains for the $(b,--diag) check; all chains step together on the batched \
+             structure-of-arrays kernel, one split RNG stream per chain.")
   in
   let record_arg =
     let doc =

@@ -43,18 +43,13 @@ let run ?(chains = default_chains) ?(samples_per_chain = default_samples_per_cha
          retained series is close to iid and R̂/ESS read cleanly. *)
       let thin = Hit_and_run.default_steps ~dim in
       let steps = thin * samples_per_chain in
-      let monitors =
-        Array.init chains (fun i ->
-            let m = Diag.Monitor.create ~thin ~dim () in
-            let chain_rng = Rng.create (Int64.to_int (Rng.bits64 rng) lxor (0x9e3779b9 * (i + 1))) in
-            Trace.span "diag.chain"
-              ~attrs:[ ("chain", string_of_int i); ("steps", string_of_int steps) ]
-            @@ fun () ->
-            ignore
-              (Hit_and_run.sample_polytope ~monitor:m chain_rng body ~start:(Vec.create dim)
-                 ~steps);
-            m)
-      in
+      (* All chains run through the batched SoA kernel in one call:
+         per-chain monitors replace the old sequential loop, and each
+         chain draws from its own split of the caller's generator. *)
+      let monitors = Array.init chains (fun _ -> Diag.Monitor.create ~thin ~dim ()) in
+      let rngs = Array.init chains (fun _ -> Rng.split rng) in
+      let starts = Array.init chains (fun _ -> Vec.create dim) in
+      ignore (Hit_and_run.sample_polytope_batch ~monitors rngs body ~starts ~steps);
       let chains_stats =
         Array.map
           (fun m ->

@@ -128,8 +128,9 @@ module Monitor = struct
     { dim; thin; seen = 0; kept = 0; data = Array.make (16 * dim) 0.0;
       proposals = 0; accepted = 0; stall = 0; max_stall = 0 }
 
-  let record t x =
-    if Array.length x <> t.dim then invalid_arg "Diag.Monitor.record: dimension mismatch";
+  let record_off t src off =
+    if off < 0 || off + t.dim > Array.length src then
+      invalid_arg "Diag.Monitor.record_off: offset out of range";
     t.seen <- t.seen + 1;
     if t.seen mod t.thin = 0 then begin
       let need = (t.kept + 1) * t.dim in
@@ -138,9 +139,13 @@ module Monitor = struct
         Array.blit t.data 0 bigger 0 (t.kept * t.dim);
         t.data <- bigger
       end;
-      Array.blit x 0 t.data (t.kept * t.dim) t.dim;
+      Array.blit src off t.data (t.kept * t.dim) t.dim;
       t.kept <- t.kept + 1
     end
+
+  let record t x =
+    if Array.length x <> t.dim then invalid_arg "Diag.Monitor.record: dimension mismatch";
+    record_off t x 0
 
   let accept t =
     t.proposals <- t.proposals + 1;

@@ -59,6 +59,12 @@ module Monitor : sig
   (** Feed the chain position after a walk step (the kernels call this
       once per step when a monitor is attached). *)
 
+  val record_off : t -> float array -> int -> unit
+  (** [record_off t src off] records the [dim] floats at [src.(off ..)]
+      as the next position — how the batched kernels feed per-chain
+      monitors straight from their structure-of-arrays position block
+      without copying a vector per step. *)
+
   val accept : t -> unit
   val reject : t -> unit
 

@@ -134,6 +134,95 @@ module Kernel : sig
 
   val refresh : cursor -> unit
   (** Recompute the product cache from the current position. *)
+
+  (** Batched multi-chain kernel (structure of arrays).
+
+      [Batch] steps K chains per pass over the flat constraint matrix:
+      positions, directions and [A·x] caches are chain-major blocks of
+      one contiguous float array each, and the shared passes walk
+      chains in register blocks of four so each matrix element is
+      loaded once per block and every dot-product accumulator stays in
+      a register.  Per-chain arithmetic (accumulation pairing, cross-
+      multiplied chord comparisons, refresh cadence) replicates the
+      single-chain {!cursor} bit-for-bit, so a chain stepped through
+      [Batch] produces the same trajectory as the same chain stepped
+      through the cursor.  All scratch lives in the batch state: the
+      per-step operations below are allocation-free (test-enforced).
+
+      This flat SoA layout is the compilation target contract for the
+      plan→kernel compiler (see DESIGN.md). *)
+  module Batch : sig
+    type batch
+
+    val make : t -> Vec.t array -> batch
+    (** Batch over K start points (copied), one chain each.
+        @raise Invalid_argument on K = 0 or dimension mismatch. *)
+
+    val chains : batch -> int
+    val dim : batch -> int
+
+    val pos : batch -> int -> Vec.t
+    (** Copy of chain [c]'s current position. *)
+
+    val positions : batch -> float array
+    (** The raw chain-major [K×dim] position block — read-only. *)
+
+    val set_dir : batch -> int -> Vec.t -> unit
+    (** Stage chain [c]'s direction (or ball-walk displacement) into its
+        slot of the chain-major direction block.  Allocation-free. *)
+
+    val directions : batch -> float array
+    (** The raw chain-major [K×dim] direction staging block; chain [c]
+        owns [c·dim .. c·dim + dim − 1].  Writing a slot directly (e.g.
+        via [Rng.unit_vector_slice]) is equivalent to {!set_dir} and
+        skips the intermediate staging vector. *)
+
+    val chord_all : batch -> unit
+    (** Intersect every chain's line [x_c + t·dir_c] with the body in
+        one shared pass over the matrix, recording [A·dir_c] for
+        {!advance}.  Endpoints via {!lo}/{!hi}; a chain whose chord is
+        empty gets [lo >= hi] or non-finite endpoints, exactly like the
+        single-chain {!chord} returning [false].  Allocation-free. *)
+
+    val lo : batch -> int -> float
+    val hi : batch -> int -> float
+    (** Chord interval of chain [c] from the latest {!chord_all}. *)
+
+    val lows : batch -> float array
+    val highs : batch -> float array
+    (** The raw per-chain chord-endpoint arrays behind {!lo}/{!hi} —
+        read-only, indexed by chain.  The samplers' accept loops read
+        these directly, one array load per chain instead of two calls
+        per draw. *)
+
+    val advance : batch -> int -> float -> unit
+    (** [advance b c t]: move chain [c] along its staged direction by
+        [t], updating its cache block incrementally; exact refresh
+        every {!refresh_interval} accepted moves.  Allocation-free. *)
+
+    val propose_all : batch -> unit
+    (** Ball-walk support: with per-chain displacements staged via
+        {!set_dir}, compute every chain's worst constraint violation at
+        [x_c + delta_c] in one shared pass (read via {!violation});
+        commit an accepted chain with [advance b c 1.0].
+        Allocation-free. *)
+
+    val violation : batch -> int -> float
+    (** Worst violation of chain [c]'s latest {!propose_all} proposal;
+        non-positive iff the proposed point is inside. *)
+
+    val violations : batch -> float array
+    (** The raw per-chain violation array behind {!violation} —
+        read-only, indexed by chain. *)
+
+    val try_set_coord : ?slack:float -> batch -> int -> int -> float -> bool
+    (** [try_set_coord b c j v]: the lattice-walk move for chain [c] —
+        commit coordinate [j := v] iff still feasible within [slack].
+        Allocation-free. *)
+
+    val refresh_chain : batch -> int -> unit
+    (** Recompute chain [c]'s cache block from its position. *)
+  end
 end
 
 val pp : Format.formatter -> t -> unit

@@ -70,6 +70,14 @@ val bits64 : t -> int64
 val gaussian : t -> float
 (** Standard normal deviate (Marsaglia polar method). *)
 
+val gaussian_fast : t -> float
+(** Standard normal deviate by the 128-layer ziggurat: ~97.5% of draws
+    cost one raw 64-bit output, one table compare and one multiply.
+    Deterministic given the seed, but consumes the stream differently
+    from {!gaussian} — the batched walk kernels use it for K>1 chain
+    directions, while single-chain (replay-compatible) paths keep
+    {!gaussian}. *)
+
 (** {1 Vector draws} *)
 
 val gaussian_vec : t -> int -> Vec.t
@@ -87,8 +95,36 @@ val unit_vector_into : t -> Vec.t -> unit
     dimension — walk kernels use this to keep the inner loop free of
     per-step allocation. *)
 
+val unit_vector_into_fast : t -> Vec.t -> unit
+(** Like {!unit_vector_into} but built on {!gaussian_fast}: same
+    distribution, different (still deterministic) stream use.  The
+    batched kernels' K>1 throughput path. *)
+
+val unit_vector_slice : t -> float array -> int -> int -> unit
+(** [unit_vector_slice t buf off len]: {!unit_vector_into} targeting
+    [buf.(off) .. buf.(off + len - 1)] — bit-identical draws, letting
+    the batched kernels stage each chain's direction straight into its
+    chain-major block slot without a staging vector or blit. *)
+
+val unit_vector_slice_fast : t -> float array -> int -> int -> unit
+(** Slice form of {!unit_vector_into_fast}. *)
+
 val in_ball : t -> int -> Vec.t
 (** Uniform in the closed unit ball. *)
+
+val in_ball_into : t -> Vec.t -> unit
+(** Allocation-free {!in_ball}; same stream and bit-identical values. *)
+
+val in_ball_into_fast : t -> Vec.t -> unit
+(** Allocation-free uniform ball point on the {!gaussian_fast} stream. *)
+
+val in_ball_slice : t -> float array -> int -> int -> unit
+(** Slice form of {!in_ball_into}: fill
+    [buf.(off) .. buf.(off + len - 1)] with a uniform point of the
+    [len]-dimensional unit ball, bit-identical to {!in_ball_into}. *)
+
+val in_ball_slice_fast : t -> float array -> int -> int -> unit
+(** Slice form of {!in_ball_into_fast}. *)
 
 val in_box : t -> Vec.t -> Vec.t -> Vec.t
 (** Uniform in the axis-parallel box [[lo, hi]]. *)

@@ -29,3 +29,23 @@ val sample_polytope :
   Rng.t -> Polytope.t -> start:Vec.t -> steps:int -> ?radius:float -> unit -> Vec.t
 (** Ball walk with the polytope membership oracle; the default radius
     uses the Chebyshev radius of the body. *)
+
+val sample_polytope_batch :
+  ?monitors:Scdb_diag.Diag.Monitor.t array ->
+  ?dir_mode:Hit_and_run.dir_mode ->
+  Rng.t array ->
+  Polytope.t ->
+  starts:Vec.t array ->
+  steps:int ->
+  ?radius:float ->
+  unit ->
+  Vec.t array
+(** K Metropolis ball chains on the batched kernel
+    ({!Polytope.Kernel.Batch}): one shared pass evaluates all K
+    proposals per step against the cached row products instead of K
+    from-scratch membership tests.  Chain [c] consumes only [rngs.(c)];
+    [Compat] matches {!walk}'s per-chain ball-point stream, [Fast]
+    (default for K > 1) uses the ziggurat stream.  Accounting is per
+    invocation.
+    @raise Invalid_argument on empty/mismatched arrays or a degenerate
+    body with no explicit [radius]. *)

@@ -35,30 +35,42 @@ let intersect_chords chords x dir =
   in
   go neg_infinity infinity chords
 
+(* Degenerate-chord bookkeeping: the local run counter and the monitor
+   rejection always move together; the telemetry counter is summed into
+   [tel_degenerate] once per sampler invocation, off the hot path. *)
+let[@inline] note_degenerate monitor degenerate =
+  incr degenerate;
+  match monitor with Some m -> Diag.Monitor.reject m | None -> ()
+
+(* Every chord degenerate means the walker never moved: the start was
+   outside the body or the polytope is (numerically) lower-dimensional. *)
+let warn_stuck ~steps ~dim ~degenerate =
+  if steps >= 16 && degenerate = steps && Log.would_log Log.Warn then
+    Log.warn "hit_and_run.stuck" [ Log.int "steps" steps; Log.int "dim" dim ]
+
 let sample ?monitor rng ~chord ~start ~steps =
   Tel.Counter.incr tel_samples;
   Tel.Counter.add tel_steps steps;
   Progress.add_steps steps;
   let dim = Vec.dim start in
   let current = ref (Vec.copy start) in
+  let degenerate = ref 0 in
   for _ = 1 to steps do
     let dir = Rng.unit_vector rng dim in
     (match chord !current dir with
     | None ->
         (* numerically outside; keep position *)
-        Tel.Counter.incr tel_degenerate;
-        (match monitor with Some m -> Diag.Monitor.reject m | None -> ())
+        note_degenerate monitor degenerate
     | Some (lo, hi) ->
         if hi > lo && Float.is_finite lo && Float.is_finite hi then begin
           current := Vec.axpy (Rng.uniform rng lo hi) dir !current;
           match monitor with Some m -> Diag.Monitor.accept m | None -> ()
         end
-        else begin
-          Tel.Counter.incr tel_degenerate;
-          match monitor with Some m -> Diag.Monitor.reject m | None -> ()
-        end);
+        else note_degenerate monitor degenerate);
     match monitor with Some m -> Diag.Monitor.record m !current | None -> ()
   done;
+  Tel.Counter.add tel_degenerate !degenerate;
+  warn_stuck ~steps ~dim ~degenerate:!degenerate;
   !current
 
 (* Polytope specialization on the incremental kernel: the cached-product
@@ -66,7 +78,10 @@ let sample ?monitor rng ~chord ~start ~steps =
    for A·dir plus an O(m) cache update, and the preallocated direction
    buffer keeps the inner loop free of per-step allocation.  The rng
    stream is identical to the generic [sample] above, so trajectories
-   agree with the naive kernel up to rounding. *)
+   agree with the naive kernel up to rounding.
+
+   All accounting is per-invocation: the unmonitored inner loop below is
+   nothing but rng draws and kernel arithmetic. *)
 let sample_polytope ?monitor rng poly ~start ~steps =
   Tel.Counter.incr tel_samples;
   Tel.Counter.add tel_steps steps;
@@ -77,34 +92,113 @@ let sample_polytope ?monitor rng poly ~start ~steps =
   let cur = Polytope.Kernel.make poly start in
   let dir = Vec.create (Polytope.dim poly) in
   let degenerate = ref 0 in
-  for _ = 1 to steps do
-    Rng.unit_vector_into rng dir;
-    (if Polytope.Kernel.chord cur dir then begin
-       let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
-       if hi > lo && Float.is_finite lo && Float.is_finite hi then begin
-         Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi);
-         match monitor with Some m -> Diag.Monitor.accept m | None -> ()
-       end
-       else begin
-         Tel.Counter.incr tel_degenerate;
-         incr degenerate;
-         match monitor with Some m -> Diag.Monitor.reject m | None -> ()
-       end
-     end
-     else begin
-       Tel.Counter.incr tel_degenerate;
-       incr degenerate;
-       match monitor with Some m -> Diag.Monitor.reject m | None -> ()
-     end);
-    match monitor with Some m -> Diag.Monitor.record m (Polytope.Kernel.pos cur) | None -> ()
-  done;
-  (* Every chord degenerate means the walker never moved: the start was
-     outside the body or the polytope is (numerically) lower-dimensional. *)
-  if steps >= 16 && !degenerate = steps && Log.would_log Log.Warn then
-    Log.warn "hit_and_run.stuck"
-      [ Log.int "steps" steps; Log.int "dim" (Polytope.dim poly) ];
+  (match monitor with
+  | None ->
+      for _ = 1 to steps do
+        Rng.unit_vector_into rng dir;
+        if Polytope.Kernel.chord cur dir then begin
+          let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
+          if hi > lo && Float.is_finite lo && Float.is_finite hi then
+            Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi)
+          else incr degenerate
+        end
+        else incr degenerate
+      done
+  | Some m ->
+      let monitor = Some m in
+      for _ = 1 to steps do
+        Rng.unit_vector_into rng dir;
+        (if Polytope.Kernel.chord cur dir then begin
+           let lo = Polytope.Kernel.lo cur and hi = Polytope.Kernel.hi cur in
+           if hi > lo && Float.is_finite lo && Float.is_finite hi then begin
+             Polytope.Kernel.advance cur dir (Rng.uniform rng lo hi);
+             Diag.Monitor.accept m
+           end
+           else note_degenerate monitor degenerate
+         end
+         else note_degenerate monitor degenerate);
+        Diag.Monitor.record m (Polytope.Kernel.pos cur)
+      done);
+  Tel.Counter.add tel_degenerate !degenerate;
+  warn_stuck ~steps ~dim:(Polytope.dim poly) ~degenerate:!degenerate;
   Trace.finish sp;
   Polytope.Kernel.pos cur
+
+(* ------------------------------------------------------------------ *)
+(* Batched multi-chain sampler                                          *)
+(* ------------------------------------------------------------------ *)
+
+type dir_mode = Compat | Fast
+
+module Batch = Polytope.Kernel.Batch
+
+(* K chains advance in lockstep through [Polytope.Kernel.Batch]: per
+   step, all K directions are drawn and staged, one shared matrix pass
+   computes every chain's chord, then each chain lands uniformly on its
+   own chord.  Chain [c] consumes only [rngs.(c)], and the per-chain
+   draw order (direction fill, then a uniform iff the chord accepted)
+   matches [sample_polytope] exactly — so in [Compat] mode every chain
+   is bit-identical to a single-chain run from the same rng and start.
+   [Fast] mode swaps the direction generator for the ziggurat
+   ([Rng.unit_vector_into_fast]): same distribution on a cheaper,
+   distinct stream, the default once K > 1 where no single-chain replay
+   contract exists.  Accounting (telemetry, progress, trace, the stuck
+   warning) is per batch invocation, never per step or chain. *)
+let sample_polytope_batch ?monitors ?dir_mode rngs poly ~starts ~steps =
+  let k = Array.length rngs in
+  if k = 0 then invalid_arg "Hit_and_run.sample_polytope_batch: no chains";
+  if Array.length starts <> k then
+    invalid_arg "Hit_and_run.sample_polytope_batch: starts/rngs length mismatch";
+  let mons = match monitors with Some ms -> ms | None -> [||] in
+  if Array.length mons <> 0 && Array.length mons <> k then
+    invalid_arg "Hit_and_run.sample_polytope_batch: monitors/rngs length mismatch";
+  let mode = match dir_mode with Some m -> m | None -> if k = 1 then Compat else Fast in
+  Tel.Counter.add tel_samples k;
+  Tel.Counter.add tel_steps (k * steps);
+  Progress.add_steps (k * steps);
+  let sp = Trace.start "hit_and_run.batch" in
+  Trace.add_attr_int "chains" k;
+  Trace.add_attr_int "steps" steps;
+  Trace.add_attr_int "dim" (Polytope.dim poly);
+  let d = Polytope.dim poly in
+  let b = Batch.make poly starts in
+  let dirs = Batch.directions b in
+  let lows = Batch.lows b and highs = Batch.highs b in
+  let compat = match mode with Compat -> true | Fast -> false in
+  let monitored = Array.length mons > 0 in
+  let degenerate = ref 0 in
+  for _ = 1 to steps do
+    (* Two direct-call loops instead of one through a function value:
+       the per-chain direction draw is the hottest call site, and the
+       slice fills land straight in the chain-major direction block. *)
+    if compat then
+      for c = 0 to k - 1 do
+        Rng.unit_vector_slice (Array.unsafe_get rngs c) dirs (c * d) d
+      done
+    else
+      for c = 0 to k - 1 do
+        Rng.unit_vector_slice_fast (Array.unsafe_get rngs c) dirs (c * d) d
+      done;
+    Batch.chord_all b;
+    for c = 0 to k - 1 do
+      let lo = Array.unsafe_get lows c and hi = Array.unsafe_get highs c in
+      if hi > lo && Float.is_finite lo && Float.is_finite hi then begin
+        Batch.advance b c (Rng.uniform (Array.unsafe_get rngs c) lo hi);
+        if monitored then Diag.Monitor.accept mons.(c)
+      end
+      else begin
+        incr degenerate;
+        if monitored then Diag.Monitor.reject mons.(c)
+      end;
+      if monitored then Diag.Monitor.record_off mons.(c) (Batch.positions b) (c * d)
+    done
+  done;
+  Tel.Counter.add tel_degenerate !degenerate;
+  if steps >= 16 && !degenerate = k * steps && Log.would_log Log.Warn then
+    Log.warn "hit_and_run.stuck"
+      [ Log.int "steps" steps; Log.int "chains" k; Log.int "dim" d ];
+  Trace.finish sp;
+  Array.init k (fun c -> Batch.pos b c)
 
 (* Shared with the static cost model: see [Scdb_plan.Cost]. *)
 let default_steps ~dim = Scdb_plan.Cost.hit_and_run_steps ~dim

@@ -33,5 +33,33 @@ val sample_polytope :
     same trajectory up to rounding, with an allocation-free inner
     loop at roughly half the arithmetic per step. *)
 
+type dir_mode =
+  | Compat  (** Polar-method directions: per-chain rng stream identical
+                to {!sample_polytope}, so K=1 (and each chain of a
+                same-seeded K>1 batch) replays bit-exactly against the
+                single-chain kernel.  The default at K = 1. *)
+  | Fast  (** Ziggurat directions ({!Rng.unit_vector_into_fast}): same
+              distribution, cheaper and on a distinct deterministic
+              stream.  The default at K > 1, where direction draws
+              dominate the amortized batched step. *)
+
+val sample_polytope_batch :
+  ?monitors:Scdb_diag.Diag.Monitor.t array ->
+  ?dir_mode:dir_mode ->
+  Rng.t array ->
+  Polytope.t ->
+  starts:Vec.t array ->
+  steps:int ->
+  Vec.t array
+(** Step K chains in lockstep on the batched structure-of-arrays kernel
+    ({!Polytope.Kernel.Batch}): one shared pass over the constraint
+    matrix computes all K chords per step.  Chain [c] consumes only
+    [rngs.(c)], so chains are independent given independent generators
+    (use {!Rng.split} per chain).  Telemetry/progress/trace accounting
+    is per batch invocation, not per step.  When [monitors] is given
+    (one per chain), each chain feeds its monitor exactly like the
+    single-chain samplers do.
+    @raise Invalid_argument on empty or mismatched array lengths. *)
+
 val default_steps : dim:int -> int
 (** Practical schedule [max 60 (10·d·ln d · …)] used by the pipeline. *)

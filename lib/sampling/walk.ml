@@ -73,6 +73,8 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
   Trace.add_attr_int "steps" steps;
   Trace.add_attr_int "dim" g.dim;
   let cur = Polytope.Kernel.make poly x in
+  (* Proposal/acceptance telemetry is summed once per invocation; the
+     inner loop only touches the local counters. *)
   let proposals = ref 0 and accepted = ref 0 in
   for _ = 1 to steps do
     (if not (Rng.bool rng) then begin
@@ -81,10 +83,8 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
        (* Same expression as [Grid.to_point], so accepted positions are
           bit-identical to the oracle walk's. *)
        let v = float_of_int (idx.(coord) + delta) *. g.step in
-       Tel.Counter.incr tel_proposals;
        incr proposals;
        if Polytope.Kernel.try_set_coord cur coord v then begin
-         Tel.Counter.incr tel_accepted;
          incr accepted;
          (match monitor with Some m -> Diag.Monitor.accept m | None -> ());
          idx.(coord) <- idx.(coord) + delta
@@ -93,6 +93,8 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
      end);
     match monitor with Some m -> Diag.Monitor.record m (Polytope.Kernel.pos cur) | None -> ()
   done;
+  Tel.Counter.add tel_proposals !proposals;
+  Tel.Counter.add tel_accepted !accepted;
   (* Every proposal rejected: the grid step straddles the body (γ too
      coarse for this polytope), so the lattice walk cannot mix. *)
   if !proposals >= 32 && !accepted = 0 && Log.would_log Log.Warn then
@@ -100,6 +102,68 @@ let sample_polytope ?monitor rng ~grid poly ~start ~steps =
       [ Log.int "proposals" !proposals; Log.int "steps" steps; Log.float "grid_step" g.step ];
   Trace.finish sp;
   Polytope.Kernel.pos cur
+
+(* Batched lattice walk: K chains share one [Polytope.Kernel.Batch]
+   state.  A lattice move is a single-column O(m) update, so batching
+   buys locality and per-batch accounting rather than arithmetic
+   amortization — but it gives `--chains` one uniform engine across all
+   three samplers.  Chain [c] consumes only [rngs.(c)] with the same
+   per-chain draw order as [sample_polytope] (lazy bool, then coord and
+   sign iff moving), so a chain is bit-identical to a single-chain run
+   from the same rng. *)
+let sample_polytope_batch ?monitors rngs ~grid poly ~starts ~steps =
+  let k = Array.length rngs in
+  if k = 0 then invalid_arg "Walk.sample_polytope_batch: no chains";
+  if Array.length starts <> k then
+    invalid_arg "Walk.sample_polytope_batch: starts/rngs length mismatch";
+  let mons = match monitors with Some ms -> ms | None -> [||] in
+  if Array.length mons <> 0 && Array.length mons <> k then
+    invalid_arg "Walk.sample_polytope_batch: monitors/rngs length mismatch";
+  let g = (grid : Grid.t) in
+  let idxs = Array.map (Grid.of_point grid) starts in
+  let xs = Array.map (Grid.to_point grid) idxs in
+  Array.iter
+    (fun x ->
+      if not (Polytope.mem poly x) then
+        invalid_arg "Walk.sample_polytope_batch: start outside the body")
+    xs;
+  Tel.Counter.add tel_walks k;
+  Tel.Counter.add tel_steps (k * steps);
+  Progress.add_steps (k * steps);
+  let sp = Trace.start "grid_walk.batch" in
+  Trace.add_attr_int "chains" k;
+  Trace.add_attr_int "steps" steps;
+  Trace.add_attr_int "dim" g.dim;
+  let b = Polytope.Kernel.Batch.make poly xs in
+  let monitored = Array.length mons > 0 in
+  let proposals = ref 0 and accepted = ref 0 in
+  for _ = 1 to steps do
+    for c = 0 to k - 1 do
+      let rng = Array.unsafe_get rngs c in
+      (if not (Rng.bool rng) then begin
+         let idx = Array.unsafe_get idxs c in
+         let coord = Rng.int rng g.dim in
+         let delta = if Rng.bool rng then 1 else -1 in
+         let v = float_of_int (idx.(coord) + delta) *. g.step in
+         incr proposals;
+         if Polytope.Kernel.Batch.try_set_coord b c coord v then begin
+           incr accepted;
+           if monitored then Diag.Monitor.accept mons.(c);
+           idx.(coord) <- idx.(coord) + delta
+         end
+         else if monitored then Diag.Monitor.reject mons.(c)
+       end);
+      if monitored then
+        Diag.Monitor.record_off mons.(c) (Polytope.Kernel.Batch.positions b) (c * g.dim)
+    done
+  done;
+  Tel.Counter.add tel_proposals !proposals;
+  Tel.Counter.add tel_accepted !accepted;
+  if !proposals >= 32 && !accepted = 0 && Log.would_log Log.Warn then
+    Log.warn "walk.stuck"
+      [ Log.int "proposals" !proposals; Log.int "steps" steps; Log.float "grid_step" g.step ];
+  Trace.finish sp;
+  Array.init k (fun c -> Polytope.Kernel.Batch.pos b c)
 
 let trajectory rng ~grid ~mem ~start ~steps =
   if not (mem (Grid.to_point grid start)) then invalid_arg "Walk.trajectory: start outside the body";

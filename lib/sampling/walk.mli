@@ -37,6 +37,22 @@ val sample_polytope :
     [O(m·d)] oracle evaluation, with no per-step allocation.  Consumes
     the same rng stream as [sample] with the equivalent oracle. *)
 
+val sample_polytope_batch :
+  ?monitors:Scdb_diag.Diag.Monitor.t array ->
+  Rng.t array ->
+  grid:Grid.t ->
+  Polytope.t ->
+  starts:Vec.t array ->
+  steps:int ->
+  Vec.t array
+(** K lattice chains on the batched kernel
+    ({!Polytope.Kernel.Batch}).  Chain [c] consumes only [rngs.(c)]
+    with the same draw order as {!sample_polytope}, so each chain is
+    bit-identical to a single-chain run from the same rng and start;
+    telemetry/progress accounting is per invocation.
+    @raise Invalid_argument on empty/mismatched arrays or a start
+    outside the body. *)
+
 val trajectory :
   Rng.t -> grid:Grid.t -> mem:oracle -> start:int array -> steps:int -> int array list
 (** All visited vertices (for mixing diagnostics), most recent first. *)

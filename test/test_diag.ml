@@ -167,11 +167,87 @@ let harness_tests =
             | None -> Alcotest.fail "rhat missing"));
   ]
 
+(* Per-chain monitors on the batched kernel must reproduce the old
+   sequential-chain loop exactly: same recorded series, hence the same
+   ESS, means, acceptance statistics and split R-hat, when each chain is
+   given the same generator and Compat directions. *)
+let batch_parity_tests =
+  let module HR = Scdb_sampling.Hit_and_run in
+  [
+    t "record_off matches record" (fun () ->
+        let a = Diag.Monitor.create ~dim:2 () in
+        let b = Diag.Monitor.create ~dim:2 () in
+        let flat = [| 9.0; 1.0; 2.0; 3.0; 4.0; 9.0 |] in
+        Diag.Monitor.record a [| 1.0; 2.0 |];
+        Diag.Monitor.record a [| 3.0; 4.0 |];
+        Diag.Monitor.record_off b flat 1;
+        Diag.Monitor.record_off b flat 3;
+        Alcotest.(check int) "kept" (Diag.Monitor.kept a) (Diag.Monitor.kept b);
+        for j = 0 to 1 do
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "series %d" j)
+            (Diag.Monitor.series a j) (Diag.Monitor.series b j)
+        done);
+    ts "batched monitors give bit-identical ESS/R-hat to sequential chains" (fun () ->
+        let poly = P.simplex 3 in
+        let dim = 3 in
+        let chains = 4 in
+        let thin = 8 and steps = 8 * 48 in
+        let start () = Array.make dim 0.2 in
+        let seeds = [| 101; 202; 303; 404 |] in
+        (* Old-style loop: one monitor per chain, sequential walks. *)
+        let seq_monitors =
+          Array.map
+            (fun seed ->
+              let m = Diag.Monitor.create ~thin ~dim () in
+              ignore
+                (HR.sample_polytope ~monitor:m (Rng.create seed) poly ~start:(start ())
+                   ~steps);
+              m)
+            seeds
+        in
+        (* Batched: same seeds, Compat directions, one kernel call. *)
+        let batch_monitors = Array.init chains (fun _ -> Diag.Monitor.create ~thin ~dim ()) in
+        let rngs = Array.map Rng.create seeds in
+        let starts = Array.init chains (fun _ -> start ()) in
+        ignore
+          (HR.sample_polytope_batch ~monitors:batch_monitors ~dir_mode:HR.Compat rngs poly
+             ~starts ~steps);
+        Array.iteri
+          (fun c seq ->
+            let bat = batch_monitors.(c) in
+            Alcotest.(check int)
+              (Printf.sprintf "chain %d kept" c)
+              (Diag.Monitor.kept seq) (Diag.Monitor.kept bat);
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "chain %d acceptance" c)
+              (Diag.Monitor.acceptance_rate seq)
+              (Diag.Monitor.acceptance_rate bat);
+            Alcotest.(check (array (float 0.0)))
+              (Printf.sprintf "chain %d ess" c)
+              (Diag.Monitor.ess_per_coord seq)
+              (Diag.Monitor.ess_per_coord bat);
+            Alcotest.(check (array (float 0.0)))
+              (Printf.sprintf "chain %d mean" c)
+              (Diag.Monitor.mean_per_coord seq)
+              (Diag.Monitor.mean_per_coord bat))
+          seq_monitors;
+        let seq_list = Array.to_list seq_monitors in
+        let bat_list = Array.to_list batch_monitors in
+        for coord = 0 to dim - 1 do
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "rhat coord %d" coord)
+            (Diag.split_rhat_monitors seq_list ~coord)
+            (Diag.split_rhat_monitors bat_list ~coord)
+        done);
+  ]
+
 let suites =
   [
     ("diag.welford", welford_tests);
     ("diag.series", series_tests);
     ("diag.monitor", monitor_tests);
     ("diag.assess", assess_tests);
+    ("diag.batch_parity", batch_parity_tests);
     ("diag.harness", harness_tests);
   ]

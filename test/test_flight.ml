@@ -134,6 +134,27 @@ let tests =
         match Flight.replay r with
         | Ok _ -> Alcotest.fail "replayed a volume record"
         | Error m -> Alcotest.(check bool) "explains" true (contains m "only \"sample\""));
+    ts "committed pre-batching record still replays bit-exactly" (fun () ->
+        (* Fixture recorded by the incremental single-chain kernel
+           before the batched SoA kernel landed: replay pins the K=1
+           RNG stream and chord arithmetic across the refactor. *)
+        (* The runner executes from the build root; the fixture sits
+           next to the test executable (declared as a dune dep). *)
+        let path =
+          Filename.concat
+            (Filename.dirname Sys.executable_name)
+            (Filename.concat "fixtures" "incremental_k1.flightrec.json")
+        in
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        match Flightrec.of_json text with
+        | Error m -> Alcotest.failf "fixture did not parse: %s" m
+        | Ok r -> (
+            match Flight.replay r with
+            | Ok n -> Alcotest.(check int) "samples reproduced" 6 n
+            | Error m -> Alcotest.failf "fixture replay diverged: %s" m));
   ]
 
 let suites = [ ("gis.flight", tests) ]

@@ -110,6 +110,81 @@ let tests =
           let v = Rng.unit_vector rng d in
           Alcotest.(check (float 1e-9)) "norm" 1.0 (Vec.norm v)
         done);
+    t "gaussian_fast moments" (fun () ->
+        let rng = Rng.create 16 in
+        let n = 100_000 in
+        let sum = ref 0.0 and sum2 = ref 0.0 in
+        for _ = 1 to n do
+          let x = Rng.gaussian_fast rng in
+          sum := !sum +. x;
+          sum2 := !sum2 +. (x *. x)
+        done;
+        Alcotest.(check (float 0.03)) "mean" 0.0 (!sum /. float_of_int n);
+        Alcotest.(check (float 0.05)) "variance" 1.0 (!sum2 /. float_of_int n));
+    t "gaussian_fast chi-square against normal deciles" (fun () ->
+        (* Bin into 10 equal-probability cells using the standard
+           normal deciles; Pearson's statistic at 9 dof. *)
+        let deciles =
+          [| -1.2815515655; -0.8416212336; -0.5244005127; -0.2533471031; 0.0;
+             0.2533471031; 0.5244005127; 0.8416212336; 1.2815515655 |]
+        in
+        let bin x =
+          let i = ref 0 in
+          while !i < 9 && x >= deciles.(!i) do
+            incr i
+          done;
+          !i
+        in
+        let rng = Rng.create 17 in
+        let n = 100_000 in
+        let buckets = Array.make 10 0 in
+        for _ = 1 to n do
+          let k = bin (Rng.gaussian_fast rng) in
+          buckets.(k) <- buckets.(k) + 1
+        done;
+        let expected = float_of_int n /. 10.0 in
+        let chi2 =
+          Array.fold_left
+            (fun acc c -> acc +. (((float_of_int c -. expected) ** 2.0) /. expected))
+            0.0 buckets
+        in
+        (* 9 dof: chi2 < 27.9 at the 0.1% level *)
+        Alcotest.(check bool) (Printf.sprintf "chi2=%.1f" chi2) true (chi2 < 27.9));
+    t "gaussian_fast reaches the ziggurat tail" (fun () ->
+        (* P(|x| > 3.4426) ≈ 5.75e-4: 200k draws see the tail branch
+           ~115 times in expectation; seeing none would mean the tail
+           sampler is dead. *)
+        let rng = Rng.create 18 in
+        let tail = ref 0 in
+        for _ = 1 to 200_000 do
+          if Float.abs (Rng.gaussian_fast rng) > 3.442619855899 then incr tail
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "tail hits = %d" !tail)
+          true
+          (!tail > 50 && !tail < 250));
+    t "unit_vector_into_fast has norm 1 and is deterministic" (fun () ->
+        let a = Rng.create 19 and b = Rng.create 19 in
+        let u = Vec.create 5 and v = Vec.create 5 in
+        Rng.unit_vector_into_fast a u;
+        Rng.unit_vector_into_fast b v;
+        Alcotest.(check (float 1e-9)) "norm" 1.0 (Vec.norm u);
+        Alcotest.(check bool) "same stream, same vector" true (u = v));
+    t "in_ball_into matches in_ball bit-for-bit" (fun () ->
+        let a = Rng.create 20 and b = Rng.create 20 in
+        let v = Vec.create 3 in
+        for _ = 1 to 50 do
+          let w = Rng.in_ball a 3 in
+          Rng.in_ball_into b v;
+          Alcotest.(check bool) "identical" true (w = v)
+        done);
+    t "in_ball_into_fast stays inside the ball" (fun () ->
+        let rng = Rng.create 21 in
+        let v = Vec.create 4 in
+        for _ = 1 to 1_000 do
+          Rng.in_ball_into_fast rng v;
+          Alcotest.(check bool) "inside" true (Vec.norm v <= 1.0 +. 1e-9)
+        done);
     t "in_ball stays inside and fills shells" (fun () ->
         let rng = Rng.create 15 in
         let n = 20_000 in

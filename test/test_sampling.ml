@@ -551,11 +551,159 @@ let kernel_tests =
         Alcotest.(check (float 0.1)) "mean y" 0.0 (!sy /. float_of_int n));
   ]
 
+(* The batched structure-of-arrays kernel: per-chain trajectories must
+   be bit-identical to the single-chain incremental kernel (Compat
+   direction mode), and the batched chord machinery must not allocate
+   per step. *)
+let batch_tests =
+  let module BW = Scdb_sampling.Ball_walk in
+  let fixture_poly seed dim =
+    let rng0 = Rng.create seed in
+    let poly = ref (P.cube dim 1.0) in
+    for _ = 1 to 12 do
+      poly := P.add_halfspace !poly (Rng.unit_vector rng0 dim) 0.8
+    done;
+    !poly
+  in
+  [
+    t "K=1 batched hit-and-run is bit-identical to the incremental kernel" (fun () ->
+        (* 600 steps crosses the refresh_interval=256 cache refresh
+           twice, so the exact-recomputation cadence is covered too. *)
+        let poly = fixture_poly 4242 3 in
+        let start = Vec.create 3 in
+        List.iter
+          (fun seed ->
+            let incr = HR.sample_polytope (Rng.create seed) poly ~start ~steps:600 in
+            let batch =
+              HR.sample_polytope_batch [| Rng.create seed |] poly ~starts:[| start |]
+                ~steps:600
+            in
+            Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true (incr = batch.(0)))
+          [ 42; 1000; 31337 ]);
+    t "K=4 Compat chains are bit-identical to sequential single-chain runs" (fun () ->
+        let poly = fixture_poly 777 4 in
+        let seeds = [| 11; 22; 33; 44 |] in
+        let starts = Array.make 4 (Vec.create 4) in
+        let sequential =
+          Array.map
+            (fun seed -> HR.sample_polytope (Rng.create seed) poly ~start:(Vec.create 4) ~steps:300)
+            seeds
+        in
+        let rngs = Array.map Rng.create seeds in
+        let batch =
+          HR.sample_polytope_batch ~dir_mode:HR.Compat rngs poly ~starts ~steps:300
+        in
+        Array.iteri
+          (fun c expected ->
+            Alcotest.(check bool) (Printf.sprintf "chain %d" c) true (expected = batch.(c)))
+          sequential);
+    t "K=1 batched lattice walk is bit-identical to the incremental kernel" (fun () ->
+        let poly = P.cube 3 1.0 in
+        let grid = G.make ~step:0.25 ~dim:3 in
+        let start = Vec.create 3 in
+        List.iter
+          (fun seed ->
+            let incr = W.sample_polytope (Rng.create seed) ~grid poly ~start ~steps:600 in
+            let batch =
+              W.sample_polytope_batch [| Rng.create seed |] ~grid poly ~starts:[| start |]
+                ~steps:600
+            in
+            Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true (incr = batch.(0)))
+          [ 7; 99; 20060101 ]);
+    t "Fast direction mode stays inside the body" (fun () ->
+        let poly = fixture_poly 9001 4 in
+        let starts = Array.init 8 (fun _ -> Vec.create 4) in
+        let rng = Rng.create 555 in
+        let rngs = Array.init 8 (fun _ -> Rng.split rng) in
+        let pts = HR.sample_polytope_batch ~dir_mode:HR.Fast rngs poly ~starts ~steps:80 in
+        Array.iteri
+          (fun c p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "chain %d inside" c)
+              true
+              (P.mem ~slack:1e-9 poly p))
+          pts);
+    t "batched ball walk moves and stays inside" (fun () ->
+        let poly = P.cube 3 1.0 in
+        let starts = Array.init 4 (fun _ -> Vec.create 3) in
+        let rng = Rng.create 31 in
+        let rngs = Array.init 4 (fun _ -> Rng.split rng) in
+        let pts = BW.sample_polytope_batch rngs poly ~starts ~steps:200 () in
+        Array.iteri
+          (fun c p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "chain %d inside" c)
+              true
+              (P.mem ~slack:1e-9 poly p);
+            Alcotest.(check bool)
+              (Printf.sprintf "chain %d moved" c)
+              true
+              (Vec.norm2 p > 0.0))
+          pts);
+    t "batched chord_all/advance inner loop does not allocate" (fun () ->
+        let poly = fixture_poly 5 6 in
+        let k = 4 in
+        let starts = Array.init k (fun _ -> Vec.create 6) in
+        let b = P.Kernel.Batch.make poly starts in
+        let rng = Rng.create 6 in
+        let dirs = Array.init k (fun _ -> Rng.unit_vector rng 6) in
+        Array.iteri (fun c dir -> P.Kernel.Batch.set_dir b c dir) dirs;
+        let iters = 10_000 in
+        for _ = 1 to 100 do
+          P.Kernel.Batch.chord_all b;
+          for c = 0 to k - 1 do
+            P.Kernel.Batch.advance b c 1e-6
+          done
+        done;
+        let w0 = Gc.minor_words () in
+        for _ = 1 to iters do
+          P.Kernel.Batch.chord_all b;
+          for c = 0 to k - 1 do
+            P.Kernel.Batch.advance b c 1e-6
+          done
+        done;
+        let dw = Gc.minor_words () -. w0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "minor words per batched step = %.4f" (dw /. float_of_int iters))
+          true
+          (dw < 256.0));
+    t "batched try_set_coord and propose_all do not allocate" (fun () ->
+        let poly = P.cube 4 1.0 in
+        let k = 3 in
+        let b = P.Kernel.Batch.make poly (Array.init k (fun _ -> Vec.create 4)) in
+        let delta = [| 0.05; -0.05; 0.05; -0.05 |] in
+        for c = 0 to k - 1 do
+          P.Kernel.Batch.set_dir b c delta
+        done;
+        let iters = 10_000 in
+        for _ = 1 to 100 do
+          P.Kernel.Batch.propose_all b;
+          for c = 0 to k - 1 do
+            ignore (P.Kernel.Batch.try_set_coord b c 0 0.25);
+            ignore (P.Kernel.Batch.try_set_coord b c 0 0.0)
+          done
+        done;
+        let w0 = Gc.minor_words () in
+        for _ = 1 to iters do
+          P.Kernel.Batch.propose_all b;
+          for c = 0 to k - 1 do
+            ignore (P.Kernel.Batch.try_set_coord b c 0 0.25);
+            ignore (P.Kernel.Batch.try_set_coord b c 0 0.0)
+          done
+        done;
+        let dw = Gc.minor_words () -. w0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "minor words per batched move = %.4f" (dw /. float_of_int iters))
+          true
+          (dw < 256.0));
+  ]
+
 let suites =
   [
     ("sampling.grid", grid_tests);
     ("sampling.walk", walk_tests);
     ("sampling.kernel", kernel_tests);
+    ("sampling.batch", batch_tests);
     ("sampling.hit_and_run", hit_and_run_tests);
     ("sampling.rejection", rejection_tests);
     ("sampling.chernoff", chernoff_tests);

@@ -94,6 +94,59 @@ let lattice_walk_uniformity () =
     (Printf.sprintf "lattice walk chi2 = %.2f < %.3f (df 15)" stat chi2_999_df15)
     true (stat < chi2_999_df15)
 
+(* Batched kernel at K chains: pool the K per-chain endpoints of many
+   short batches and bin them like the single-chain audit.  K=1 runs
+   the Compat (polar) stream, K>1 the Fast (ziggurat) stream, so both
+   direction generators face the same statistical tripwire. *)
+let batched_uniformity ~chains () =
+  let k = 4 in
+  let n = 4_000 (* total retained points, across chains *) in
+  let batches = n / chains in
+  let square = P.box [| 0.0; 0.0 |] [| 1.0; 1.0 |] in
+  let rng = Rng.create (977 + chains) in
+  let starts = Array.init chains (fun _ -> [| 0.5; 0.5 |]) in
+  let observed = Array.make (k * k) 0 in
+  for _ = 1 to batches do
+    let rngs = Array.init chains (fun _ -> Rng.split rng) in
+    let pts = HR.sample_polytope_batch rngs square ~starts ~steps:64 in
+    Array.iter
+      (fun p ->
+        let c = cell_of ~k p in
+        observed.(c) <- observed.(c) + 1)
+      pts
+  done;
+  let total = batches * chains in
+  let expected = Array.make (k * k) (float_of_int total /. float_of_int (k * k)) in
+  let stat = chi_square ~observed ~expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched K=%d chi2 = %.2f < %.3f (df 15)" chains stat chi2_999_df15)
+    true (stat < chi2_999_df15)
+
+let batched_ball_walk_uniformity () =
+  let module BW = Scdb_sampling.Ball_walk in
+  let k = 4 in
+  let chains = 4 in
+  let batches = 900 in
+  let square = P.box [| 0.0; 0.0 |] [| 1.0; 1.0 |] in
+  let rng = Rng.create 31337 in
+  let starts = Array.init chains (fun _ -> [| 0.5; 0.5 |]) in
+  let observed = Array.make (k * k) 0 in
+  for _ = 1 to batches do
+    let rngs = Array.init chains (fun _ -> Rng.split rng) in
+    let pts = BW.sample_polytope_batch rngs square ~starts ~steps:220 ~radius:0.35 () in
+    Array.iter
+      (fun p ->
+        let c = cell_of ~k p in
+        observed.(c) <- observed.(c) + 1)
+      pts
+  done;
+  let total = batches * chains in
+  let expected = Array.make (k * k) (float_of_int total /. float_of_int (k * k)) in
+  let stat = chi_square ~observed ~expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched ball walk chi2 = %.2f < %.3f (df 15)" stat chi2_999_df15)
+    true (stat < chi2_999_df15)
+
 let union_uniformity () =
   (* Two disjoint unit squares: Algorithm 1 must put half the mass in
      each and be uniform within each.  8 equal-area cells: box × 2×2
@@ -126,6 +179,10 @@ let suites =
       [
         ts "hit-and-run on the unit square" hit_and_run_uniformity;
         ts "lattice walk on the unit square" lattice_walk_uniformity;
+        ts "batched hit-and-run, K=1 (Compat stream)" (batched_uniformity ~chains:1);
+        ts "batched hit-and-run, K=4 (Fast stream)" (batched_uniformity ~chains:4);
+        ts "batched hit-and-run, K=16 (Fast stream)" (batched_uniformity ~chains:16);
+        ts "batched ball walk, K=4" batched_ball_walk_uniformity;
         ts "2-relation union (Algorithm 1)" union_uniformity;
       ] );
   ]
