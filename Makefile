@@ -35,7 +35,12 @@ check:
 # snapshot, both validated, and the flight record replayed
 # bit-for-bit.  A second recorded run drives the batched multi-chain
 # kernel (`--diag --chains 4`) through its own record -> replay round
-# trip.  Throwaway artifacts go to _build/.
+# trip.  Finally a compiled-engine smoke: an interpreter-recorded
+# union run is replayed through the strict VM (`--engine vm`), which
+# must reproduce the recorded sample stream bit-for-bit, and an
+# optimized-VM run (`--engine vm-opt`, rewritten plan so a different
+# stream by design) goes through its own record -> replay round trip.
+# Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
 	dune exec bin/spatialdb.exe -- report --vars x,y \
@@ -63,6 +68,16 @@ ci: check
 	  --diag --chains 4 \
 	  --record _build/ci_batch.flightrec.json > _build/ci_batch_samples.tsv
 	dune exec bin/spatialdb.exe -- replay _build/ci_batch.flightrec.json
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 5 \
+	  --record _build/ci_union.flightrec.json > _build/ci_union_samples.tsv
+	dune exec bin/spatialdb.exe -- replay --engine vm _build/ci_union.flightrec.json
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 5 --engine vm-opt \
+	  --record _build/ci_vmopt.flightrec.json > _build/ci_vmopt_samples.tsv
+	dune exec bin/spatialdb.exe -- replay _build/ci_vmopt.flightrec.json
 
 clean:
 	dune clean

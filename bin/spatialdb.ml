@@ -94,6 +94,20 @@ let methods = [ "walk"; "grid"; "rejection" ]
 let check_method m =
   if not (List.mem m methods) then usage_die "method" m methods
 
+let engines = [ "interp"; "vm"; "vm-opt" ]
+
+let check_engine e =
+  if not (List.mem e engines) then usage_die "engine" e engines
+
+let engine_arg =
+  let doc =
+    "Execution engine: $(b,interp) (the observable-combinator interpreter, the default), \
+     $(b,vm) (plans compiled to the flat kernel VM; bit-identical rng stream and sample \
+     stream to the interpreter) or $(b,vm-opt) (the VM with cost-based plan rewrites — same \
+     distribution, different stream, typically the fastest)."
+  in
+  Arg.(value & opt string "interp" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let progress_arg =
   let doc =
     "Show a live progress line on stderr (per-plan-node percent complete and an ETA derived \
@@ -243,9 +257,10 @@ let sample_cmd =
     in
     Arg.(value & opt (some string) None & info [ "record-on-anomaly" ] ~docv:"FILE" ~doc)
   in
-  let run vars_s formula n seed eps delta method_ stats stats_out diag chains o record
+  let run vars_s formula n seed eps delta method_ engine stats stats_out diag chains o record
       record_anomaly progress overrun_factor =
     check_method method_;
+    check_engine engine;
     enable_stats ?stats_out stats;
     setup_obs o;
     (* Anomaly detection rides on the warn/error counters, so make sure
@@ -255,7 +270,7 @@ let sample_cmd =
       Log.set_enabled true;
       Log.set_level Log.Warn
     end;
-    let args = { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_ } in
+    let args = { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_; engine } in
     let track = record <> None || record_anomaly <> None in
     let outcome = or_die (Flight.run ~track ~progress ~overrun_factor args) in
     if progress then print_attribution outcome.Flight.plan;
@@ -306,7 +321,7 @@ let sample_cmd =
   Cmd.v (Cmd.info "sample" ~doc)
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
-      $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg $ obs_term $ record_arg
+      $ engine_arg $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg $ obs_term $ record_arg
       $ record_anomaly_arg $ progress_arg $ overrun_arg)
 
 (* ---------------- volume ---------------- *)
@@ -489,10 +504,20 @@ let replay_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Flight record ($(b,*.flightrec.json)) to replay.")
   in
-  let run file o =
+  let engine_override_arg =
+    let doc =
+      "Replay through $(docv) ($(b,interp), $(b,vm) or $(b,vm-opt)) instead of the engine \
+       recorded in the file.  Replaying an interpreter-recorded flight with $(b,--engine vm) \
+       is the differential check that the compiled engine mirrors the interpreter \
+       bit-for-bit."
+    in
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let run file engine o =
     setup_obs o;
+    Option.iter check_engine engine;
     let r = or_die (Flightrec.read file) in
-    match Flight.replay r with
+    match Flight.replay ?engine r with
     | Ok n ->
         Printf.printf "replay OK: %d sample(s) reproduced bit-for-bit (seed %d)\n" n
           r.Flightrec.seed
@@ -504,7 +529,7 @@ let replay_cmd =
     "Re-execute a flight record and verify the emitted sample stream is bit-identical to the \
      recorded one (diverging loudly with the first differing draw if not)."
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ obs_term)
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ engine_override_arg $ obs_term)
 
 (* ---------------- plan ---------------- *)
 
@@ -556,8 +581,9 @@ let explain_cmd =
     Arg.(value & opt string "walk" & info [ "method" ] ~docv:"METHOD" ~doc)
   in
   let format_arg =
-    let doc = "Output format: $(b,tree) (indented text, the default) or $(b,json) (the \
-               spatialdb-plan/1 document)." in
+    let doc = "Output format: $(b,tree) (indented text, the default), $(b,json) (the \
+               spatialdb-plan/1 document) or $(b,program) (the plan lowered to the kernel VM: \
+               piece table, weight/trial slots and the instruction listing)." in
     Arg.(value & opt string "tree" & info [ "format" ] ~docv:"FORMAT" ~doc)
   in
   let task_arg =
@@ -565,10 +591,11 @@ let explain_cmd =
                estimation) or $(b,report) (both)." in
     Arg.(value & opt string "sample" & info [ "task" ] ~docv:"TASK" ~doc)
   in
-  let run vars_s formula n eps delta method_ format task_s =
+  let run vars_s formula n seed eps delta method_ engine format task_s =
     check_method method_;
-    if not (List.mem format [ "tree"; "json" ]) then
-      usage_die "format" format [ "tree"; "json" ];
+    check_engine engine;
+    if not (List.mem format [ "tree"; "json"; "program" ]) then
+      usage_die "format" format [ "tree"; "json"; "program" ];
     let task =
       match task_s with
       | "sample" -> Scdb_plan.Plan.Sample n
@@ -584,15 +611,30 @@ let explain_cmd =
       | _ -> Convex_obs.Hit_and_run
     in
     let config = { Convex_obs.practical_config with Convex_obs.sampler } in
-    match
-      Scdb_gis.Plan_build.of_relation ~config ~gamma:Flight.gamma ~eps ~delta ~task relation
-    with
-    | None -> or_die (Error "relation is empty, unbounded or lower-dimensional")
-    | Some plan ->
-        print_string
-          (match format with
-          | "json" -> Scdb_plan.Plan.to_json plan
-          | _ -> Scdb_plan.Plan.to_text_tree plan)
+    if format = "program" then begin
+      (* Lowering needs the prepared pieces (the rng-consuming rounding
+         half), so this format takes the seed the run would use. *)
+      let task = (match task with Scdb_plan.Plan.Volume -> Scdb_plan.Plan.Sample n | t -> t) in
+      let rng = Rng.create seed in
+      let optimize = engine = "vm-opt" in
+      match
+        Scdb_gis.Plan_exec.compiled_of_relation ~config ~optimize ~gamma:Flight.gamma ~eps
+          ~delta ~task rng relation
+      with
+      | None -> or_die (Error "relation is empty, unbounded or lower-dimensional")
+      | Some (_, Error m) -> or_die (Error ("plan does not compile: " ^ m))
+      | Some (_, Ok prog) -> print_string (Scdb_vm.Vm.disassemble prog)
+    end
+    else
+      match
+        Scdb_gis.Plan_build.of_relation ~config ~gamma:Flight.gamma ~eps ~delta ~task relation
+      with
+      | None -> or_die (Error "relation is empty, unbounded or lower-dimensional")
+      | Some plan ->
+          print_string
+            (match format with
+            | "json" -> Scdb_plan.Plan.to_json plan
+            | _ -> Scdb_plan.Plan.to_text_tree plan)
   in
   let doc =
     "Show the query plan and its paper-derived cost estimates (predicted walk steps, trials, \
@@ -600,8 +642,8 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
-      const run $ vars_arg $ formula_arg $ n_arg $ eps_arg $ delta_arg $ method_arg $ format_arg
-      $ task_arg)
+      const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
+      $ engine_arg $ format_arg $ task_arg)
 
 let () =
   let doc = "uniform generation and volume estimation in spatial constraint databases" in

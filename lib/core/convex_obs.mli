@@ -41,3 +41,37 @@ val of_polytope :
 (** Same, from an explicit float polytope.  When [relation] is given it
     is stored for reporting and used as the membership oracle;
     otherwise membership tests the polytope directly. *)
+
+(** {2 Split construction}
+
+    Generator construction has two halves: the rng-consuming
+    well-rounding preprocessing and the (pure) closure building.
+    [prepare] runs only the first and returns the preprocessed piece;
+    [observe] builds the interpreted observable from it.
+    [of_polytope rng p = Option.map observe (prepare rng p)] — same rng
+    draw sequence — and the plan→kernel compiler ({!Scdb_vm}) consumes
+    prepared pieces directly, so both engines share identical
+    preprocessing streams. *)
+
+type prepared = private {
+  p_dim : int;
+  p_config : config;
+  p_relation : Relation.t option;
+  p_original : Polytope.t;  (** the body as given, pre-rounding *)
+  p_body : Polytope.t;  (** the well-rounded image the walks run in *)
+  p_transform : Affine.t;  (** rounding map: body = transform(original) *)
+  p_r_sup : float;  (** enclosing-ball radius of the rounded body *)
+}
+
+val prepare :
+  ?config:config -> ?relation:Relation.t -> Rng.t -> Polytope.t -> prepared option
+(** Run the well-rounding preprocessing only.  Draws exactly the rng
+    stream {!of_polytope} would; [None] under the same conditions. *)
+
+val prepare_relation : ?config:config -> Rng.t -> Relation.t -> prepared option
+(** [prepare] for a single-tuple relation, mirroring {!make}.
+    @raise Invalid_argument if the relation has more than one tuple. *)
+
+val observe : prepared -> Observable.t
+(** Build the interpreted observable over a prepared piece.  Pure — no
+    rng draws. *)

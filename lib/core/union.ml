@@ -11,6 +11,7 @@ let tel_exhausted = Tel.Counter.make "union.exhausted"
 let tel_vol_calls = Tel.Counter.make "union.volume.calls"
 let tel_vol_trials = Tel.Counter.make "union.volume.trials"
 let tel_vol_accepted = Tel.Counter.make "union.volume.accepted"
+let tel_vol_zero_acceptance = Tel.Counter.make "union.volume.zero_acceptance"
 let tel_accept_rate = Tel.Histogram.make "union.volume.acceptance_rate"
 
 (* Shared with the static cost model: see [Scdb_plan.Cost]. *)
@@ -117,6 +118,15 @@ let union children =
       Tel.Counter.add tel_vol_trials n;
       Tel.Counter.add tel_vol_accepted !accepted;
       if n > 0 then Tel.Histogram.observe tel_accept_rate (float_of_int !accepted /. float_of_int n);
+      (* All trials rejecting while Σ μ̂ᵢ > 0 means the estimate degrades
+         to 0.0 with no statistical backing (acceptance is ≥ 1/m in
+         expectation) — a generator failure, not a small volume. *)
+      if !accepted = 0 then begin
+        Tel.Counter.incr tel_vol_zero_acceptance;
+        if Log.would_log Log.Warn then
+          Log.warn "union.volume.zero_acceptance"
+            [ Log.int "trials" n; Log.int "operands" m; Log.float "total" total ]
+      end;
       total *. float_of_int !accepted /. float_of_int n
     end
   in

@@ -11,6 +11,7 @@ type args = {
   eps : float;
   delta : float;
   method_ : string;
+  engine : string;
 }
 
 type outcome = {
@@ -32,6 +33,10 @@ let sampler_of_method = function
   | "rejection" -> Ok Convex_obs.Rejection_box
   | m -> Error ("unknown method " ^ m)
 
+let check_engine = function
+  | ("interp" | "vm" | "vm-opt") as e -> Ok e
+  | e -> Error ("unknown engine " ^ e)
+
 let parse_relation a =
   if a.vars = [] then Error "no variables given"
   else begin
@@ -45,6 +50,7 @@ let parse_relation a =
 
 let run ?(track = false) ?(progress = false) ?overrun_factor a =
   let* sampler = sampler_of_method a.method_ in
+  let* engine = check_engine a.engine in
   let* relation = parse_relation a in
   if track then begin
     Rng.Provenance.reset ();
@@ -52,38 +58,57 @@ let run ?(track = false) ?(progress = false) ?overrun_factor a =
   end;
   let rng = Rng.create a.seed in
   let config = { Convex_obs.practical_config with Convex_obs.sampler } in
-  match
-    Plan_exec.observable_of_relation ~config ~gamma ~eps:a.eps ~delta:a.delta
-      ~task:(Scdb_plan.Plan.Sample a.n) rng relation
-  with
-  | None -> Error "relation is empty, unbounded or lower-dimensional"
-  | Some (plan, obs) -> (
-      if progress then begin
-        Plan_exec.arm ?overrun_factor plan;
-        Scdb_progress.Progress.start_ticker ()
-      end;
-      let finish_progress () = if progress then Scdb_progress.Progress.stop () in
-      let params = Params.make ~gamma ~eps:a.eps ~delta:a.delta () in
+  let task = Scdb_plan.Plan.Sample a.n in
+  (* Both engines share the parse, the preprocessing rng draws and the
+     plan; they differ only in how the n draws are executed. *)
+  let built =
+    match engine with
+    | "interp" -> (
+        match
+          Plan_exec.observable_of_relation ~config ~gamma ~eps:a.eps ~delta:a.delta ~task rng
+            relation
+        with
+        | None -> Error "relation is empty, unbounded or lower-dimensional"
+        | Some (plan, obs) ->
+            let params = Params.make ~gamma ~eps:a.eps ~delta:a.delta () in
+            Ok (plan, fun () -> Observable.sample_many obs rng params ~n:a.n))
+    | _ -> (
+        let optimize = engine = "vm-opt" in
+        match
+          Plan_exec.compiled_of_relation ~config ~optimize ~gamma ~eps:a.eps ~delta:a.delta
+            ~task rng relation
+        with
+        | None -> Error "relation is empty, unbounded or lower-dimensional"
+        | Some (_, Error m) -> Error ("plan does not compile: " ^ m)
+        | Some (plan, Ok prog) -> Ok (plan, fun () -> Scdb_vm.Vm.sample_many prog rng ~n:a.n))
+  in
+  let* plan, draw = built in
+  if progress then begin
+    Plan_exec.arm ?overrun_factor plan;
+    Scdb_progress.Progress.start_ticker ()
+  end;
+  let finish_progress () = if progress then Scdb_progress.Progress.stop () in
+  if Log.would_log Log.Info then
+    Log.info "sample.run"
+      [
+        Log.str "formula" a.formula;
+        Log.str "method" a.method_;
+        Log.str "engine" engine;
+        Log.int "n" a.n;
+        Log.int "seed" a.seed;
+        Log.float "eps" a.eps;
+        Log.float "delta" a.delta;
+      ];
+  match draw () with
+  | points ->
+      finish_progress ();
       if Log.would_log Log.Info then
-        Log.info "sample.run"
-          [
-            Log.str "formula" a.formula;
-            Log.str "method" a.method_;
-            Log.int "n" a.n;
-            Log.int "seed" a.seed;
-            Log.float "eps" a.eps;
-            Log.float "delta" a.delta;
-          ];
-      match Observable.sample_many obs rng params ~n:a.n with
-      | points ->
-          finish_progress ();
-          if Log.would_log Log.Info then
-            Log.info "sample.done"
-              [ Log.int "points" (List.length points); Log.int "draws" (Rng.draw_count rng) ];
-          Ok { points; relation; rng; plan }
-      | exception Observable.Estimation_failed m ->
-          finish_progress ();
-          Error m)
+        Log.info "sample.done"
+          [ Log.int "points" (List.length points); Log.int "draws" (Rng.draw_count rng) ];
+      Ok { points; relation; rng; plan }
+  | exception Observable.Estimation_failed m ->
+      finish_progress ();
+      Error m
 
 let to_flightrec a (o : outcome) =
   {
@@ -96,6 +121,7 @@ let to_flightrec a (o : outcome) =
         ("eps", Printf.sprintf "%.17g" a.eps);
         ("delta", Printf.sprintf "%.17g" a.delta);
         ("method", a.method_);
+        ("engine", a.engine);
       ];
     seed = a.seed;
     samples = o.points;
@@ -122,13 +148,15 @@ let args_of_flightrec (r : Flightrec.t) =
     String.split_on_char ',' vars_s |> List.map String.trim |> List.filter (( <> ) "")
   in
   let method_ = Option.value ~default:"walk" (Flightrec.arg r "method") in
-  Ok { vars; formula; n; seed = r.Flightrec.seed; eps; delta; method_ }
+  let engine = Option.value ~default:"interp" (Flightrec.arg r "engine") in
+  Ok { vars; formula; n; seed = r.Flightrec.seed; eps; delta; method_; engine }
 
 let total_draws lineage =
   List.fold_left (fun acc (i : Rng.Provenance.info) -> acc + i.Rng.Provenance.draws) 0 lineage
 
-let replay (r : Flightrec.t) =
+let replay ?engine (r : Flightrec.t) =
   let* a = args_of_flightrec r in
+  let a = match engine with Some e -> { a with engine = e } | None -> a in
   let* o = run ~track:true a in
   ignore o.rng;
   let* n = Flightrec.compare_samples ~recorded:r.Flightrec.samples ~replayed:o.points in

@@ -17,6 +17,11 @@ type args = {
   eps : float;
   delta : float;
   method_ : string;  (** ["walk"], ["grid"] or ["rejection"] *)
+  engine : string;
+      (** ["interp"] (the observable interpreter), ["vm"] (the strict
+          compiled engine — same rng stream as the interpreter) or
+          ["vm-opt"] (compiled with cost-based rewrites; same
+          distribution, different stream) *)
 }
 
 val gamma : float
@@ -54,10 +59,13 @@ val args_of_flightrec : Scdb_log.Flightrec.t -> (args, string) result
 (** Recover the run arguments from a record.  Fails on records written
     by a different subcommand or with missing/malformed arguments. *)
 
-val replay : Scdb_log.Flightrec.t -> (int, string) result
+val replay : ?engine:string -> Scdb_log.Flightrec.t -> (int, string) result
 (** Re-execute a record with provenance tracking and compare the
     replayed stream bit-for-bit against the recorded one
     ({!Scdb_log.Flightrec.compare_samples}), then cross-check total
     RNG draw counts against the recorded lineage.  [Ok n] returns the
     verified stream length; any divergence reports the first differing
-    sample, coordinate and both values. *)
+    sample, coordinate and both values.  [engine] overrides the
+    record's engine — replaying an interpreter-recorded flight with
+    [~engine:"vm"] (or vice versa) is the differential test that the
+    compiled engine is a bit-exact mirror. *)

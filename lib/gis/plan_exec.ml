@@ -44,6 +44,40 @@ let observable_of_relation ?(config = Convex_obs.practical_config) ~gamma ~eps ~
       in
       Some (plan, tag plan.Plan.root.Plan.id (Union.union wrapped))
 
+(* Mirror of [observable_of_relation] for the compiled engine: same
+   per-tuple preprocessing draws (prepare is the rng half of make), same
+   plan, but the pieces feed the plan→kernel compiler instead of the
+   interpreter.  Keeping the two in lockstep is what makes [--engine vm]
+   replay interpreter-recorded flights bit-for-bit. *)
+let compiled_of_relation ?(config = Convex_obs.practical_config) ?(optimize = false) ~gamma
+    ~eps ~delta ~task rng r =
+  let dim = Relation.dim r in
+  let pieces =
+    List.filter_map
+      (fun tuple ->
+        Option.map
+          (fun prep -> (tuple, prep))
+          (Convex_obs.prepare_relation ~config rng (Relation.make ~dim [ tuple ])))
+      (Relation.tuples r)
+  in
+  match pieces with
+  | [] -> None
+  | [ (tuple, prep) ] ->
+      let node = Plan_build.leaf_node ~config ~eps ~delta ~dim tuple in
+      let plan = Plan.finalize ~gamma ~eps ~delta ~task node in
+      Some (plan, Scdb_vm.Vm.compile ~optimize ~plan ~pieces:[| prep |] ())
+  | many ->
+      let m = List.length many in
+      let sub_eps = eps /. 3.0 and sub_delta = delta /. float_of_int (4 * m) in
+      let leaves =
+        List.map
+          (fun (tuple, _) -> Plan_build.leaf_node ~config ~eps:sub_eps ~delta:sub_delta ~dim tuple)
+          many
+      in
+      let plan = Plan.finalize ~gamma ~eps ~delta ~task (Plan.union_ ~eps ~delta leaves) in
+      let preps = Array.of_list (List.map snd many) in
+      Some (plan, Scdb_vm.Vm.compile ~optimize ~plan ~pieces:preps ())
+
 let arm ?overrun_factor plan =
   let rows =
     Array.map (fun (id, label, budget) -> (id, label, budget)) (Plan.budget_rows plan)

@@ -25,6 +25,24 @@ val observable_of_relation :
     actually yielded observables — plan ids and runtime attribution
     agree by construction. *)
 
+val compiled_of_relation :
+  ?config:Convex_obs.config ->
+  ?optimize:bool ->
+  gamma:float ->
+  eps:float ->
+  delta:float ->
+  task:Scdb_plan.Plan.task ->
+  Rng.t ->
+  Relation.t ->
+  (Scdb_plan.Plan.t * (Scdb_vm.Vm.t, string) result) option
+(** The compiled-engine twin of {!observable_of_relation}: identical
+    per-tuple preprocessing rng draws and identical plan, but the
+    prepared pieces are lowered through {!Scdb_vm.Vm.compile} (strict
+    mirror by default; [optimize:true] enables the stream-changing
+    cost-based rewrites).  [None] under the same emptiness conditions;
+    [Some (plan, Error _)] when the plan has a shape the compiler
+    refuses. *)
+
 val arm : ?overrun_factor:float -> Scdb_plan.Plan.t -> unit
 (** [Progress.start] with the plan's budget rows. *)
 

@@ -343,7 +343,15 @@ let categorical t weights =
   let total = Array.fold_left ( +. ) 0.0 weights in
   if total <= 0.0 then invalid_arg "Rng.categorical: zero total weight";
   let x = float t *. total in
-  let acc = ref 0.0 and chosen = ref (Array.length weights - 1) in
+  (* Fallback for when the scan below runs off the end without firing:
+     [x < acc] can stay false through the last element (e.g. [x] rounds
+     up to [total] on subnormal totals), and the old last-index default
+     could then select an index whose weight is 0.  Default to the last
+     *positive-weight* index instead — always well-defined since
+     [total > 0]. *)
+  let fallback = ref 0 in
+  Array.iteri (fun i w -> if w > 0.0 then fallback := i) weights;
+  let acc = ref 0.0 and chosen = ref !fallback in
   (try
      Array.iteri
        (fun i w ->

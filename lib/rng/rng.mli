@@ -137,4 +137,6 @@ val pick : t -> 'a array -> 'a
 
 val categorical : t -> float array -> int
 (** Draw an index with probability proportional to the (non-negative)
-    weights. @raise Invalid_argument if all weights are zero. *)
+    weights.  The returned index always has positive weight, even when
+    rounding pushes the scaled draw to the total weight.
+    @raise Invalid_argument if all weights are zero. *)

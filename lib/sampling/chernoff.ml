@@ -36,7 +36,24 @@ let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000)
      run from the observed rate), so the failure budget is split δ/2 +
      δ/2 across the two phases instead of each phase spending all of δ. *)
   let delta_phase = delta /. 2.0 in
-  let pilot = 400 in
+  (* The pilot is budgeted draws like any other phase: with
+     [max_samples < 400] an unclamped pilot would overspend the cap
+     before the main-phase clamp ever ran. *)
+  let pilot =
+    if max_samples < 400 then begin
+      if Log.would_log Log.Warn then
+        Log.warn "chernoff.budget_exhausted"
+          [
+            Log.str "phase" "pilot";
+            Log.int "wanted" 400;
+            Log.int "max_samples" max_samples;
+            Log.float "eps" eps;
+            Log.float "delta" delta_phase;
+          ];
+      Stdlib.max 1 max_samples
+    end
+    else 400
+  in
   let pilot_hits = count pilot in
   (* Pilot draws are i.i.d. with the main draws, so they fold into the
      final fraction instead of being thrown away. *)
@@ -67,7 +84,10 @@ let estimate_fraction_adaptive rng ~eps ~delta ~p_floor ?(max_samples = 200_000)
     if Log.would_log Log.Info then
       Log.info "chernoff.pilot_zero" [ Log.int "pilot" pilot; Log.float "p_floor" p_floor ];
     let n = clamp "floor" (samples_for_ratio ~eps ~delta:delta_phase ~p_lower:p_floor) in
-    finish n (count n)
+    (* The pilot already spent [pilot] of the budget; cap the main phase
+       so pilot + main never exceeds [max_samples]. *)
+    let n_main = Stdlib.max 0 (Stdlib.min (n - pilot) (max_samples - pilot)) in
+    finish n_main (count n_main)
   end
   else begin
     let p_hat = float_of_int pilot_hits /. float_of_int pilot in

@@ -1,0 +1,64 @@
+(** Plan→kernel compiler: flat bytecode programs for the sampling task.
+
+    [compile] lowers a finalized {!Scdb_plan.Plan.t} to one contiguous
+    instruction array executed by a small register VM: constraint rows
+    of every membership oracle are packed into a shared integer/float
+    pool, union dispatch is jump-threaded off the Karp–Luby categorical
+    draw, rejection loops become backward jumps on trial counters, and
+    convex leaves step chains through the structure-of-arrays walk
+    kernel ({!Polytope.Kernel.Batch}) via its raw accessors.  The
+    instruction set and operand layout are documented in DESIGN.md.
+
+    Two engines share the format:
+
+    - the {e strict} engine ([optimize:false], the default) is a
+      bit-exact mirror of the {!Observable} interpreter: starting from
+      the same rng state and the same {!Convex_obs.prepared} pieces it
+      consumes the identical draw sequence and emits the identical
+      sample stream, so flight records replay across engines;
+    - the {e optimized} engine ([optimize:true]) additionally applies
+      cost-based plan rewrites — per-leaf sampler selection
+      (rejection-box when {!Scdb_plan.Cost.rejection_box_trials} beats
+      the hit-and-run schedule), intersection membership conjunctions
+      reordered smallest-bounding-box-first, and duplicate union leaves
+      sharing one compiled piece and one volume estimate.  Rewrites
+      preserve the sampling distribution but not the rng stream.
+
+    Volume estimation (the weight prologues that seed union/argmin
+    dispatch) still runs the interpreted estimators — the VM compiles
+    the per-draw hot path, and the interpreter stays the differential
+    oracle for it. *)
+
+type t
+
+val compile :
+  ?optimize:bool ->
+  plan:Scdb_plan.Plan.t ->
+  pieces:Convex_obs.prepared array ->
+  unit ->
+  (t, string) result
+(** Lower [plan] over its prepared convex pieces, given in preorder
+    leaf order (the order {!Scdb_gis.Plan_exec} constructs them in).
+    The compiler cross-checks every budget recorded in the plan
+    (union trials, rejection budgets, walk schedules) against the
+    {!Scdb_plan.Cost} formulas it inlines and refuses to compile on
+    mismatch; only [Sample] tasks over dfk/guard/union/inter/diff
+    nodes are supported. *)
+
+val optimized : t -> bool
+val dim : t -> int
+
+val instruction_count : t -> int
+(** Number of decoded instructions (not code-array words). *)
+
+val sample_one : t -> Rng.t -> Vec.t
+(** One draw, with the interpreter's retry envelope: up to
+    [max 4 ⌈20·ln(1/δ)⌉] root attempts, then
+    @raise Observable.Estimation_failed like {!Observable.sample_exn}. *)
+
+val sample_many : t -> Rng.t -> n:int -> Vec.t list
+(** [n] draws in order; mirrors {!Observable.sample_many}. *)
+
+val disassemble : t -> string
+(** Human-readable program listing: piece table, weight/trial slots,
+    then one line per instruction ([explain --format program]). *)

@@ -205,6 +205,29 @@ let union_tests =
         ignore (Observable.volume cached ~gamma:0.4 rng ~eps:0.1 ~delta:0.1);
         ignore (Observable.volume cached ~gamma:0.4 rng ~eps:0.1 ~delta:0.1);
         Alcotest.(check int) "gamma is part of the key" 2 !calls);
+    t "Karp-Luby zero acceptance is flagged, not silently zero" (fun () ->
+        (* Children that claim positive volume but whose generators
+           always fail drive the acceptance count to 0: the estimate
+           degrades to 0.0 with no statistical backing, which must be
+           recorded as a generator failure rather than a small volume. *)
+        let module Tel = Scdb_telemetry.Telemetry in
+        let broken =
+          Observable.make ~dim:1
+            ~mem:(fun _ -> true)
+            ~sample:(fun _ _ -> None)
+            ~volume:(fun _ ~gamma:_ ~eps:_ ~delta:_ -> 1.0)
+            ()
+        in
+        let u = Union.union [ broken; broken ] in
+        let was = Tel.enabled () in
+        Tel.set_enabled true;
+        Tel.reset ();
+        Fun.protect ~finally:(fun () -> Tel.set_enabled was) @@ fun () ->
+        let v = Observable.volume u (Rng.create 5) ~eps:0.3 ~delta:0.3 in
+        Alcotest.(check (float 0.0)) "degraded estimate" 0.0 v;
+        Alcotest.(check (option int))
+          "union.volume.zero_acceptance incremented" (Some 1)
+          (Tel.counter_value "union.volume.zero_acceptance"));
   ]
 
 let inter_diff_tests =

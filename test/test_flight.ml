@@ -20,6 +20,7 @@ let args =
     eps = 0.2;
     delta = 0.1;
     method_ = "walk";
+    engine = "interp";
   }
 
 let run_ok ?track a =

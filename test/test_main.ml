@@ -24,6 +24,7 @@ let () =
          Test_log.suites;
          Test_flight.suites;
          Test_plan.suites;
+         Test_vm.suites;
          Test_progress.suites;
          Test_cli.suites;
        ])

@@ -209,6 +209,29 @@ let tests =
     t "categorical rejects zero weights" (fun () ->
         Alcotest.check_raises "zero" (Invalid_argument "Rng.categorical: zero total weight")
           (fun () -> ignore (Rng.categorical (Rng.create 0) [| 0.0; 0.0 |])));
+    t "categorical never selects a zero-weight tail" (fun () ->
+        (* The cumulative scan can run off the end when x rounds up to
+           the total; the fallback must land on a positive weight, not
+           blindly on the last index. *)
+        let rng = Rng.create 31 in
+        for _ = 1 to 20_000 do
+          Alcotest.(check int) "only index 0 has mass" 0
+            (Rng.categorical rng [| 1.0; 0.0 |])
+        done);
+    t "categorical subnormal totals stay on positive weights" (fun () ->
+        (* [x = float·total] rounds to the total itself for most draws
+           when the total is the smallest subnormal, so the scan falls
+           through on nearly every call. *)
+        let rng = Rng.create 32 in
+        for _ = 1 to 1_000 do
+          Alcotest.(check int) "subnormal mass at index 0" 0
+            (Rng.categorical rng [| 5e-324; 0.0 |])
+        done);
+    t "categorical draws exactly one float per call" (fun () ->
+        let rng = Rng.create 33 in
+        let before = Rng.draw_count rng in
+        ignore (Rng.categorical rng [| 1.0; 0.0 |]);
+        Alcotest.(check int) "one draw" (before + 1) (Rng.draw_count rng));
     t "shuffle is a permutation" (fun () ->
         let rng = Rng.create 17 in
         let a = Array.init 50 Fun.id in

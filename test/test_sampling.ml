@@ -188,6 +188,29 @@ let chernoff_tests =
           400 + Stdlib.max 0 (Ch.samples_for_ratio ~eps:0.2 ~delta:0.1 ~p_lower:0.5 - 400)
         in
         Alcotest.(check int) "pilot counts toward the budget" bound total);
+    t "adaptive estimator honours a sub-pilot draw cap" (fun () ->
+        (* Regression: with max_samples below the 400-draw pilot, the
+           unclamped pilot alone used to overspend the cap. *)
+        let calls = ref 0 in
+        let f r = incr calls; Rng.float r < 0.5 in
+        let p =
+          Ch.estimate_fraction_adaptive (Rng.create 3) ~eps:0.1 ~delta:0.1 ~p_floor:0.01
+            ~max_samples:100 f
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "spent %d of a 100-draw budget" !calls)
+          true (!calls <= 100);
+        Alcotest.(check bool) "estimate is sane" true (Float.abs (p -. 0.5) < 0.25));
+    t "zero-hit pilot cannot overspend the cap either" (fun () ->
+        let calls = ref 0 in
+        let f _ = incr calls; false in
+        let p =
+          Ch.estimate_fraction_adaptive (Rng.create 4) ~eps:0.1 ~delta:0.1 ~p_floor:1e-6
+            ~max_samples:500 f
+        in
+        (* pilot (400) + floor-based main phase, truncated to the cap *)
+        Alcotest.(check int) "draws = max_samples" 500 !calls;
+        Alcotest.(check (float 0.0)) "no hits means zero" 0.0 p);
   ]
 
 let rounding_tests =
