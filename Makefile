@@ -40,6 +40,12 @@ check:
 # must reproduce the recorded sample stream bit-for-bit, and an
 # optimized-VM run (`--engine vm-opt`, rewritten plan so a different
 # stream by design) goes through its own record -> replay round trip.
+# Last, the profiler smoke: a `spatialdb report --engine vm-opt` whose
+# embedded profile and tagged attribution rows must validate, a
+# `spatialdb profile` run whose spatialdb-profile/1 document must
+# validate, a profiled+recorded sample run whose flight record must
+# still replay bit-for-bit (profiling never touches the RNG stream),
+# and `regress --trend` over the committed BENCH trajectory.
 # Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
@@ -78,6 +84,20 @@ ci: check
 	  --seed 42 -n 5 --engine vm-opt \
 	  --record _build/ci_vmopt.flightrec.json > _build/ci_vmopt_samples.tsv
 	dune exec bin/spatialdb.exe -- replay _build/ci_vmopt.flightrec.json
+	dune exec bin/spatialdb.exe -- report --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 --engine vm-opt -o _build/report_vmopt.json
+	dune exec bench/validate_profile.exe -- --report _build/report_vmopt.json
+	dune exec bin/spatialdb.exe -- profile --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 20 --out _build/profile_smoke.json > /dev/null
+	dune exec bench/validate_profile.exe -- --profile _build/profile_smoke.json
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 5 --engine vm --profile=counting \
+	  --record _build/ci_profiled.flightrec.json > /dev/null 2> /dev/null
+	dune exec bin/spatialdb.exe -- replay _build/ci_profiled.flightrec.json
+	dune exec bench/regress.exe -- --trend
 
 clean:
 	dune clean

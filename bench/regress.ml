@@ -10,6 +10,14 @@
                                                  exit 1 if any kernel is
                                                  more than 2x slower than
                                                  the given baseline
+     dune exec bench/regress.exe -- --trend [FILES...]
+                                                 walk the committed
+                                                 BENCH_<n>.json trajectory
+                                                 (all of them when no FILES
+                                                 are given) and exit 1 on
+                                                 machine-normalized drift;
+                                                 see --trend-threshold,
+                                                 --trend-ref, --trend-floor
 
    Timing runs execute with telemetry disabled (the disabled path is
    what production pays); a separate exercise phase then re-runs the
@@ -31,6 +39,7 @@ module FM = Scdb_qe.Fourier_motzkin
 module Rng = Scdb_rng.Rng
 module Rej = Scdb_sampling.Rejection
 module Tel = Scdb_telemetry.Telemetry
+module J = Scdb_trace.Json_min
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -252,6 +261,21 @@ let telemetry_snapshot ~poly ~grid ~centre =
       done;
       ignore (Observable.volume u rng ~eps:0.3 ~delta:0.2)
   | _ -> ());
+  (* Compiled-engine exercise: strict-VM draws on the same two-box
+     union, so the per-instruction vm.op.* counters ride along in the
+     snapshot next to the sampler counters they explain. *)
+  (let rng = Rng.create 8_2026 in
+   let vars = [ "x"; "y" ] in
+   let formula =
+     "(0 <= x /\\ x <= 1 /\\ 0 <= y /\\ y <= 1) \\/ (2 <= x /\\ x <= 3 /\\ 0 <= y /\\ y <= 1)"
+   in
+   let relation = Relation.of_formula ~dim:2 (Parser.parse ~vars formula) in
+   match
+     Scdb_gis.Plan_exec.compiled_of_relation ~config:Convex_obs.practical_config ~gamma:0.05
+       ~eps:0.3 ~delta:0.2 ~task:(Scdb_plan.Plan.Sample 64) rng relation
+   with
+   | Some (_, Ok prog) -> ignore (Scdb_vm.Vm.sample_many prog rng ~n:64)
+   | _ -> ());
   let json = Tel.dump ~only_nonzero:true () in
   Tel.set_enabled false;
   json
@@ -364,6 +388,215 @@ let engine_sweep ~fast =
       interp_ns vm_ns vm_opt_ns (interp_ns /. vm_ns) (interp_ns /. vm_opt_ns)
   in
   (json, interp_ns /. vm_opt_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler overhead                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The instruction profiler's contract is "cheap enough to leave on":
+   counting mode is allocation-free array bumps, timing mode reads the
+   monotonic clock only around the kernel opcodes (walk, ensure,
+   member).  Measured on the strict VM over the Figure 1 union — the
+   walk-bound engine whose ~10 us draws are what a profiled production
+   run actually executes; under --check the timing overhead is gated at
+   5%.  Paired-min estimator for the same reason as [dirbound_gate]. *)
+let profile_overhead ~fast =
+  let module Plan_exec = Scdb_gis.Plan_exec in
+  let module Vm = Scdb_vm.Vm in
+  let module Profile = Scdb_profile.Profile in
+  let vars = [ "x"; "y" ] in
+  let formula =
+    "(x >= 0 /\\ y >= 0 /\\ x + y <= 1) \\/ (x >= 2 /\\ x <= 3 /\\ y >= 0 /\\ y <= 1)"
+  in
+  let relation = Relation.of_formula ~dim:2 (Parser.parse ~vars formula) in
+  let rng = Rng.create 17_2026 in
+  match
+    Plan_exec.compiled_of_relation ~config:Convex_obs.practical_config ~gamma:0.05 ~eps:0.3
+      ~delta:0.2 ~task:(Scdb_plan.Plan.Sample 1) rng relation
+  with
+  | None | Some (_, Error _) -> ("null", 1.0)
+  | Some (_, Ok prog) ->
+      let counting = Profile.create ~mode:Profile.Counting prog in
+      let timing = Profile.create ~mode:Profile.Timing prog in
+      let plain () = ignore (Vm.sample_one prog rng) in
+      let count () = ignore (Profile.sample_one counting rng) in
+      let time () = ignore (Profile.sample_one timing rng) in
+      (* Warm: the first draw runs the cached weight estimation. *)
+      plain ();
+      let rounds = if fast then 7 else 9 in
+      let per_round = if fast then 150 else 400 in
+      let mins = [| infinity; infinity; infinity |] in
+      for _ = 1 to rounds do
+        List.iteri
+          (fun i d ->
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to per_round do
+              d ()
+            done;
+            let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int per_round in
+            if ns < mins.(i) then mins.(i) <- ns)
+          [ plain; count; time ]
+      done;
+      let c_ov = mins.(1) /. mins.(0) and t_ov = mins.(2) /. mins.(0) in
+      Printf.printf
+        "\nprofiler overhead on the strict VM (paired min): unprofiled %.1f ns/draw, counting \
+         %.1f (%.3fx), timing %.1f (%.3fx)\n"
+        mins.(0) mins.(1) c_ov mins.(2) t_ov;
+      ( Printf.sprintf
+          "{\"unprofiled_ns_per_draw\": %.3f, \"counting_ns_per_draw\": %.3f, \
+           \"timing_ns_per_draw\": %.3f, \"counting_overhead\": %.4f, \"timing_overhead\": \
+           %.4f}"
+          mins.(0) mins.(1) mins.(2) c_ov t_ov,
+        t_ov )
+
+(* ------------------------------------------------------------------ *)
+(* Perf-trend ledger (--trend)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the committed BENCH_<n>.json trajectory and flag silent drifts.
+
+   Raw ns/op is machine-dependent: the committed files were written on
+   different (or differently loaded) boxes, and the fixed seed-replica
+   kernels alone swing by up to ~1.4x across the trajectory.  Every
+   metric is therefore normalized by a reference kernel measured in the
+   same file (--trend-ref, default hit_and_run.step.seed — a frozen
+   implementation that can only move with the machine): the ratio
+   cancels machine speed and leaves genuine relative regressions.
+
+   A metric FAILS when its latest normalized value exceeds
+   --trend-threshold times the minimum of its normalized series — the
+   code is slower, relative to the machine it ran on, than it has ever
+   been, by more than the threshold.  Consecutive-step jumps above the
+   threshold that later recovered are reported as DRIFT warnings but do
+   not fail.
+
+   Metrics that never exceed --trend-floor (default 50 ns/op) in any
+   file are skipped: a single-word bigint add runs in a handful of
+   nanoseconds, where timer granularity and loop overhead swamp any
+   real trend, and a sub-floor kernel that genuinely regressed past the
+   floor re-enters the ledger by construction (the skip keys off the
+   series MAXIMUM, not its last value). *)
+
+let trend_fail fmt = Printf.ksprintf (fun m -> prerr_endline ("regress --trend: " ^ m); exit 2) fmt
+
+let bench_index f =
+  let base = Filename.basename f in
+  let pre = "BENCH_" and suf = ".json" in
+  let lp = String.length pre and ls = String.length suf in
+  let lb = String.length base in
+  if lb > lp + ls && String.sub base 0 lp = pre && String.sub base (lb - ls) ls = suf then
+    int_of_string_opt (String.sub base lp (lb - lp - ls))
+  else None
+
+let trend_table file =
+  let ic = try open_in file with Sys_error m -> trend_fail "%s" m in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc = try J.parse s with J.Parse_error m -> trend_fail "%s: invalid JSON: %s" file m in
+  let rows =
+    match Option.bind (J.member "results" doc) J.to_list with
+    | Some l -> l
+    | None -> trend_fail "%s: no results array" file
+  in
+  List.filter_map
+    (fun row ->
+      match
+        ( Option.bind (J.member "name" row) J.to_string,
+          Option.bind (J.member "ns_per_op" row) J.to_float )
+      with
+      | Some name, Some ns when Float.is_finite ns && ns > 0.0 -> Some (name, ns)
+      | _ -> None)
+    rows
+
+let trend ~files ~threshold ~ref_name ~floor_ns =
+  let files =
+    match files with
+    | _ :: _ -> files
+    | [] ->
+        Sys.readdir "." |> Array.to_list
+        |> List.filter_map (fun f -> Option.map (fun i -> (i, f)) (bench_index f))
+        |> List.sort compare |> List.map snd
+  in
+  if List.length files < 2 then
+    trend_fail "need at least 2 BENCH files to compare (got %d)" (List.length files);
+  let raw = List.map (fun f -> (f, trend_table f)) files in
+  let norm =
+    List.map
+      (fun (f, tbl) ->
+        match List.assoc_opt ref_name tbl with
+        | Some r when r > 0.0 -> (f, List.map (fun (n, v) -> (n, v /. r)) tbl)
+        | _ -> trend_fail "%s has no usable %s row to normalize by" f ref_name)
+      raw
+  in
+  (* Metrics in first-appearance order, present in >= 2 files; the
+     reference normalizes to 1.0 everywhere so it is skipped. *)
+  let names =
+    List.fold_left
+      (fun acc (_, tbl) ->
+        List.fold_left
+          (fun acc (n, _) -> if n = ref_name || List.mem n acc then acc else acc @ [ n ])
+          acc tbl)
+      [] norm
+  in
+  Printf.printf "perf trend over %d file(s), normalized by %s, threshold %.2fx:\n"
+    (List.length files) ref_name threshold;
+  Printf.printf "  %s\n" (String.concat " -> " files);
+  let failures = ref 0 and drifts = ref 0 and floored = ref 0 in
+  List.iter
+    (fun name ->
+      let raw_series =
+        List.filter_map (fun (_, tbl) -> List.assoc_opt name tbl) raw
+      in
+      let sub_floor =
+        raw_series <> [] && List.fold_left Float.max 0.0 raw_series < floor_ns
+      in
+      if sub_floor then incr floored;
+      let series =
+        if sub_floor then []
+        else List.filter_map (fun (_, tbl) -> List.assoc_opt name tbl) norm
+      in
+      match series with
+      | [] | [ _ ] -> ()
+      | vs ->
+          let mn = List.fold_left Float.min infinity vs in
+          let last = List.nth vs (List.length vs - 1) in
+          let ratio = last /. mn in
+          let step_drift =
+            let rec go = function
+              | a :: (b :: _ as rest) -> (b /. a > threshold) || go rest
+              | _ -> false
+            in
+            go vs
+          in
+          let verdict =
+            if ratio > threshold then begin
+              incr failures;
+              "FAIL"
+            end
+            else if step_drift then begin
+              incr drifts;
+              "DRIFT"
+            end
+            else "ok"
+          in
+          if verdict <> "ok" || ratio > 1.0 +. ((threshold -. 1.0) /. 2.0) then
+            Printf.printf "  %-36s [%s]  last/min %5.2fx  %s\n" name
+              (String.concat " " (List.map (Printf.sprintf "%.3f") vs))
+              ratio verdict)
+    names;
+  if !floored > 0 then
+    Printf.printf "%d metric(s) below the %.0f ns noise floor skipped (see --trend-floor)\n"
+      !floored floor_ns;
+  if !drifts > 0 then
+    Printf.printf "%d metric(s) drifted past %.2fx mid-trajectory but recovered\n" !drifts
+      threshold;
+  if !failures > 0 then begin
+    Printf.printf
+      "%d metric(s) ended more than %.2fx above their trajectory minimum (machine-normalized)\n"
+      !failures threshold;
+    exit 1
+  end
+  else Printf.printf "no metric ends more than %.2fx above its trajectory minimum\n" threshold
 
 (* ------------------------------------------------------------------ *)
 (* Convergence diagnostics                                             *)
@@ -657,10 +890,11 @@ let run ~fast ~out ~check ~metrics_out =
       Printf.printf "wrote %s\n" path);
   let calibration = plan_calibration ~fast in
   let engine_json, vm_opt_speedup = engine_sweep ~fast in
+  let overhead_json, timing_overhead = profile_overhead ~fast in
   let diagnostics = diagnostics_block ~fast ~poly in
   (* JSON out. *)
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/6\",\n  \"results\": [\n";
+  Printf.fprintf oc "{\n  \"schema\": \"spatialdb-bench/7\",\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.3f, \"trials\": %d}%s\n" r.name
@@ -672,11 +906,12 @@ let run ~fast ~out ~check ~metrics_out =
     \  \"batch_sweep\": %s,\n\
     \  \"plan_calibration\": %s,\n\
     \  \"engine_sweep\": %s,\n\
+    \  \"profile_overhead\": %s,\n\
     \  \"telemetry\": %s,\n\
     \  \"diagnostics\": %s\n\
      }\n"
-    batch_sweep_json (String.trim calibration) (String.trim engine_json) (String.trim telemetry)
-    (String.trim diagnostics);
+    batch_sweep_json (String.trim calibration) (String.trim engine_json)
+    (String.trim overhead_json) (String.trim telemetry) (String.trim diagnostics);
   close_out oc;
   Printf.printf "\nwrote %s\n" out;
   Option.iter
@@ -713,7 +948,21 @@ let run ~fast ~out ~check ~metrics_out =
       end
       else
         Printf.printf "vm-opt draws/sec %.2fx of interp on the union fixture (gate: >= 2x)\n"
-          vm_opt_speedup)
+          vm_opt_speedup;
+      (* Profiler gate: timing mode must stay within 5% of the
+         unprofiled strict VM on the union fixture, so leaving the
+         profiler attached to a diagnostic run never distorts what it
+         measures.  Counting mode is strictly cheaper and rides along
+         uninstrumented. *)
+      if timing_overhead > 1.05 then begin
+        Printf.printf
+          "FAIL: timing-mode profiler overhead %.3fx on the strict VM (gate: <= 1.05x)\n"
+          timing_overhead;
+        exit 1
+      end
+      else
+        Printf.printf "timing-mode profiler overhead %.3fx on the strict VM (gate: <= 1.05x)\n"
+          timing_overhead)
     check
 
 let () =
@@ -724,16 +973,47 @@ let () =
     | _ :: rest -> after flag rest
     | [] -> None
   in
-  let check = after "--check" args in
-  let metrics_out = after "--metrics-out" args in
-  let out =
-    match after "-o" args with
-    | Some f -> f
-    | None ->
-        let rec next n =
-          let f = Printf.sprintf "BENCH_%d.json" n in
-          if Sys.file_exists f then next (n + 1) else f
-        in
-        next 1
-  in
-  run ~fast ~out ~check ~metrics_out
+  if List.mem "--trend" args then begin
+    let threshold =
+      match after "--trend-threshold" args with
+      | None -> 1.25
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some t when t > 1.0 -> t
+          | _ -> trend_fail "--trend-threshold must be a number > 1 (got %S)" s)
+    in
+    let ref_name = Option.value ~default:"hit_and_run.step.seed" (after "--trend-ref" args) in
+    let floor_ns =
+      match after "--trend-floor" args with
+      | None -> 50.0
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some f when f >= 0.0 -> f
+          | _ -> trend_fail "--trend-floor must be a number >= 0 (got %S)" s)
+    in
+    let value_flags =
+      [ "-o"; "--check"; "--metrics-out"; "--trend-threshold"; "--trend-ref"; "--trend-floor" ]
+    in
+    let rec positionals acc = function
+      | [] -> List.rev acc
+      | f :: _ :: rest when List.mem f value_flags -> positionals acc rest
+      | a :: rest when String.length a > 0 && a.[0] = '-' -> positionals acc rest
+      | a :: rest -> positionals (a :: acc) rest
+    in
+    trend ~files:(positionals [] args) ~threshold ~ref_name ~floor_ns
+  end
+  else begin
+    let check = after "--check" args in
+    let metrics_out = after "--metrics-out" args in
+    let out =
+      match after "-o" args with
+      | Some f -> f
+      | None ->
+          let rec next n =
+            let f = Printf.sprintf "BENCH_%d.json" n in
+            if Sys.file_exists f then next (n + 1) else f
+          in
+          next 1
+    in
+    run ~fast ~out ~check ~metrics_out
+  end

@@ -1,0 +1,208 @@
+(* Validator for spatialdb-profile/1 documents (see Scdb_profile) and
+   for the profile/attribution surface of compiled-engine reports.
+
+   Usage:
+     validate_profile --profile FILE     standalone profile document
+     validate_profile --report FILE      spatialdb-report/3 document
+
+   Exits 1 with a message on the first violation.
+
+   --profile checks:
+   - schema must be "spatialdb-profile/1", mode counting|timing,
+     engine vm|vm-opt;
+   - the pcs table must cover every instruction (length == the
+     "instructions" count — the symbolization contract is total, a pc
+     the compiler emitted but the profiler cannot attribute is a bug),
+     in strictly ascending pc order;
+   - every count must be a non-negative integer and every ns finite and
+     non-negative (a NaN serializes as null and fails the number
+     check); counting mode must carry zero ns everywhere;
+   - the per-pc counts must sum to total_instructions_executed, and the
+     per-opcode and per-node rollups must both re-sum to the same
+     totals (count and ns) — the three views are projections of one
+     measurement, not independent estimates;
+   - every pcs[].node must appear in the nodes[] rollup, and every
+     pcs[].tag in its node's tags.
+
+   --report checks:
+   - schema must be "spatialdb-report/3" with an "engine" argument;
+   - every cost_attribution row must carry a "tags" array;
+   - under a compiled engine (vm, vm-opt) the "profile" block must be
+     present and pass all the --profile checks above, and under vm-opt
+     at least one attribution row must carry a rewrite tag (the
+     optimizer fired on the Figure 1 fixtures; a tagless vm-opt report
+     means the symbolization table lost the provenance).
+
+   `make ci` runs both forms on fresh smoke artifacts. *)
+
+module J = Scdb_trace.Json_min
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_profile: " ^ m); exit 1) fmt
+
+let get name = function Some v -> v | None -> fail "missing field %s" name
+
+let num name v =
+  match J.to_float v with
+  | Some x when Float.is_finite x -> x
+  | _ -> fail "field %s is not a finite number" name
+
+let str name v = match J.to_string v with Some s -> s | None -> fail "field %s is not a string" name
+
+let arr name v = match J.to_list v with Some l -> l | None -> fail "field %s is not an array" name
+
+let count_of name v =
+  let x = num name v in
+  if x < 0.0 || Float.rem x 1.0 <> 0.0 then fail "field %s is not a non-negative integer" name;
+  x
+
+let ns_of name v =
+  let x = num name v in
+  if x < 0.0 then fail "field %s is negative" name;
+  x
+
+let check_profile doc =
+  (match J.to_string (get "schema" (J.member "schema" doc)) with
+  | Some "spatialdb-profile/1" -> ()
+  | Some other -> fail "unexpected profile schema %S" other
+  | None -> fail "profile schema is not a string");
+  let engine = str "engine" (get "engine" (J.member "engine" doc)) in
+  if engine <> "vm" && engine <> "vm-opt" then fail "unexpected engine %S" engine;
+  let mode = str "mode" (get "mode" (J.member "mode" doc)) in
+  if mode <> "counting" && mode <> "timing" then fail "unexpected mode %S" mode;
+  let instructions =
+    count_of "instructions" (get "instructions" (J.member "instructions" doc))
+  in
+  let total_exec =
+    count_of "total_instructions_executed"
+      (get "total_instructions_executed" (J.member "total_instructions_executed" doc))
+  in
+  let total_ns =
+    ns_of "total_profiled_ns" (get "total_profiled_ns" (J.member "total_profiled_ns" doc))
+  in
+  let pcs = arr "pcs" (get "pcs" (J.member "pcs" doc)) in
+  (* Totality: one row per emitted instruction, ascending. *)
+  if List.length pcs <> int_of_float instructions then
+    fail "pcs table has %d rows but the program has %g instructions (missing pcs)"
+      (List.length pcs) instructions;
+  let last_pc = ref (-1) in
+  let pc_count = ref 0.0 and pc_ns = ref 0.0 in
+  let node_tags = Hashtbl.create 16 in
+  let nodes = arr "nodes" (get "nodes" (J.member "nodes" doc)) in
+  List.iteri
+    (fun i row ->
+      let id = int_of_float (count_of "nodes[].id" (get "nodes[].id" (J.member "id" row))) in
+      let tags =
+        List.map (fun t -> str "nodes[].tags[]" t) (arr "nodes[].tags" (get "nodes[].tags" (J.member "tags" row)))
+      in
+      ignore i;
+      Hashtbl.replace node_tags id tags)
+    nodes;
+  List.iteri
+    (fun i row ->
+      let ctx = Printf.sprintf "pcs[%d]" i in
+      let pc = int_of_float (count_of (ctx ^ ".pc") (get (ctx ^ ".pc") (J.member "pc" row))) in
+      if pc <= !last_pc then fail "%s.pc %d breaks ascending pc order (after %d)" ctx pc !last_pc;
+      last_pc := pc;
+      let node =
+        int_of_float (count_of (ctx ^ ".node") (get (ctx ^ ".node") (J.member "node" row)))
+      in
+      let tags =
+        match Hashtbl.find_opt node_tags node with
+        | Some t -> t
+        | None -> fail "%s maps to node %d which is absent from the nodes rollup" ctx node
+      in
+      (match J.member "tag" row with
+      | Some (J.Str t) ->
+          if not (List.mem t tags) then
+            fail "%s carries tag %S but node %d's rollup does not" ctx t node
+      | Some J.Null | None -> ()
+      | Some _ -> fail "%s.tag is neither a string nor null" ctx);
+      let c = count_of (ctx ^ ".count") (get (ctx ^ ".count") (J.member "count" row)) in
+      let n = ns_of (ctx ^ ".ns") (get (ctx ^ ".ns") (J.member "ns" row)) in
+      if mode = "counting" && n <> 0.0 then
+        fail "%s has %g ns in counting mode (should be 0)" ctx n;
+      pc_count := !pc_count +. c;
+      pc_ns := !pc_ns +. n)
+    pcs;
+  if !pc_count <> total_exec then
+    fail "per-pc counts sum to %g but total_instructions_executed is %g" !pc_count total_exec;
+  if Float.abs (!pc_ns -. total_ns) > 0.5 then
+    fail "per-pc ns sum to %g but total_profiled_ns is %g" !pc_ns total_ns;
+  let sum_rollup what rows =
+    List.fold_left
+      (fun (c, n) row ->
+        let cf = Printf.sprintf "%s.count" what and nf = Printf.sprintf "%s.ns" what in
+        ( c +. count_of cf (get cf (J.member "count" row)),
+          n +. ns_of nf (get nf (J.member "ns" row)) ))
+      (0.0, 0.0) rows
+  in
+  let op_count, op_ns =
+    sum_rollup "opcodes[]" (arr "opcodes" (get "opcodes" (J.member "opcodes" doc)))
+  in
+  if op_count <> total_exec then
+    fail "per-opcode counts sum to %g but total_instructions_executed is %g" op_count total_exec;
+  if Float.abs (op_ns -. total_ns) > 0.5 then
+    fail "per-opcode ns sum to %g but total_profiled_ns is %g" op_ns total_ns;
+  let node_count, node_ns =
+    List.fold_left
+      (fun (c, n) row ->
+        ( c +. count_of "nodes[].instructions" (get "nodes[].instructions" (J.member "instructions" row)),
+          n +. ns_of "nodes[].ns" (get "nodes[].ns" (J.member "ns" row)) ))
+      (0.0, 0.0) nodes
+  in
+  if node_count <> total_exec then
+    fail "per-node counts sum to %g but total_instructions_executed is %g" node_count total_exec;
+  if Float.abs (node_ns -. total_ns) > 0.5 then
+    fail "per-node ns sum to %g but total_profiled_ns is %g" node_ns total_ns;
+  engine
+
+let check_report doc =
+  (match J.to_string (get "schema" (J.member "schema" doc)) with
+  | Some "spatialdb-report/3" -> ()
+  | Some other -> fail "unexpected report schema %S" other
+  | None -> fail "report schema is not a string");
+  let args = get "args" (J.member "args" doc) in
+  let engine = str "args.engine" (get "args.engine" (J.member "engine" args)) in
+  let attribution =
+    arr "cost_attribution" (get "cost_attribution" (J.member "cost_attribution" doc))
+  in
+  if attribution = [] then fail "cost_attribution is empty";
+  let tagged = ref 0 in
+  List.iteri
+    (fun i row ->
+      let ctx = Printf.sprintf "cost_attribution[%d]" i in
+      let tags = arr (ctx ^ ".tags") (get (ctx ^ ".tags") (J.member "tags" row)) in
+      if tags <> [] then incr tagged)
+    attribution;
+  match engine with
+  | "interp" -> (
+      match J.member "profile" doc with
+      | Some J.Null | None -> ()
+      | Some _ -> fail "interp report carries a profile block")
+  | "vm" | "vm-opt" -> (
+      match J.member "profile" doc with
+      | Some J.Null | None -> fail "%s report is missing its profile block" engine
+      | Some p ->
+          let p_engine = check_profile p in
+          if p_engine <> engine then
+            fail "report engine %s but profile engine %s" engine p_engine;
+          if engine = "vm-opt" && !tagged = 0 then
+            fail "vm-opt report has no attribution row with rewrite tags")
+  | e -> fail "unexpected args.engine %S" e
+
+let () =
+  let usage () = fail "usage: validate_profile (--profile | --report) FILE" in
+  let kind, file =
+    match List.tl (Array.to_list Sys.argv) with
+    | [ "--profile"; f ] -> (`Profile, f)
+    | [ "--report"; f ] -> (`Report, f)
+    | _ -> usage ()
+  in
+  let ic = try open_in file with Sys_error m -> fail "%s" m in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc = try J.parse s with J.Parse_error m -> fail "%s: invalid JSON: %s" file m in
+  (match kind with
+  | `Profile -> ignore (check_profile doc)
+  | `Report -> check_report doc);
+  Printf.printf "validate_profile: %s OK\n" file

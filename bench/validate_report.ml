@@ -1,9 +1,9 @@
-(* Validator for spatialdb-report/2 documents (see Scdb_gis.Report).
+(* Validator for spatialdb-report/3 documents (see Scdb_gis.Report).
 
    Usage: validate_report FILE [--require-converged]
 
    Exits 1 with a message on the first violation:
-   - schema must be "spatialdb-report/2";
+   - schema must be "spatialdb-report/3";
    - the embedded trace must hold >= 10 events, every ts/dur finite and
      non-negative, ts non-decreasing (creation order);
    - the embedded plan must be schema spatialdb-plan/1 with a positive
@@ -43,7 +43,7 @@ let () =
   let doc = try J.parse s with J.Parse_error m -> fail "invalid JSON: %s" m in
   (* Schema. *)
   (match J.to_string (get "schema" (J.member "schema" doc)) with
-  | Some "spatialdb-report/2" -> ()
+  | Some "spatialdb-report/3" -> ()
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "schema is not a string");
   (* Trace. *)

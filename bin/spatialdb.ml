@@ -123,9 +123,24 @@ let overrun_arg =
   in
   Arg.(value & opt float 4.0 & info [ "overrun-factor" ] ~docv:"FACTOR" ~doc)
 
-let print_attribution plan =
+let print_attribution ?program plan =
   prerr_endline "cost attribution (predicted vs actual, work units = steps + trials):";
-  prerr_string (Scdb_gis.Plan_exec.attribution_text (Scdb_gis.Plan_exec.attribution plan))
+  prerr_string
+    (Scdb_gis.Plan_exec.attribution_text (Scdb_gis.Plan_exec.attribution ?program plan))
+
+let profile_modes = [ "counting"; "timing" ]
+
+let profile_mode_of_string s =
+  match s with
+  | "counting" -> Scdb_profile.Profile.Counting
+  | "timing" -> Scdb_profile.Profile.Timing
+  | m -> usage_die "profile mode" m profile_modes
+
+let write_file path body =
+  let oc = open_out path in
+  output_string oc body;
+  if body = "" || body.[String.length body - 1] <> '\n' then output_char oc '\n';
+  close_out oc
 
 (* ---------------- observability flags ---------------- *)
 
@@ -257,10 +272,31 @@ let sample_cmd =
     in
     Arg.(value & opt (some string) None & info [ "record-on-anomaly" ] ~docv:"FILE" ~doc)
   in
+  let profile_arg =
+    let doc =
+      "Attach the instruction profiler to the run (compiled engines only): $(b,counting) \
+       (exact per-pc/per-opcode execution counts, allocation-free) or $(b,timing) (counts \
+       plus monotonic-clock nanosecond buckets on the kernel opcodes; the default when the \
+       flag is given bare).  Prints the hot-pc/per-opcode/per-node tables and the \
+       predicted-vs-actual attribution to stderr.  Profiling never perturbs the RNG stream."
+    in
+    Arg.(
+      value
+      & opt (some string) None ~vopt:(Some "timing")
+      & info [ "profile" ] ~docv:"MODE" ~doc)
+  in
+  let profile_out_arg =
+    let doc =
+      "With $(b,--profile), additionally write the full spatialdb-profile/1 JSON document \
+       (hot pcs, opcode histogram, per-node rollup, Chrome trace events) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+  in
   let run vars_s formula n seed eps delta method_ engine stats stats_out diag chains o record
-      record_anomaly progress overrun_factor =
+      record_anomaly progress overrun_factor profile_s profile_out =
     check_method method_;
     check_engine engine;
+    let profile_mode = Option.map profile_mode_of_string profile_s in
     enable_stats ?stats_out stats;
     setup_obs o;
     (* Anomaly detection rides on the warn/error counters, so make sure
@@ -272,8 +308,17 @@ let sample_cmd =
     end;
     let args = { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_; engine } in
     let track = record <> None || record_anomaly <> None in
-    let outcome = or_die (Flight.run ~track ~progress ~overrun_factor args) in
-    if progress then print_attribution outcome.Flight.plan;
+    let outcome = or_die (Flight.run ~track ~progress ~overrun_factor ?profile_mode args) in
+    (match outcome.Flight.profile with
+    | Some profile ->
+        prerr_string
+          (Scdb_profile.Profile.text_report ~plan:outcome.Flight.plan profile);
+        print_attribution ?program:outcome.Flight.program outcome.Flight.plan;
+        (match profile_out with
+        | Some path ->
+            write_file path (Scdb_profile.Profile.to_json ~plan:outcome.Flight.plan profile)
+        | None -> ())
+    | None -> if progress then print_attribution ?program:outcome.Flight.program outcome.Flight.plan);
     let relation = outcome.Flight.relation and rng = outcome.Flight.rng in
     List.iter
       (fun p ->
@@ -322,7 +367,7 @@ let sample_cmd =
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
       $ engine_arg $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg $ obs_term $ record_arg
-      $ record_anomaly_arg $ progress_arg $ overrun_arg)
+      $ record_anomaly_arg $ progress_arg $ overrun_arg $ profile_arg $ profile_out_arg)
 
 (* ---------------- volume ---------------- *)
 
@@ -456,15 +501,16 @@ let report_cmd =
           ~doc:"Additionally write the raw Chrome trace to $(docv).")
   in
   let run vars_s formula n seed eps delta chains out format trace_out o progress
-      overrun_factor =
+      overrun_factor engine =
     setup_obs o;
+    check_engine engine;
     if not (List.mem format [ "json"; "trace"; "tree" ]) then
       usage_die "format" format [ "json"; "trace"; "tree" ];
     let vars = split_vars vars_s in
     let report =
       or_die
         (Scdb_gis.Report.generate ~eps ~delta ~samples:n ~chains ~progress ~overrun_factor
-           ~vars ~formula ~seed ())
+           ~engine ~vars ~formula ~seed ())
     in
     let body =
       match format with
@@ -493,7 +539,72 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ chains_arg
-      $ out_arg $ format_arg $ trace_out_arg $ obs_term $ progress_arg $ overrun_arg)
+      $ out_arg $ format_arg $ trace_out_arg $ obs_term $ progress_arg $ overrun_arg
+      $ engine_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let n_arg =
+    Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Number of points to draw.")
+  in
+  let method_arg =
+    let doc = "Per-piece sampler: $(b,walk), $(b,grid) or $(b,rejection)." in
+    Arg.(value & opt string "walk" & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let engine_arg =
+    let doc =
+      "Compiled engine to profile: $(b,vm) (the strict mirror) or $(b,vm-opt) (with \
+       cost-based rewrites, the default — the rewrite tags in the output show where its \
+       speedup comes from)."
+    in
+    Arg.(value & opt string "vm-opt" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let mode_arg =
+    let doc =
+      "Profiler mode: $(b,timing) (per-pc monotonic-clock nanosecond buckets, the default) \
+       or $(b,counting) (execution counts only — allocation-free, negligible overhead)."
+    in
+    Arg.(value & opt string "timing" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the spatialdb-profile/1 JSON document to $(docv).")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot-pc table.")
+  in
+  let run vars_s formula n seed eps delta method_ engine mode_s out top stats stats_out o =
+    check_method method_;
+    if not (List.mem engine [ "vm"; "vm-opt" ]) then
+      usage_die "engine" engine [ "vm"; "vm-opt" ];
+    let mode = profile_mode_of_string mode_s in
+    enable_stats ?stats_out stats;
+    setup_obs o;
+    let args =
+      { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_; engine }
+    in
+    let outcome = or_die (Flight.run ~profile_mode:mode args) in
+    let plan = outcome.Flight.plan in
+    let profile = Option.get outcome.Flight.profile in
+    print_string (Scdb_profile.Profile.text_report ~plan ~top profile);
+    print_attribution ?program:outcome.Flight.program plan;
+    match out with
+    | Some path -> write_file path (Scdb_profile.Profile.to_json ~plan profile)
+    | None -> ()
+  in
+  let doc =
+    "Draw points through a compiled engine under the instruction profiler and print the \
+     hot-pc table, the per-opcode histogram, the per-plan-node rollup (with the compiler's \
+     rewrite tags) and the predicted-vs-actual cost attribution."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
+      $ engine_arg $ mode_arg $ out_arg $ top_arg $ stats_arg $ stats_out_arg $ obs_term)
 
 (* ---------------- replay ---------------- *)
 
@@ -657,6 +768,7 @@ let () =
             qe_cmd;
             reconstruct_cmd;
             report_cmd;
+            profile_cmd;
             replay_cmd;
             plan_cmd;
             explain_cmd;

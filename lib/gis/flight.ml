@@ -19,6 +19,8 @@ type outcome = {
   relation : Relation.t;
   rng : Rng.t;
   plan : Scdb_plan.Plan.t;
+  program : Scdb_vm.Vm.t option;
+  profile : Scdb_profile.Profile.t option;
 }
 
 let ( let* ) = Result.bind
@@ -48,9 +50,14 @@ let parse_relation a =
     | exception Lexer.Lex_error (m, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos m)
   end
 
-let run ?(track = false) ?(progress = false) ?overrun_factor a =
+let run ?(track = false) ?(progress = false) ?overrun_factor ?profile_mode a =
   let* sampler = sampler_of_method a.method_ in
   let* engine = check_engine a.engine in
+  let* () =
+    if profile_mode <> None && engine = "interp" then
+      Error "profiling requires a compiled engine (--engine vm or vm-opt)"
+    else Ok ()
+  in
   let* relation = parse_relation a in
   if track then begin
     Rng.Provenance.reset ();
@@ -71,7 +78,7 @@ let run ?(track = false) ?(progress = false) ?overrun_factor a =
         | None -> Error "relation is empty, unbounded or lower-dimensional"
         | Some (plan, obs) ->
             let params = Params.make ~gamma ~eps:a.eps ~delta:a.delta () in
-            Ok (plan, fun () -> Observable.sample_many obs rng params ~n:a.n))
+            Ok (plan, None, None, fun () -> Observable.sample_many obs rng params ~n:a.n))
     | _ -> (
         let optimize = engine = "vm-opt" in
         match
@@ -80,14 +87,27 @@ let run ?(track = false) ?(progress = false) ?overrun_factor a =
         with
         | None -> Error "relation is empty, unbounded or lower-dimensional"
         | Some (_, Error m) -> Error ("plan does not compile: " ^ m)
-        | Some (plan, Ok prog) -> Ok (plan, fun () -> Scdb_vm.Vm.sample_many prog rng ~n:a.n))
+        | Some (plan, Ok prog) -> (
+            match profile_mode with
+            | None ->
+                Ok (plan, Some prog, None, fun () -> Scdb_vm.Vm.sample_many prog rng ~n:a.n)
+            | Some mode ->
+                let pr = Scdb_profile.Profile.create ~mode prog in
+                Ok
+                  ( plan,
+                    Some prog,
+                    Some pr,
+                    fun () -> Scdb_profile.Profile.sample_many pr rng ~n:a.n )))
   in
-  let* plan, draw = built in
-  if progress then begin
-    Plan_exec.arm ?overrun_factor plan;
-    Scdb_progress.Progress.start_ticker ()
-  end;
-  let finish_progress () = if progress then Scdb_progress.Progress.stop () in
+  let* plan, program, profile, draw = built in
+  (* Profiled runs arm the bus even without --progress so the per-node
+     actual column of the attribution table is populated; the ticker
+     stays tied to --progress. *)
+  if progress || profile <> None then Plan_exec.arm ?overrun_factor plan;
+  if progress then Scdb_progress.Progress.start_ticker ();
+  let finish_progress () =
+    if progress || profile <> None then Scdb_progress.Progress.stop ()
+  in
   if Log.would_log Log.Info then
     Log.info "sample.run"
       [
@@ -105,7 +125,7 @@ let run ?(track = false) ?(progress = false) ?overrun_factor a =
       if Log.would_log Log.Info then
         Log.info "sample.done"
           [ Log.int "points" (List.length points); Log.int "draws" (Rng.draw_count rng) ];
-      Ok { points; relation; rng; plan }
+      Ok { points; relation; rng; plan; program; profile }
   | exception Observable.Estimation_failed m ->
       finish_progress ();
       Error m

@@ -37,18 +37,30 @@ type outcome = {
           [Sample n]); with [~progress:true] its predicted-vs-actual
           attribution is readable via {!Plan_exec.attribution} after
           the run *)
+  program : Scdb_vm.Vm.t option;
+      (** the compiled program, under [--engine vm|vm-opt] (supplies
+          rewrite tags to {!Plan_exec.attribution}) *)
+  profile : Scdb_profile.Profile.t option;  (** filled when [profile_mode] was given *)
 }
 
 val run :
-  ?track:bool -> ?progress:bool -> ?overrun_factor:float -> args -> (outcome, string) result
+  ?track:bool ->
+  ?progress:bool ->
+  ?overrun_factor:float ->
+  ?profile_mode:Scdb_profile.Profile.mode ->
+  args ->
+  (outcome, string) result
 (** Parse, build the plan-tagged observable, draw [n] points.  With
     [~track:true] the RNG provenance registry is reset and enabled
     first, so the lineage tree in {!to_flightrec} is complete and its
     ids are reproducible.  With [~progress:true] the progress bus is
     armed with the plan's budgets and a stderr ticker runs for the
-    duration ([overrun_factor] tunes the watchdog).  Neither option
-    perturbs the RNG stream, so replay is unaffected.  Emits
-    [sample.run] / [sample.done] info events. *)
+    duration ([overrun_factor] tunes the watchdog).  [profile_mode]
+    (compiled engines only — an [Error] under ["interp"]) attaches an
+    instruction profiler and arms the progress bus ticker-free, so the
+    outcome carries both the profile and readable attribution.  None of
+    these options perturb the RNG stream, so replay is unaffected.
+    Emits [sample.run] / [sample.done] info events. *)
 
 val to_flightrec : args -> outcome -> Scdb_log.Flightrec.t
 (** Snapshot a finished run as a [spatialdb-flightrec/1] record

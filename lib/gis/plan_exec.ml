@@ -90,10 +90,18 @@ type attribution_row = {
   predicted : float;
   actual : float;
   ratio : float;  (** [actual/predicted]; [nan] when the node never ran *)
+  tags : string list;  (** rewrite provenance under the optimized engine *)
 }
 
-let attribution plan =
+let attribution ?program plan =
   let actuals = Progress.rows () in
+  let tags_of =
+    match program with
+    | None -> fun _ -> []
+    | Some prog ->
+        let table = Scdb_vm.Vm.rewrite_tags prog in
+        fun id -> Option.value (List.assoc_opt id table) ~default:[]
+  in
   Array.map
     (fun (id, op, predicted) ->
       let actual =
@@ -104,7 +112,7 @@ let attribution plan =
         else if predicted > 0.0 then actual /. predicted
         else Float.infinity
       in
-      { id; op; predicted; actual; ratio })
+      { id; op; predicted; actual; ratio; tags = tags_of id })
     (Plan.budget_rows plan)
 
 let attribution_json rows =
@@ -115,20 +123,23 @@ let attribution_json rows =
   in
   let row r =
     Printf.sprintf
-      "    {\"id\": %d, \"op\": \"%s\", \"predicted\": %s, \"actual\": %s, \"ratio\": %s}"
+      "    {\"id\": %d, \"op\": \"%s\", \"predicted\": %s, \"actual\": %s, \"ratio\": %s, \"tags\": [%s]}"
       r.id r.op (jnum r.predicted) (jnum r.actual)
       (if Float.is_finite r.ratio then jnum r.ratio else "null")
+      (String.concat ", " (List.map (fun t -> "\"" ^ t ^ "\"") r.tags))
   in
   "[\n" ^ String.concat ",\n" (List.map row (Array.to_list rows)) ^ "\n  ]"
 
 let attribution_text rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "%4s  %-8s %14s %14s %8s\n" "id" "op" "predicted" "actual" "ratio");
+    (Printf.sprintf "%4s  %-8s %14s %14s %8s  %s\n" "id" "op" "predicted" "actual" "ratio"
+       "rewrites");
   Array.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%4d  %-8s %14.3g %14.3g %8s\n" r.id r.op r.predicted r.actual
-           (if Float.is_finite r.ratio then Printf.sprintf "%.2f" r.ratio else "-")))
+        (Printf.sprintf "%4d  %-8s %14.3g %14.3g %8s  %s\n" r.id r.op r.predicted r.actual
+           (if Float.is_finite r.ratio then Printf.sprintf "%.2f" r.ratio else "-")
+           (match r.tags with [] -> "-" | tags -> String.concat "," tags)))
     rows;
   Buffer.contents buf

@@ -52,12 +52,16 @@ type attribution_row = {
   predicted : float;
   actual : float;
   ratio : float;  (** [actual/predicted]; [nan] when the node never ran *)
+  tags : string list;  (** rewrite provenance under the optimized engine *)
 }
 
-val attribution : Scdb_plan.Plan.t -> attribution_row array
+val attribution : ?program:Scdb_vm.Vm.t -> Scdb_plan.Plan.t -> attribution_row array
 (** Join the plan's budgets with the progress bus's accrued actuals,
     in node-id order.  Call after the run, before the next
-    [Progress.start]. *)
+    [Progress.start].  When the run executed a compiled [program], its
+    symbolization table supplies each node's rewrite tags
+    ([rejection_box_substituted], [shared_union_leaf],
+    [reordered_membership]) so attribution rows carry provenance. *)
 
 val attribution_json : attribution_row array -> string
 (** JSON array (two-space indented block) with [null] ratios for nodes

@@ -13,8 +13,10 @@ let json_float v =
 let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
     ?(chains = Diag_run.default_chains)
     ?(samples_per_chain = Diag_run.default_samples_per_chain) ?(progress = false)
-    ?overrun_factor ~vars ~formula ~seed () =
+    ?overrun_factor ?(engine = "interp") ~vars ~formula ~seed () =
   if vars = [] then Error "no variables given"
+  else if not (List.mem engine [ "interp"; "vm"; "vm-opt" ]) then
+    Error ("unknown engine " ^ engine)
   else begin
     let tel_was = Tel.enabled () and trace_was = Trace.enabled () in
     Tel.set_enabled true;
@@ -43,31 +45,83 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
             else Trace.span "qe.eliminate" (fun () -> FM.eliminate f)
           in
           let relation = Relation.of_formula ~dim f in
-          match
-            Plan_exec.observable_of_relation ~config:Convex_obs.practical_config ~gamma:0.05
-              ~eps ~delta ~task:(Scdb_plan.Plan.Report samples) rng relation
-          with
-          | None -> Error "relation is empty, unbounded or lower-dimensional"
-          | Some (plan, obs) ->
-              (* The progress bus collects per-node actuals for the
-                 attribution table; armed only around the planned work
-                 (diagnostics below are outside the plan and must not
-                 pollute the root's actuals). *)
-              Plan_exec.arm ?overrun_factor plan;
-              if progress then Scdb_progress.Progress.start_ticker ();
-              let params = Params.make ~gamma:0.05 ~eps ~delta () in
-              let pts =
-                Trace.span "report.sample" ~attrs:[ ("n", string_of_int samples) ]
-                  (fun () -> Observable.sample_many obs rng params ~n:samples)
-              in
-              let vol =
-                Trace.span "report.volume" (fun () ->
-                    match Observable.volume obs rng ~eps ~delta with
-                    | v -> Some v
-                    | exception Observable.Estimation_failed _ -> None)
-              in
-              let attribution = Plan_exec.attribution plan in
-              Scdb_progress.Progress.stop ();
+          let task = Scdb_plan.Plan.Report samples in
+          let built =
+            (* The progress bus collects per-node actuals for the
+               attribution table; armed only around the planned work
+               (diagnostics below are outside the plan and must not
+               pollute the root's actuals). *)
+            match engine with
+            | "interp" -> (
+                match
+                  Plan_exec.observable_of_relation ~config:Convex_obs.practical_config
+                    ~gamma:0.05 ~eps ~delta ~task rng relation
+                with
+                | None -> Error "relation is empty, unbounded or lower-dimensional"
+                | Some (plan, obs) ->
+                    Plan_exec.arm ?overrun_factor plan;
+                    if progress then Scdb_progress.Progress.start_ticker ();
+                    let params = Params.make ~gamma:0.05 ~eps ~delta () in
+                    let pts =
+                      Trace.span "report.sample" ~attrs:[ ("n", string_of_int samples) ]
+                        (fun () -> Observable.sample_many obs rng params ~n:samples)
+                    in
+                    let vol =
+                      Trace.span "report.volume" (fun () ->
+                          match Observable.volume obs rng ~eps ~delta with
+                          | v -> Some v
+                          | exception Observable.Estimation_failed _ -> None)
+                    in
+                    let attribution = Plan_exec.attribution plan in
+                    Scdb_progress.Progress.stop ();
+                    Ok (plan, attribution, pts, vol, None))
+            | _ -> (
+                (* Compiled engines: draws run through the instruction
+                   profiler (timing mode — a report is a diagnostic
+                   document), volume through the program's interpreted
+                   mirror, and the attribution rows carry the
+                   compiler's rewrite tags. *)
+                let optimize = engine = "vm-opt" in
+                match
+                  Plan_exec.compiled_of_relation ~config:Convex_obs.practical_config
+                    ~optimize ~gamma:0.05 ~eps ~delta ~task rng relation
+                with
+                | None -> Error "relation is empty, unbounded or lower-dimensional"
+                | Some (_, Error m) -> Error ("plan does not compile: " ^ m)
+                | Some (plan, Ok prog) -> (
+                    Plan_exec.arm ?overrun_factor plan;
+                    if progress then Scdb_progress.Progress.start_ticker ();
+                    let profile =
+                      Scdb_profile.Profile.create ~mode:Scdb_profile.Profile.Timing prog
+                    in
+                    match
+                      Trace.span "report.sample" ~attrs:[ ("n", string_of_int samples) ]
+                        (fun () -> Scdb_profile.Profile.sample_many profile rng ~n:samples)
+                    with
+                    | pts ->
+                        let vol =
+                          Trace.span "report.volume" (fun () ->
+                              match
+                                Observable.volume (Scdb_vm.Vm.mirror prog) rng ~eps ~delta
+                              with
+                              | v -> Some v
+                              | exception Observable.Estimation_failed _ -> None)
+                        in
+                        let attribution = Plan_exec.attribution ~program:prog plan in
+                        Scdb_progress.Progress.stop ();
+                        Ok
+                          ( plan,
+                            attribution,
+                            pts,
+                            vol,
+                            Some (Scdb_profile.Profile.to_json ~plan profile) )
+                    | exception Observable.Estimation_failed m ->
+                        Scdb_progress.Progress.stop ();
+                        Error ("sampling failed: " ^ m)))
+          in
+          match built with
+          | Error e -> Error e
+          | Ok (plan, attribution, pts, vol, profile_json) ->
               let diag =
                 match Relation.tuples relation with
                 | tuple :: _ ->
@@ -75,26 +129,27 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
                       (Polytope.of_tuple ~dim tuple)
                 | [] -> None
               in
-              Ok (relation, plan, attribution, pts, vol, diag))
+              Ok (relation, plan, attribution, pts, vol, diag, profile_json))
     in
     (* Export after the root span closes so every duration is final. *)
     let out =
       match result with
       | Error e -> Error e
-      | Ok (relation, plan, attribution, pts, vol, diag) ->
+      | Ok (relation, plan, attribution, pts, vol, diag, profile_json) ->
           let chrome = Trace.to_chrome_json () in
           let text = Trace.to_text_tree () in
           let telemetry = Tel.dump ~only_nonzero:true () in
           let buf = Buffer.create 8192 in
           let add = Buffer.add_string buf in
           add "{\n";
-          add "  \"schema\": \"spatialdb-report/2\",\n";
+          add "  \"schema\": \"spatialdb-report/3\",\n";
           add "  \"args\": {\n";
           add
             (Printf.sprintf "    \"vars\": [%s],\n"
                (String.concat ", "
                   (List.map (fun v -> "\"" ^ Trace.json_escape v ^ "\"") vars)));
           add (Printf.sprintf "    \"formula\": \"%s\",\n" (Trace.json_escape formula));
+          add (Printf.sprintf "    \"engine\": \"%s\",\n" (Trace.json_escape engine));
           add (Printf.sprintf "    \"seed\": %d,\n" seed);
           add (Printf.sprintf "    \"eps\": %s,\n" (json_float eps));
           add (Printf.sprintf "    \"delta\": %s,\n" (json_float delta));
@@ -132,6 +187,11 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
               add
                 (String.concat "\n  "
                    (String.split_on_char '\n' (Diag_run.to_json d)))
+          | None -> add "null");
+          add ",\n";
+          add "  \"profile\": ";
+          (match profile_json with
+          | Some pj -> add (String.concat "\n  " (String.split_on_char '\n' (String.trim pj)))
           | None -> add "null");
           add ",\n";
           add (Printf.sprintf "  \"span_count\": %d,\n" (Trace.count ()));

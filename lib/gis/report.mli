@@ -4,7 +4,7 @@
     sample, estimate volume, and a multi-chain convergence check
     ({!Scdb_core.Diag_run}) — with tracing and telemetry enabled, and
     packages everything into one JSON document (schema
-    [spatialdb-report/2]) embedding:
+    [spatialdb-report/3]) embedding:
 
     - the CLI-equivalent arguments (vars, formula, seed, ε, δ, …);
     - the drawn samples and the volume estimate;
@@ -23,7 +23,7 @@
     reflect only this run. *)
 
 type t = {
-  json : string;  (** the [spatialdb-report/2] document *)
+  json : string;  (** the [spatialdb-report/3] document *)
   chrome_trace : string;  (** raw Chrome trace-event JSON *)
   text_tree : string;  (** indented text rendering of the spans *)
 }
@@ -36,6 +36,7 @@ val generate :
   ?samples_per_chain:int ->
   ?progress:bool ->
   ?overrun_factor:float ->
+  ?engine:string ->
   vars:string list ->
   formula:string ->
   seed:int ->
@@ -46,4 +47,9 @@ val generate :
     [samples_per_chain = Diag_run.default_samples_per_chain].
     [progress] additionally runs the live stderr ticker;
     [overrun_factor] tunes the budget watchdog (default 4).
+    [engine] is ["interp"] (default), ["vm"] or ["vm-opt"]; the
+    compiled engines run the draws through the instruction profiler
+    (timing mode) and embed the [spatialdb-profile/1] document under
+    the report's ["profile"] key, with rewrite tags on the
+    attribution rows.
     [Error reason] on parse errors or empty/unbounded relations. *)

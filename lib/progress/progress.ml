@@ -56,6 +56,22 @@ let with_node id f =
         f
   | _ -> f ()
 
+let enter_path ids =
+  match !state with
+  | Some st when !is_active ->
+      for i = 0 to Array.length ids - 1 do
+        st.stack <- Array.unsafe_get ids i :: st.stack
+      done
+  | _ -> ()
+
+let exit_path ids =
+  match !state with
+  | Some st when !is_active ->
+      for _ = 1 to Array.length ids do
+        match st.stack with _ :: rest -> st.stack <- rest | [] -> ()
+      done
+  | _ -> ()
+
 let check_overrun st id =
   if (not st.warned.(id)) && st.budgets.(id) > 0.0 then begin
     let actual = st.steps.(id) +. st.trials.(id) in
@@ -92,6 +108,16 @@ let add_steps n = accrue (fun st -> st.steps) true n
 let add_trials n = accrue (fun st -> st.trials) true n
 let add_draws n = accrue (fun st -> st.draws) false n
 let add_mems n = accrue (fun st -> st.mems) false n
+
+let add_trials_on path n =
+  enter_path path;
+  add_trials n;
+  exit_path path
+
+let add_steps_on path n =
+  enter_path path;
+  add_steps n;
+  exit_path path
 
 (* -------------------------------------------------------------- *)
 (* Snapshots                                                       *)

@@ -50,6 +50,44 @@ let op_mempoly = 11
 let op_jmp = 12
 let op_tick = 13
 let op_exhaust = 14
+let num_opcodes = 15
+
+let opcode_name = function
+  | 0 -> "emit"
+  | 1 -> "failroot"
+  | 2 -> "trials"
+  | 3 -> "decjnz"
+  | 4 -> "ensure"
+  | 5 -> "allzero"
+  | 6 -> "categorical"
+  | 7 -> "argmin"
+  | 8 -> "dispatch"
+  | 9 -> "walk"
+  | 10 -> "member"
+  | 11 -> "mempoly"
+  | 12 -> "jmp"
+  | 13 -> "tick"
+  | 14 -> "exhaust"
+  | op -> Printf.sprintf "op%d" op
+
+(* One execution counter per opcode ([vm.op.<name>]); the Prometheus
+   emitter appends [_total].  Ticked unconditionally in [exec] — the
+   disabled-telemetry path is one load and a branch. *)
+let op_counters = Array.init num_opcodes (fun i -> Tel.Counter.make ("vm.op." ^ opcode_name i))
+
+(* Rewrite tags: which vm-opt rewrite produced an instruction.  Stored
+   per code word next to the originating plan-node id, so optimized
+   programs stay attributable after their plan-shape rewrites. *)
+let tag_none = 0
+let tag_rejection_box = 1
+let tag_shared_leaf = 2
+let tag_reordered_mem = 3
+
+let tag_name = function
+  | 1 -> Some "rejection_box_substituted"
+  | 2 -> Some "shared_union_leaf"
+  | 3 -> Some "reordered_membership"
+  | _ -> None
 
 exception Compile_error of string
 
@@ -100,13 +138,35 @@ end
 module Asm = struct
   type t = {
     code : Ib.t;
+    dbgn : Ib.t;  (* debug info: originating plan-node id per code word *)
+    dbgt : Ib.t;  (* debug info: rewrite tag per code word *)
+    mutable ctx_node : int;  (* current emission context, set by the gen functions *)
+    mutable ctx_tag : int;
     mutable lbls : int array;
     mutable nlbl : int;
     mutable patches : int list;
   }
 
-  let create () = { code = Ib.create (); lbls = Array.make 64 (-1); nlbl = 0; patches = [] }
-  let push a v = Ib.push a.code v
+  let create () =
+    {
+      code = Ib.create ();
+      dbgn = Ib.create ();
+      dbgt = Ib.create ();
+      ctx_node = 0;
+      ctx_tag = tag_none;
+      lbls = Array.make 64 (-1);
+      nlbl = 0;
+      patches = [];
+    }
+
+  let set_ctx a node tag =
+    a.ctx_node <- node;
+    a.ctx_tag <- tag
+
+  let push a v =
+    Ib.push a.code v;
+    Ib.push a.dbgn a.ctx_node;
+    Ib.push a.dbgt a.ctx_tag
 
   let new_label a =
     if a.nlbl = Array.length a.lbls then begin
@@ -125,7 +185,7 @@ module Asm = struct
      by the bound address in [finalize]. *)
   let push_ref a l =
     a.patches <- Ib.len a.code :: a.patches;
-    Ib.push a.code l
+    push a l
 
   let finalize a =
     let code = Ib.to_array a.code in
@@ -136,7 +196,7 @@ module Asm = struct
           cerr "vm: unbound label %d at code offset %d" l pos;
         code.(pos) <- a.lbls.(l))
       a.patches;
-    code
+    (code, Ib.to_array a.dbgn, Ib.to_array a.dbgt)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -216,6 +276,9 @@ let walk_piece p rng =
 
 type t = {
   code : int array;
+  dbg_node : int array;  (* per code word: originating plan-node id *)
+  dbg_tag : int array;  (* per code word: rewrite tag (0 = none) *)
+  paths : int array array;  (* per node id: ancestry below the root, self last *)
   fpool : float array;
   mtab : int array;
   pieces : piece array;
@@ -230,10 +293,16 @@ type t = {
   pdim : int;
   opt : bool;
   header : string;
+  mirror_obs : Observable.t;
 }
 
 let optimized t = t.opt
 let dim t = t.pdim
+let mirror t = t.mirror_obs
+let code_words t = Array.length t.code
+let node_at t pc = t.dbg_node.(pc)
+let tag_at t pc = tag_name t.dbg_tag.(pc)
+let opcode_at t pc = t.code.(pc)
 
 (* Packed membership evaluation, mirroring [Relation.mem_float
    ~slack:1e-9]: exists over tuples of (for_all over atoms), each atom
@@ -277,7 +346,15 @@ let mem_rows t moff (x : Vec.t) =
 
 exception Emitted
 
-let exec t rng =
+(* Profiling cells, filled by [exec] when supplied: [pcounts.(pc)] is
+   the exact execution count of the instruction based at [pc];
+   [ptimes.(pc)] accumulates wall ns when [ptiming] — only the
+   expensive opcodes (WALK, ENSURE, MEMBER, MEMPOLY) take clock reads,
+   which keeps the timing-mode overhead within the ≤5% budget on
+   walk-bound programs. *)
+type prof = { pcounts : int array; ptimes : float array; ptiming : bool }
+
+let exec ?prof t rng =
   let code = t.code in
   let pc = ref 0 in
   let x = ref t.pieces.(0).pstart in
@@ -285,7 +362,12 @@ let exec t rng =
   (try
      while true do
        let base = !pc in
-       match code.(base) with
+       let op = Array.unsafe_get code base in
+       Tel.Counter.incr (Array.unsafe_get op_counters op);
+       (match prof with
+       | None -> ()
+       | Some p -> Array.unsafe_set p.pcounts base (Array.unsafe_get p.pcounts base + 1));
+       match op with
        | 0 (* EMIT *) ->
            res := !x;
            raise Emitted
@@ -305,7 +387,12 @@ let exec t rng =
        | 4 (* ENSURE *) ->
            let s = code.(base + 1) in
            if not t.ready.(s) then begin
-             t.prologues.(s) rng;
+             (match prof with
+             | Some p when p.ptiming ->
+                 let t0 = Tel.Clock.now () in
+                 t.prologues.(s) rng;
+                 p.ptimes.(base) <- p.ptimes.(base) +. ((Tel.Clock.now () -. t0) *. 1e9)
+             | _ -> t.prologues.(s) rng);
              t.ready.(s) <- true
            end;
            pc := base + 2
@@ -324,19 +411,46 @@ let exec t rng =
            pc := base + 3
        | 8 (* DISPATCH *) -> pc := code.(base + 3 + t.jregs.(code.(base + 1)))
        | 9 (* WALK *) ->
-           x := walk_piece t.pieces.(code.(base + 1)) rng;
+           (* Attribute the walk (and everything the sampler accrues
+              underneath) to the leaf's plan node, not just the root:
+              the ETA ticker and post-run attribution see per-leaf
+              actuals exactly like the interpreter's tagged tree. *)
+           let path = Array.unsafe_get t.paths (Array.unsafe_get t.dbg_node base) in
+           Progress.enter_path path;
+           (match prof with
+           | Some p when p.ptiming ->
+               let t0 = Tel.Clock.now () in
+               x := walk_piece t.pieces.(code.(base + 1)) rng;
+               p.ptimes.(base) <- p.ptimes.(base) +. ((Tel.Clock.now () -. t0) *. 1e9)
+           | _ -> x := walk_piece t.pieces.(code.(base + 1)) rng);
+           Progress.exit_path path;
            pc := base + 2
        | 10 (* MEMBER *) ->
-           pc := (if mem_rows t code.(base + 1) !x then code.(base + 2) else code.(base + 3))
+           (match prof with
+           | Some p when p.ptiming ->
+               let t0 = Tel.Clock.now () in
+               let r = mem_rows t code.(base + 1) !x in
+               p.ptimes.(base) <- p.ptimes.(base) +. ((Tel.Clock.now () -. t0) *. 1e9);
+               pc := (if r then code.(base + 2) else code.(base + 3))
+           | _ ->
+               pc := (if mem_rows t code.(base + 1) !x then code.(base + 2) else code.(base + 3)))
        | 11 (* MEMPOLY *) ->
            let pe = t.pieces.(code.(base + 1)) in
-           pc :=
-             if Polytope.mem ~slack:1e-9 pe.prep.Convex_obs.p_original !x then code.(base + 2)
-             else code.(base + 3)
+           (match prof with
+           | Some p when p.ptiming ->
+               let t0 = Tel.Clock.now () in
+               let r = Polytope.mem ~slack:1e-9 pe.prep.Convex_obs.p_original !x in
+               p.ptimes.(base) <- p.ptimes.(base) +. ((Tel.Clock.now () -. t0) *. 1e9);
+               pc := (if r then code.(base + 2) else code.(base + 3))
+           | _ ->
+               pc :=
+                 (if Polytope.mem ~slack:1e-9 pe.prep.Convex_obs.p_original !x then
+                    code.(base + 2)
+                  else code.(base + 3)))
        | 12 (* JMP *) -> pc := code.(base + 1)
        | 13 (* TICK *) ->
            Tel.Counter.incr tel_trials;
-           Progress.add_trials 1;
+           Progress.add_trials_on (Array.unsafe_get t.paths (Array.unsafe_get t.dbg_node base)) 1;
            pc := base + 1
        | 14 (* EXHAUST *) ->
            t.exhausts.(code.(base + 1)) ();
@@ -346,16 +460,16 @@ let exec t rng =
    with Emitted -> ());
   !res
 
-let sample_one t rng =
+let sample_one ?prof t rng =
   Progress.with_node t.root_id @@ fun () ->
-  let v = exec t rng in
+  let v = exec ?prof t rng in
   Tel.Counter.incr tel_draws;
   v
 
-let sample_many t rng ~n =
+let sample_many ?prof t rng ~n =
   let acc = ref [] in
   for _ = 1 to n do
-    acc := sample_one t rng :: !acc
+    acc := sample_one ?prof t rng :: !acc
   done;
   List.rev !acc
 
@@ -406,7 +520,7 @@ let is_leaf (n : Plan.node) =
 
 let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
   (match plan.Plan.task with
-  | Plan.Sample _ -> ()
+  | Plan.Sample _ | Plan.Report _ -> ()
   | _ -> cerr "vm compiles sampling plans only");
   let delta = plan.Plan.delta and gamma = plan.Plan.gamma in
   (* Preorder leaves; binds piece [i] to the i-th dfk/guard leaf. *)
@@ -473,7 +587,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
       | None -> Hit_and_run.default_steps ~dim:d
     in
     match n.Plan.op with
-    | Plan.Guard -> (K_hr, hr_steps, hr_steps)
+    | Plan.Guard -> (K_hr, hr_steps, hr_steps, false)
     | Plan.Dfk { method_; walk_steps; _ } ->
         let mname = sampler_name cfg in
         if mname <> method_ then
@@ -504,31 +618,39 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
               | None -> K_hr
               | Some (lo, hi) -> K_rej { rlo = lo; rhi = hi })
         in
-        let kind =
+        let kind, swapped =
           (* Cost-based sampler selection: when the expected rejection
              budget undercuts the hit-and-run schedule, swap the leaf
              to exact-uniform box rejection (stream-changing: optimized
              engine only). *)
           if opt && kind = K_hr && Cost.rejection_box_trials ~dim:d <= steps then
             match Polytope.bounding_box p.Convex_obs.p_body with
-            | Some (lo, hi) -> K_rej { rlo = lo; rhi = hi }
-            | None -> K_hr
-          else kind
+            | Some (lo, hi) -> (K_rej { rlo = lo; rhi = hi }, true)
+            | None -> (K_hr, false)
+          else (kind, false)
         in
-        (kind, steps, hr_steps)
+        (kind, steps, hr_steps, swapped)
     | _ -> assert false
   in
   let rt_acc = ref [] and nrt = ref 0 in
   let rt_idx = Array.make nleaf (-1) in
+  let swapped = Array.make nleaf false in
   Array.iteri
     (fun i n ->
-      let kind, steps, hr_steps = leaf_info i n in
+      let kind, steps, hr_steps, sw = leaf_info i n in
+      swapped.(i) <- sw;
       if rep.(i) = i then begin
         rt_acc := make_piece prepared.(i) kind ~steps ~hr_steps :: !rt_acc;
         rt_idx.(i) <- !nrt;
         incr nrt
       end)
     leaves;
+  (* Rewrite tag of a leaf's own instructions. *)
+  let leaf_tag i =
+    if rep.(i) <> i then tag_shared_leaf
+    else if swapped.(i) then tag_rejection_box
+    else tag_none
+  in
   Array.iteri (fun i _ -> if rep.(i) <> i then rt_idx.(i) <- rt_idx.(rep.(i))) leaves;
   let pieces = Array.of_list (List.rev !rt_acc) in
   if Array.length pieces = 0 then cerr "plan has no convex pieces";
@@ -545,30 +667,48 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
   Array.iteri (fun i _ -> if rep.(i) <> i then moff.(i) <- moff.(rep.(i))) leaves;
   (* Mirror observable tree: the weight prologues estimate volumes
      through the same interpreted estimators (and internal caches) the
-     interpreter engine uses, so the draw sequences coincide. *)
+     interpreter engine uses, so the draw sequences coincide.  Each
+     node is wrapped with a Progress tag (the same record update
+     [Plan_exec.tag] applies on the interpreter side — rng-free, so
+     stream-preserving): prologue volume work lands on the child that
+     spends it, and [report --engine vm*] can run its volume estimate
+     through the stored root mirror with full attribution. *)
+  let tag_obs id (obs : Observable.t) =
+    {
+      obs with
+      Observable.sample =
+        (fun rng params -> Progress.with_node id (fun () -> obs.Observable.sample rng params));
+      volume =
+        (fun rng ~gamma ~eps ~delta ->
+          Progress.with_node id (fun () -> obs.Observable.volume rng ~gamma ~eps ~delta));
+    }
+  in
   let kids_of_id = Hashtbl.create 8 in
   let ord = ref 0 in
   let rec mirror (n : Plan.node) : Observable.t =
-    match n.Plan.op with
-    | Plan.Dfk _ | Plan.Guard ->
-        let i = !ord in
-        incr ord;
-        Convex_obs.observe prepared.(i)
-    | Plan.Union_op _ ->
-        let kids = Array.of_list (List.map mirror n.Plan.children) in
-        Hashtbl.replace kids_of_id n.Plan.id kids;
-        Union.union (Array.to_list kids)
-    | Plan.Inter_op { poly_degree; _ } ->
-        let kids = Array.of_list (List.map mirror n.Plan.children) in
-        Hashtbl.replace kids_of_id n.Plan.id kids;
-        Inter.inter ~poly_degree (Array.to_list kids)
-    | Plan.Diff_op { poly_degree; _ } -> (
-        match List.map mirror n.Plan.children with
-        | [ a; b ] -> Diff.diff ~poly_degree a b
-        | _ -> cerr "diff node %d must have exactly two children" n.Plan.id)
-    | _ -> assert false
+    let obs =
+      match n.Plan.op with
+      | Plan.Dfk _ | Plan.Guard ->
+          let i = !ord in
+          incr ord;
+          Convex_obs.observe prepared.(i)
+      | Plan.Union_op _ ->
+          let kids = Array.of_list (List.map mirror n.Plan.children) in
+          Hashtbl.replace kids_of_id n.Plan.id kids;
+          Union.union (Array.to_list kids)
+      | Plan.Inter_op { poly_degree; _ } ->
+          let kids = Array.of_list (List.map mirror n.Plan.children) in
+          Hashtbl.replace kids_of_id n.Plan.id kids;
+          Inter.inter ~poly_degree (Array.to_list kids)
+      | Plan.Diff_op { poly_degree; _ } -> (
+          match List.map mirror n.Plan.children with
+          | [ a; b ] -> Diff.diff ~poly_degree a b
+          | _ -> cerr "diff node %d must have exactly two children" n.Plan.id)
+      | _ -> assert false
+    in
+    tag_obs n.Plan.id obs
   in
-  ignore (mirror plan.Plan.root : Observable.t);
+  let mirror_obs = mirror plan.Plan.root in
   (* Intersection membership order: smallest bounding box first, so the
      conjunction fails fast (rng-free, hence stream-preserving — but
      kept to the optimized engine so strict stays a pure mirror). *)
@@ -643,6 +783,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     match n.Plan.op with
     | Plan.Dfk _ ->
         let i = Hashtbl.find ord_of_id n.Plan.id in
+        Asm.set_ctx asm n.Plan.id (leaf_tag i);
         Asm.push asm op_walk;
         Asm.push asm rt_idx.(i);
         Asm.push asm op_jmp;
@@ -653,10 +794,12 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     | Plan.Inter_op { poly_degree; budget; _ } -> gen_inter n poly_degree budget ~lsucc ~lfail
     | Plan.Diff_op { poly_degree; budget; _ } -> gen_diff n poly_degree budget ~lsucc ~lfail
     | _ -> assert false
-  and gen_mem (n : Plan.node) ~ltrue ~lfalse =
+  and gen_mem ?(rtag = tag_none) (n : Plan.node) ~ltrue ~lfalse =
     match n.Plan.op with
     | Plan.Dfk _ | Plan.Guard ->
         let i = Hashtbl.find ord_of_id n.Plan.id in
+        let tag = if rtag <> tag_none then rtag else leaf_tag i in
+        Asm.set_ctx asm n.Plan.id tag;
         if moff.(i) >= 0 then begin
           Asm.push asm op_member;
           Asm.push asm moff.(i)
@@ -675,31 +818,34 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
           (fun i c ->
             if i < m - 1 then begin
               let lnext = Asm.new_label asm in
-              gen_mem c ~ltrue ~lfalse:lnext;
+              gen_mem ~rtag c ~ltrue ~lfalse:lnext;
               Asm.bind asm lnext
             end
-            else gen_mem c ~ltrue ~lfalse)
+            else gen_mem ~rtag c ~ltrue ~lfalse)
           kids
     | Plan.Inter_op _ ->
         let kids = Array.of_list n.Plan.children in
         let order = mem_order n in
         let m = Array.length kids in
+        let reordered = ref false in
+        Array.iteri (fun k j -> if k <> j then reordered := true) order;
+        let rtag = if !reordered then tag_reordered_mem else rtag in
         Array.iteri
           (fun k j ->
             if k < m - 1 then begin
               let lnext = Asm.new_label asm in
-              gen_mem kids.(j) ~ltrue:lnext ~lfalse;
+              gen_mem ~rtag kids.(j) ~ltrue:lnext ~lfalse;
               Asm.bind asm lnext
             end
-            else gen_mem kids.(j) ~ltrue ~lfalse)
+            else gen_mem ~rtag kids.(j) ~ltrue ~lfalse)
           order
     | Plan.Diff_op _ -> (
         match n.Plan.children with
         | [ a; b ] ->
             let l2 = Asm.new_label asm in
-            gen_mem a ~ltrue:l2 ~lfalse;
+            gen_mem ~rtag a ~ltrue:l2 ~lfalse;
             Asm.bind asm l2;
-            gen_mem b ~ltrue:lfalse ~lfalse:ltrue
+            gen_mem ~rtag b ~ltrue:lfalse ~lfalse:ltrue
         | _ -> cerr "diff node %d must have exactly two children" n.Plan.id)
     | _ -> assert false
   and gen_union (n : Plan.node) trials ~lsucc ~lfail =
@@ -747,8 +893,10 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     in
     let ts = new_tslot (Printf.sprintf "node %d union: %d trials" n.Plan.id trials) in
     let jr = new_jreg () in
+    Asm.set_ctx asm n.Plan.id (if shared > 0 then tag_shared_leaf else tag_none);
     Asm.push asm op_ensure;
     Asm.push asm ws;
+    Asm.set_ctx asm n.Plan.id tag_none;
     Asm.push asm op_allzero;
     Asm.push asm ws;
     Asm.push_ref asm lfail;
@@ -781,6 +929,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
         done;
         gen_mem cj ~ltrue:lsucc ~lfalse:ldec)
       kids;
+    Asm.set_ctx asm n.Plan.id tag_none;
     Asm.bind asm ldec;
     Asm.push asm op_decjnz;
     Asm.push asm ts;
@@ -817,6 +966,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     in
     let ts = new_tslot (Printf.sprintf "node %d inter: budget %d" n.Plan.id budget) in
     let jr = new_jreg () in
+    Asm.set_ctx asm n.Plan.id tag_none;
     Asm.push asm op_ensure;
     Asm.push asm ws;
     Asm.push asm op_argmin;
@@ -843,15 +993,19 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     (* shared accept check: x must lie in every operand *)
     Asm.bind asm lchk;
     let order = mem_order n in
+    let reordered = ref false in
+    Array.iteri (fun k j -> if k <> j then reordered := true) order;
+    let rtag = if !reordered then tag_reordered_mem else tag_none in
     Array.iteri
       (fun k j ->
         if k < m - 1 then begin
           let lnext = Asm.new_label asm in
-          gen_mem kids.(j) ~ltrue:lnext ~lfalse:ldec;
+          gen_mem ~rtag kids.(j) ~ltrue:lnext ~lfalse:ldec;
           Asm.bind asm lnext
         end
-        else gen_mem kids.(j) ~ltrue:lsucc ~lfalse:ldec)
+        else gen_mem ~rtag kids.(j) ~ltrue:lsucc ~lfalse:ldec)
       order;
+    Asm.set_ctx asm n.Plan.id tag_none;
     Asm.bind asm ldec;
     Asm.push asm op_decjnz;
     Asm.push asm ts;
@@ -875,6 +1029,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
         if budget <> expect then
           cerr "diff node %d: plan budget %d <> cost model %d" n.Plan.id budget expect;
         let ts = new_tslot (Printf.sprintf "node %d diff: budget %d" n.Plan.id budget) in
+        Asm.set_ctx asm n.Plan.id tag_none;
         Asm.push asm op_trials;
         Asm.push asm ts;
         Asm.push asm budget;
@@ -886,6 +1041,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
         gen_sample a ~lsucc:lchk ~lfail:ldec;
         Asm.bind asm lchk;
         gen_mem b ~ltrue:ldec ~lfalse:lsucc;
+        Asm.set_ctx asm n.Plan.id tag_none;
         Asm.bind asm ldec;
         Asm.push asm op_decjnz;
         Asm.push asm ts;
@@ -907,6 +1063,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     Stdlib.max 4 (int_of_float (ceil (20.0 *. log (1.0 /. delta))))
   in
   let rt_slot = new_tslot (Printf.sprintf "root: %d retries" root_attempts) in
+  Asm.set_ctx asm plan.Plan.root.Plan.id tag_none;
   Asm.push asm op_trials;
   Asm.push asm rt_slot;
   Asm.push asm root_attempts;
@@ -914,6 +1071,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
   Asm.bind asm lattempt;
   let lemit = Asm.new_label asm and lfail = Asm.new_label asm in
   gen_sample plan.Plan.root ~lsucc:lemit ~lfail;
+  Asm.set_ctx asm plan.Plan.root.Plan.id tag_none;
   Asm.bind asm lemit;
   Asm.push asm op_emit;
   Asm.bind asm lfail;
@@ -921,7 +1079,25 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
   Asm.push asm rt_slot;
   Asm.push_ref asm lattempt;
   Asm.push asm op_failroot;
-  let code = Asm.finalize asm in
+  let code, dbg_node, dbg_tag = Asm.finalize asm in
+  (* Per-node ancestry below the root (self last; the root's own path
+     is empty): what [exec] pushes around a WALK / trial tick so
+     accrual stays inclusive without double-counting the root, which
+     [sample_one] already stacks. *)
+  let npaths =
+    let m = ref plan.Plan.node_count in
+    Plan.iter_nodes (fun (n : Plan.node) -> m := Stdlib.max !m (n.Plan.id + 1)) plan;
+    !m
+  in
+  let paths = Array.make npaths [||] in
+  let rec build_paths below (n : Plan.node) =
+    let below' =
+      if n.Plan.id = plan.Plan.root.Plan.id then below else n.Plan.id :: below
+    in
+    paths.(n.Plan.id) <- Array.of_list (List.rev below');
+    List.iter (build_paths below') n.Plan.children
+  in
+  build_paths [] plan.Plan.root;
   let rev_array l = Array.of_list (List.rev l) in
   let header =
     let b = Buffer.create 256 in
@@ -950,6 +1126,9 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
   Tel.Counter.incr tel_programs;
   {
     code;
+    dbg_node;
+    dbg_tag;
+    paths;
     fpool = Fb.to_array fpool;
     mtab = Ib.to_array mtab;
     pieces;
@@ -964,6 +1143,7 @@ let compile_exn opt (plan : Plan.t) (prepared : Convex_obs.prepared array) =
     pdim = plan.Plan.root.Plan.dim;
     opt;
     header;
+    mirror_obs;
   }
 
 let compile ?(optimize = false) ~plan ~pieces () =
@@ -991,6 +1171,28 @@ let instruction_count t =
     pc := !pc + width t.code !pc
   done;
   !n
+
+let instruction_bases t =
+  let acc = ref [] and pc = ref 0 in
+  while !pc < Array.length t.code do
+    acc := !pc :: !acc;
+    pc := !pc + width t.code !pc
+  done;
+  Array.of_list (List.rev !acc)
+
+let rewrite_tags t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun base ->
+      match tag_name t.dbg_tag.(base) with
+      | None -> ()
+      | Some name ->
+          let id = t.dbg_node.(base) in
+          let cur = Option.value (Hashtbl.find_opt tbl id) ~default:[] in
+          if not (List.mem name cur) then Hashtbl.replace tbl id (name :: cur))
+    (instruction_bases t);
+  List.sort compare
+    (Hashtbl.fold (fun id tags acc -> (id, List.sort compare tags) :: acc) tbl [])
 
 let disassemble t =
   let b = Buffer.create 1024 in
@@ -1026,7 +1228,11 @@ let disassemble t =
       | 14 -> Printf.sprintf "exhaust     e%d" code.(base + 1)
       | op -> Printf.sprintf "bad opcode %d" op
     in
-    Buffer.add_string b (Printf.sprintf "%5d: %s\n" base line);
+    let annot =
+      Printf.sprintf "n%d%s" t.dbg_node.(base)
+        (match tag_name t.dbg_tag.(base) with Some s -> " " ^ s | None -> "")
+    in
+    Buffer.add_string b (Printf.sprintf "%5d: %-36s ; %s\n" base line annot);
     pc := base + width code base
   done;
   Buffer.contents b

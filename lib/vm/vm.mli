@@ -42,8 +42,9 @@ val compile :
     The compiler cross-checks every budget recorded in the plan
     (union trials, rejection budgets, walk schedules) against the
     {!Scdb_plan.Cost} formulas it inlines and refuses to compile on
-    mismatch; only [Sample] tasks over dfk/guard/union/inter/diff
-    nodes are supported. *)
+    mismatch; [Sample] and [Report] tasks over
+    dfk/guard/union/inter/diff nodes are supported (the report task's
+    volume estimation runs through {!mirror}). *)
 
 val optimized : t -> bool
 val dim : t -> int
@@ -51,14 +52,68 @@ val dim : t -> int
 val instruction_count : t -> int
 (** Number of decoded instructions (not code-array words). *)
 
-val sample_one : t -> Rng.t -> Vec.t
+type prof = {
+  pcounts : int array;  (** per code word: executions of the instruction based there *)
+  ptimes : float array;  (** per code word: accumulated wall ns (timing mode) *)
+  ptiming : bool;  (** take clock reads around WALK/ENSURE/MEMBER/MEMPOLY *)
+}
+(** Profiling cells for {!sample_one}: both arrays must have
+    {!code_words} entries.  Counting ([ptiming = false]) is exact and
+    allocation-free — one array bump per executed instruction.  Timing
+    additionally buckets monotonic-clock ns per pc, but only around the
+    expensive opcodes, which is what keeps its overhead within the
+    documented ≤5% budget on walk-bound programs (see DESIGN.md §10).
+    [Scdb_profile.Profile] owns the ergonomic wrapper. *)
+
+val sample_one : ?prof:prof -> t -> Rng.t -> Vec.t
 (** One draw, with the interpreter's retry envelope: up to
     [max 4 ⌈20·ln(1/δ)⌉] root attempts, then
-    @raise Observable.Estimation_failed like {!Observable.sample_exn}. *)
+    @raise Observable.Estimation_failed like {!Observable.sample_exn}.
+    [prof] fills profiling cells without changing the rng stream. *)
 
-val sample_many : t -> Rng.t -> n:int -> Vec.t list
+val sample_many : ?prof:prof -> t -> Rng.t -> n:int -> Vec.t list
 (** [n] draws in order; mirrors {!Observable.sample_many}. *)
+
+val mirror : t -> Observable.t
+(** The interpreted mirror of the compiled plan (each node
+    Progress-tagged with its plan-node id).  The weight prologues
+    estimate through it; [report --engine vm|vm-opt] runs its volume
+    estimate here so the result matches the interpreter's contract. *)
+
+(** {1 Symbolization}
+
+    The compiler records, for every code word, the plan-node id whose
+    codegen emitted it plus a rewrite tag naming the vm-opt rewrite
+    that shaped it ([rejection_box_substituted], [shared_union_leaf],
+    [reordered_membership]).  {!disassemble} annotates each line with
+    both; the profiler folds per-pc counts through this table into
+    per-node attribution rows. *)
+
+val code_words : t -> int
+(** Length of the code array — the domain of {!prof} cells and pcs. *)
+
+val instruction_bases : t -> int array
+(** Base pc of every instruction, ascending. *)
+
+val opcode_at : t -> int -> int
+(** Opcode int at a base pc. *)
+
+val opcode_name : int -> string
+(** Lower-case mnemonic ("emit", "walk", ...); total. *)
+
+val num_opcodes : int
+
+val node_at : t -> int -> int
+(** Originating plan-node id of the code word at [pc]. *)
+
+val tag_at : t -> int -> string option
+(** Rewrite tag of the code word at [pc], if any. *)
+
+val rewrite_tags : t -> (int * string list) list
+(** Per plan-node id, the distinct rewrite tags on its instructions
+    (nodes without tags omitted; sorted by id). *)
 
 val disassemble : t -> string
 (** Human-readable program listing: piece table, weight/trial slots,
-    then one line per instruction ([explain --format program]). *)
+    then one line per instruction annotated with its plan node and
+    rewrite tag ([explain --format program]). *)

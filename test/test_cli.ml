@@ -43,6 +43,11 @@ let usage_tests =
         check "format" 2 ("report " ^ fig1 ^ " --format bogus"));
     t "unknown log level exits 2" (fun () ->
         check "level" 2 ("sample " ^ fig1 ^ " -n 1 --log-level bogus"));
+    t "unknown profile mode exits 2" (fun () ->
+        check "sample" 2 ("sample " ^ fig1 ^ " -n 1 --engine vm --profile=bogus");
+        check "profile cmd" 2 ("profile " ^ fig1 ^ " -n 1 --mode bogus"));
+    t "profile rejects the interpreter engine" (fun () ->
+        check "profile cmd" 2 ("profile " ^ fig1 ^ " -n 1 --engine interp"));
   ]
 
 let cmdline_tests =
@@ -58,6 +63,26 @@ let runtime_tests =
         check "parse" 1 "explain -v x -f \"x >= nonsense\"");
     t "empty relation exits 1" (fun () ->
         check "empty" 1 "sample -v x -f \"x >= 1 /\\ x <= 0\" -n 1");
+    t "sample --profile under interp exits 1" (fun () ->
+        check "interp" 1 ("sample " ^ fig1 ^ " -n 1 --profile"));
+  ]
+
+let profile_tests =
+  [
+    t "profile exits 0 and writes a document" (fun () ->
+        let out = Filename.temp_file "spatialdb_profile" ".json" in
+        check "run" 0 ("profile " ^ fig1 ^ " -n 2 --out " ^ Filename.quote out);
+        let ic = open_in out in
+        let len = in_channel_length ic in
+        close_in ic;
+        Alcotest.(check bool) "document non-empty" true (len > 0);
+        Sys.remove out);
+    t "sample --profile exits 0 under both compiled engines" (fun () ->
+        check "vm" 0 ("sample " ^ fig1 ^ " -n 2 --engine vm --profile=counting");
+        check "vm-opt" 0 ("sample " ^ fig1 ^ " -n 2 --engine vm-opt --profile"));
+    t "report --engine vm-opt exits 0, interp rejects bogus engine" (fun () ->
+        check "vm-opt" 0 ("report " ^ fig1 ^ " -n 2 --engine vm-opt -o /dev/null");
+        check "bogus" 2 ("report " ^ fig1 ^ " -n 2 --engine bogus"));
   ]
 
 let suites =
@@ -66,4 +91,5 @@ let suites =
     ("cli.usage", usage_tests);
     ("cli.cmdline", cmdline_tests);
     ("cli.runtime", runtime_tests);
+    ("cli.profile", profile_tests);
   ]

@@ -26,5 +26,6 @@ let () =
          Test_plan.suites;
          Test_vm.suites;
          Test_progress.suites;
+         Test_profile.suites;
          Test_cli.suites;
        ])
