@@ -46,6 +46,13 @@ check:
 # validate, a profiled+recorded sample run whose flight record must
 # still replay bit-for-bit (profiling never touches the RNG stream),
 # and `regress --trend` over the committed BENCH trajectory.
+# Then the observability-context smoke: the same union query run as 2
+# concurrent jobs on separate domains (each in its own context) and
+# again sequentially; the merged telemetry counters of the two runs
+# must be identical (context merging loses nothing), the published
+# spatialdb-status/1 document must validate with >= 2 contexts showing
+# draws, `spatialdb status` must render it, and a contexted
+# (`--status-out`) recorded run must still replay bit-for-bit.
 # Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
@@ -97,6 +104,25 @@ ci: check
 	  --seed 42 -n 5 --engine vm --profile=counting \
 	  --record _build/ci_profiled.flightrec.json > /dev/null 2> /dev/null
 	dune exec bin/spatialdb.exe -- replay _build/ci_profiled.flightrec.json
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 20 --jobs 2 --jobs-mode domains --live \
+	  --stats-out _build/ci_jobs_par.json \
+	  --status-out _build/ci_status.json > _build/ci_jobs_par.tsv 2> /dev/null
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 20 --jobs 2 --jobs-mode seq \
+	  --stats-out _build/ci_jobs_seq.json > _build/ci_jobs_seq.tsv
+	cmp _build/ci_jobs_par.tsv _build/ci_jobs_seq.tsv
+	dune exec bench/validate_status.exe -- \
+	  --status _build/ci_status.json --min-contexts 2 \
+	  --compare-counters _build/ci_jobs_par.json _build/ci_jobs_seq.json
+	dune exec bin/spatialdb.exe -- status _build/ci_status.json --require 2
+	dune exec bin/spatialdb.exe -- sample --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 -n 5 --status-out _build/ci_ctx_status.json \
+	  --record _build/ci_ctx.flightrec.json > /dev/null
+	dune exec bin/spatialdb.exe -- replay _build/ci_ctx.flightrec.json
 	dune exec bench/regress.exe -- --trend
 
 clean:

@@ -17,6 +17,8 @@ module Log = Scdb_log.Log
 module Metrics = Scdb_log.Metrics_export
 module Flightrec = Scdb_log.Flightrec
 module Flight = Scdb_gis.Flight
+module Obs = Scdb_obs.Obs
+module Jm = Scdb_trace.Json_min
 module FM = Scdb_qe.Fourier_motzkin
 module VE = Scdb_polytope.Volume_exact
 module GV = Scdb_polytope.Gridvol
@@ -293,9 +295,13 @@ let sample_cmd =
     Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
   in
   let run vars_s formula n seed eps delta method_ engine stats stats_out diag chains o record
-      record_anomaly progress overrun_factor profile_s profile_out =
+      record_anomaly progress overrun_factor profile_s profile_out jobs jobs_mode live
+      status_out =
     check_method method_;
     check_engine engine;
+    if not (List.mem jobs_mode [ "domains"; "seq" ]) then
+      usage_die "jobs mode" jobs_mode [ "domains"; "seq" ];
+    if jobs < 1 then or_die (Error "--jobs must be >= 1");
     let profile_mode = Option.map profile_mode_of_string profile_s in
     enable_stats ?stats_out stats;
     setup_obs o;
@@ -308,7 +314,74 @@ let sample_cmd =
     end;
     let args = { Flight.vars = split_vars vars_s; formula; n; seed; eps; delta; method_; engine } in
     let track = record <> None || record_anomaly <> None in
-    let outcome = or_die (Flight.run ~track ~progress ~overrun_factor ?profile_mode args) in
+    let emit_points (outcome : Flight.outcome) =
+      List.iter
+        (fun p ->
+          print_endline
+            (String.concat "\t" (List.map (Printf.sprintf "%.6f") (Array.to_list p))))
+        outcome.Flight.points
+    in
+    let outcome =
+      if jobs = 1 && not live && status_out = None then
+        (* The legacy single-run path: everything lands in the default
+           context, exactly as before contexts existed. *)
+        or_die (Flight.run ~track ~progress ~ticker:progress ~overrun_factor ?profile_mode args)
+      else begin
+        (* Contexted path: each job runs the whole query in its own
+           observability context (seed + job index), optionally on its
+           own domain, and the parent merges every context back into
+           the default one so the process-wide tails (stats dumps,
+           flight records, anomaly counters) see the union. *)
+        if jobs > 1 && track then
+          or_die (Error "--record/--record-on-anomaly require --jobs 1 (one stream per record)");
+        if jobs > 1 && profile_mode <> None then or_die (Error "--profile requires --jobs 1");
+        if jobs > 1 && diag then or_die (Error "--diag requires --jobs 1");
+        let ctxs =
+          Array.init jobs (fun i -> Obs.Ctx.create ~name:(Printf.sprintf "job-%d" i) ())
+        in
+        if live || status_out <> None then begin
+          (* The status view reads the produced-samples telemetry
+             counters, so a live/status run must count even when no
+             --stats sink asked for them. *)
+          Tel.set_enabled true;
+          Obs.Status.start_ticker ?out:status_out ~to_stderr:live ()
+        end;
+        let job i =
+          let c = ctxs.(i) in
+          let a = { args with Flight.seed = seed + i } in
+          let r = Flight.run ~ctx:c ~track ~progress:true ~overrun_factor ?profile_mode a in
+          (match r with
+          | Ok oc ->
+              (* First-coordinate ESS estimate for the status view; the
+                 points are already drawn, so this costs one FFT-free
+                 autocorrelation pass. *)
+              let xs = Array.of_list (List.map (fun p -> p.(0)) oc.Flight.points) in
+              if Array.length xs >= 4 then Obs.Ctx.set_ess c (Scdb_diag.Diag.ess xs)
+          | Error _ -> ());
+          Obs.Ctx.mark_done c;
+          r
+        in
+        let results =
+          match jobs_mode with
+          | "seq" -> Array.init jobs job
+          | _ ->
+              let doms = Array.init jobs (fun i -> Domain.spawn (fun () -> job i)) in
+              Array.map Domain.join doms
+        in
+        if live || status_out <> None then
+          Obs.Status.stop_ticker ?out:status_out ~to_stderr:live ();
+        Array.iter (fun c -> Obs.Ctx.merge ~into:Obs.Ctx.default c) ctxs;
+        let outcomes = Array.map or_die results in
+        if jobs > 1 then begin
+          Array.iter emit_points outcomes;
+          exit 0
+        end;
+        (* jobs = 1: after the merge the default context holds exactly
+           what an uncontexted run would have left behind, so the
+           record/profile/diag tails below run unchanged. *)
+        outcomes.(0)
+      end
+    in
     (match outcome.Flight.profile with
     | Some profile ->
         prerr_string
@@ -320,10 +393,7 @@ let sample_cmd =
         | None -> ())
     | None -> if progress then print_attribution ?program:outcome.Flight.program outcome.Flight.plan);
     let relation = outcome.Flight.relation and rng = outcome.Flight.rng in
-    List.iter
-      (fun p ->
-        print_endline (String.concat "\t" (List.map (Printf.sprintf "%.6f") (Array.to_list p))))
-      outcome.Flight.points;
+    emit_points outcome;
     (match record with
     | Some path -> Flightrec.write path (Flight.to_flightrec args outcome)
     | None -> ());
@@ -362,12 +432,44 @@ let sample_cmd =
                 d.Diag_run.verdict.Scdb_diag.Diag.reason)
     end
   in
+  let jobs_arg =
+    let doc =
+      "Run $(docv) whole-query repetitions (seeds seed, seed+1, ...), each in its own \
+       observability context, and print all sample streams in job order.  Per-job streams \
+       depend only on the job's seed, so the merged counters are identical whichever \
+       $(b,--jobs-mode) executes them."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"K" ~doc)
+  in
+  let jobs_mode_arg =
+    let doc =
+      "How to execute $(b,--jobs): $(b,domains) (one domain per job, concurrent — the \
+       default) or $(b,seq) (same contexts, one after another — the differential baseline)."
+    in
+    Arg.(value & opt string "domains" & info [ "jobs-mode" ] ~docv:"MODE" ~doc)
+  in
+  let live_arg =
+    let doc =
+      "Render a live per-context status line (draws/sec, acceptance rate, budget burn) to \
+       stderr while sampling."
+    in
+    Arg.(value & flag & info [ "live" ] ~doc)
+  in
+  let status_out_arg =
+    let doc =
+      "Periodically publish the spatialdb-status/1 status document to $(docv) (atomic \
+       write-then-rename, so it is safe to read at any moment — e.g. with $(b,spatialdb \
+       status))."
+    in
+    Arg.(value & opt (some string) None & info [ "status-out" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Draw almost uniform points from the relation (Definition 2.2 generator)." in
   Cmd.v (Cmd.info "sample" ~doc)
     Term.(
       const run $ vars_arg $ formula_arg $ n_arg $ seed_arg $ eps_arg $ delta_arg $ method_arg
       $ engine_arg $ stats_arg $ stats_out_arg $ diag_arg $ chains_arg $ obs_term $ record_arg
-      $ record_anomaly_arg $ progress_arg $ overrun_arg $ profile_arg $ profile_out_arg)
+      $ record_anomaly_arg $ progress_arg $ overrun_arg $ profile_arg $ profile_out_arg
+      $ jobs_arg $ jobs_mode_arg $ live_arg $ status_out_arg)
 
 (* ---------------- volume ---------------- *)
 
@@ -642,6 +744,87 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ engine_override_arg $ obs_term)
 
+(* ---------------- status ---------------- *)
+
+let status_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Status document written by $(b,spatialdb sample --status-out).")
+  in
+  let require_arg =
+    let doc =
+      "Exit 1 unless at least $(docv) contexts in the document show recorded draws (used by \
+       CI to assert that concurrently active contexts really were observed)."
+    in
+    Arg.(value & opt int 0 & info [ "require" ] ~docv:"N" ~doc)
+  in
+  let run file require =
+    let ic =
+      try open_in file
+      with Sys_error m -> or_die (Error m)
+    in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let doc =
+      match Jm.parse s with
+      | d -> d
+      | exception Jm.Parse_error m -> or_die (Error (file ^ ": invalid JSON: " ^ m))
+    in
+    (match Option.bind (Jm.member "schema" doc) Jm.to_string with
+    | Some "spatialdb-status/1" -> ()
+    | Some other -> or_die (Error (Printf.sprintf "%s: unexpected schema %S" file other))
+    | None -> or_die (Error (file ^ ": not a spatialdb-status/1 document")));
+    let ctxs =
+      match Option.bind (Jm.member "contexts" doc) Jm.to_list with
+      | Some l -> l
+      | None -> or_die (Error (file ^ ": no contexts array"))
+    in
+    let num k j = Option.value ~default:0.0 (Option.bind (Jm.member k j) Jm.to_float) in
+    let int_ k j = int_of_float (num k j) in
+    let opt_num k j = Option.bind (Jm.member k j) Jm.to_float in
+    let rows =
+      List.map
+        (fun j ->
+          {
+            Obs.Status.r_name =
+              Option.value ~default:"?" (Option.bind (Jm.member "name" j) Jm.to_string);
+            r_done =
+              Option.value ~default:false (Option.bind (Jm.member "done" j) Jm.to_bool);
+            r_elapsed = num "elapsed" j;
+            r_draws = num "draws" j;
+            r_rate = num "draws_per_sec" j;
+            r_accepted = int_ "accepted" j;
+            r_attempts = int_ "attempts" j;
+            r_acceptance = opt_num "acceptance" j;
+            r_work = num "work" j;
+            r_budget = num "budget" j;
+            r_burn = opt_num "budget_burn" j;
+            r_ess = opt_num "ess" j;
+            r_warns = int_ "warns" j;
+            r_errors = int_ "errors" j;
+            r_spans = int_ "spans" j;
+          })
+        ctxs
+    in
+    print_string (Obs.Status.render rows);
+    let active =
+      List.length (List.filter (fun r -> r.Obs.Status.r_draws > 0.0) rows)
+    in
+    if require > 0 && active < require then begin
+      Printf.eprintf "spatialdb: status: only %d context(s) with draws (require %d)\n" active
+        require;
+      exit 1
+    end
+  in
+  let doc =
+    "Render a spatialdb-status/1 document (as published by $(b,sample --status-out)) as a \
+     per-context table: draws/sec, acceptance rate, budget burn, ESS, warnings, spans."
+  in
+  Cmd.v (Cmd.info "status" ~doc) Term.(const run $ file_arg $ require_arg)
+
 (* ---------------- plan ---------------- *)
 
 let plan_cmd =
@@ -770,6 +953,7 @@ let () =
             report_cmd;
             profile_cmd;
             replay_cmd;
+            status_cmd;
             plan_cmd;
             explain_cmd;
           ]))

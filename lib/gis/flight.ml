@@ -50,7 +50,7 @@ let parse_relation a =
     | exception Lexer.Lex_error (m, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos m)
   end
 
-let run ?(track = false) ?(progress = false) ?overrun_factor ?profile_mode a =
+let run_inner ~track ~progress ~ticker ?overrun_factor ?profile_mode a =
   let* sampler = sampler_of_method a.method_ in
   let* engine = check_engine a.engine in
   let* () =
@@ -101,10 +101,11 @@ let run ?(track = false) ?(progress = false) ?overrun_factor ?profile_mode a =
   in
   let* plan, program, profile, draw = built in
   (* Profiled runs arm the bus even without --progress so the per-node
-     actual column of the attribution table is populated; the ticker
-     stays tied to --progress. *)
+     actual column of the attribution table is populated; the stderr
+     ticker is separate so a contexted job can arm its bus for the
+     status view without fighting over the terminal. *)
   if progress || profile <> None then Plan_exec.arm ?overrun_factor plan;
-  if progress then Scdb_progress.Progress.start_ticker ();
+  if ticker then Scdb_progress.Progress.start_ticker ();
   let finish_progress () =
     if progress || profile <> None then Scdb_progress.Progress.stop ()
   in
@@ -129,6 +130,13 @@ let run ?(track = false) ?(progress = false) ?overrun_factor ?profile_mode a =
   | exception Observable.Estimation_failed m ->
       finish_progress ();
       Error m
+
+let run ?ctx ?(track = false) ?(progress = false) ?(ticker = false) ?overrun_factor
+    ?profile_mode a =
+  let body () = run_inner ~track ~progress ~ticker ?overrun_factor ?profile_mode a in
+  match ctx with
+  | None -> body ()
+  | Some c -> Scdb_obs.Obs.Ctx.run c body
 
 let to_flightrec a (o : outcome) =
   {

@@ -44,23 +44,32 @@ type outcome = {
 }
 
 val run :
+  ?ctx:Scdb_obs.Obs.Ctx.t ->
   ?track:bool ->
   ?progress:bool ->
+  ?ticker:bool ->
   ?overrun_factor:float ->
   ?profile_mode:Scdb_profile.Profile.mode ->
   args ->
   (outcome, string) result
 (** Parse, build the plan-tagged observable, draw [n] points.  With
-    [~track:true] the RNG provenance registry is reset and enabled
-    first, so the lineage tree in {!to_flightrec} is complete and its
-    ids are reproducible.  With [~progress:true] the progress bus is
-    armed with the plan's budgets and a stderr ticker runs for the
-    duration ([overrun_factor] tunes the watchdog).  [profile_mode]
-    (compiled engines only — an [Error] under ["interp"]) attaches an
-    instruction profiler and arms the progress bus ticker-free, so the
-    outcome carries both the profile and readable attribution.  None of
-    these options perturb the RNG stream, so replay is unaffected.
-    Emits [sample.run] / [sample.done] info events. *)
+    [~ctx] the whole run executes with that observability context
+    installed ({!Scdb_obs.Obs.Ctx.run}), so every metric, span, event,
+    accrual and lineage node lands in the context's stores instead of
+    the process globals.  With [~track:true] the RNG provenance
+    registry is reset and enabled first, so the lineage tree in
+    {!to_flightrec} is complete and its ids are reproducible.  With
+    [~progress:true] the (ambient) progress bus is armed with the
+    plan's budgets ([overrun_factor] tunes the watchdog);
+    [~ticker:true] additionally runs the stderr progress ticker for
+    the duration — kept separate so concurrent contexted jobs can arm
+    their buses for the status view without fighting over the
+    terminal.  [profile_mode] (compiled engines only — an [Error]
+    under ["interp"]) attaches an instruction profiler and arms the
+    progress bus ticker-free, so the outcome carries both the profile
+    and readable attribution.  None of these options perturb the RNG
+    stream, so replay is unaffected.  Emits [sample.run] /
+    [sample.done] info events. *)
 
 val to_flightrec : args -> outcome -> Scdb_log.Flightrec.t
 (** Snapshot a finished run as a [spatialdb-flightrec/1] record

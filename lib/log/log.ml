@@ -23,8 +23,6 @@ let env_level =
 
 let enabled_flag = ref (env_level <> None)
 let min_priority = ref (priority (Option.value ~default:Info env_level))
-let stderr_sink = ref (env_level <> None)
-let file_sink : out_channel option ref = ref None
 
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
@@ -39,27 +37,84 @@ let level () =
 let would_log l = !enabled_flag && priority l >= !min_priority
 
 (* ------------------------------------------------------------------ *)
-(* Ring buffer (the flight recorder's last-N event tail)               *)
+(* Sinks                                                               *)
+(*                                                                     *)
+(* A sink bundles everything one event stream owns: the bounded ring   *)
+(* buffer (the flight recorder's last-N tail, capacity fixed at sink   *)
+(* creation), the sequence number, the warn/error counters, the render *)
+(* scratch buffer and the output channels.  Each observability context *)
+(* owns a sink; the pre-context globals survive as the default sink    *)
+(* every domain starts with.  A per-sink mutex serializes emission, so *)
+(* two domains sharing one sink interleave whole lines, never torn     *)
+(* ones.  Level policy stays process-global (one load on the disabled  *)
+(* path).                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let ring : string array ref = ref (Array.make 256 "")
-let ring_next = ref 0 (* total events pushed since last clear *)
+type sink = {
+  mutable ring : string array;
+  mutable ring_next : int; (* total events pushed since last clear *)
+  mutable s_seq : int;
+  mutable s_warns : int;
+  mutable s_errors : int;
+  s_buf : Buffer.t;
+  s_mu : Mutex.t;
+  mutable s_stderr : bool;
+  mutable s_file : out_channel option;
+}
+
+let make_sink ?(ring_capacity = 256) ?(stderr_sink = false) () =
+  {
+    ring = Array.make (Stdlib.max 1 ring_capacity) "";
+    ring_next = 0;
+    s_seq = 0;
+    s_warns = 0;
+    s_errors = 0;
+    s_buf = Buffer.create 256;
+    s_mu = Mutex.create ();
+    s_stderr = stderr_sink;
+    s_file = None;
+  }
+
+let default_sink = make_sink ~stderr_sink:(env_level <> None) ()
+let dls_sink : sink Domain.DLS.key = Domain.DLS.new_key (fun () -> default_sink)
+let cur () = Domain.DLS.get dls_sink
+
+let with_sink s f =
+  let prev = Domain.DLS.get dls_sink in
+  Domain.DLS.set dls_sink s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_sink prev) f
+
+let locked s f =
+  Mutex.lock s.s_mu;
+  match f () with
+  | v ->
+      Mutex.unlock s.s_mu;
+      v
+  | exception e ->
+      Mutex.unlock s.s_mu;
+      raise e
 
 let set_ring_capacity n =
-  ring := Array.make (Stdlib.max 1 n) "";
-  ring_next := 0
+  let s = cur () in
+  locked s (fun () ->
+      s.ring <- Array.make (Stdlib.max 1 n) "";
+      s.ring_next <- 0)
 
-let ring_push line =
-  let r = !ring in
-  r.(!ring_next mod Array.length r) <- line;
-  incr ring_next
+(* With the sink's mutex held. *)
+let ring_push s line =
+  let r = s.ring in
+  r.(s.ring_next mod Array.length r) <- line;
+  s.ring_next <- s.ring_next + 1
 
-let tail () =
-  let r = !ring in
-  let cap = Array.length r in
-  let n = Stdlib.min !ring_next cap in
-  let first = !ring_next - n in
-  List.init n (fun i -> r.((first + i) mod cap))
+let tail_of s =
+  locked s (fun () ->
+      let r = s.ring in
+      let cap = Array.length r in
+      let n = Stdlib.min s.ring_next cap in
+      let first = s.ring_next - n in
+      List.init n (fun i -> r.((first + i) mod cap)))
+
+let tail () = tail_of (cur ())
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -76,11 +131,8 @@ let int k v = F_int (k, v)
 let float k v = F_float (k, v)
 let bool k v = F_bool (k, v)
 
-let seq = ref 0
-let warns = ref 0
-let errors = ref 0
-let warn_count () = !warns
-let error_count () = !errors
+let warn_count () = (cur ()).s_warns
+let error_count () = (cur ()).s_errors
 
 let json_float v =
   if Float.is_finite v then Printf.sprintf "%.17g" v
@@ -88,14 +140,12 @@ let json_float v =
   else if v < 0.0 then "-1e308"
   else "0"
 
-(* Shared scratch buffer: emission is rare relative to the kernels and
-   the library is single-threaded like the rest of the stack. *)
-let buf = Buffer.create 256
-
-let render level event fields =
+(* With the sink's mutex held (the scratch buffer is per-sink). *)
+let render s level event fields =
+  let buf = s.s_buf in
   Buffer.clear buf;
   Buffer.add_string buf "{\"schema\": \"spatialdb-log/1\", \"seq\": ";
-  Buffer.add_string buf (string_of_int !seq);
+  Buffer.add_string buf (string_of_int s.s_seq);
   Buffer.add_string buf (Printf.sprintf ", \"ts\": %.6f" (Tel.Clock.now ()));
   Buffer.add_string buf ", \"level\": \"";
   Buffer.add_string buf (level_name level);
@@ -119,20 +169,25 @@ let render level event fields =
 
 let emit level event fields =
   if would_log level then begin
-    let line = render level event fields in
-    incr seq;
-    (match level with Warn -> incr warns | Error -> incr errors | Debug | Info -> ());
-    ring_push line;
-    if !stderr_sink then begin
-      output_string stderr line;
-      output_char stderr '\n';
-      flush stderr
-    end;
-    match !file_sink with
-    | None -> ()
-    | Some oc ->
-        output_string oc line;
-        output_char oc '\n'
+    let s = cur () in
+    locked s (fun () ->
+        let line = render s level event fields in
+        s.s_seq <- s.s_seq + 1;
+        (match level with
+        | Warn -> s.s_warns <- s.s_warns + 1
+        | Error -> s.s_errors <- s.s_errors + 1
+        | Debug | Info -> ());
+        ring_push s line;
+        if s.s_stderr then begin
+          output_string stderr line;
+          output_char stderr '\n';
+          flush stderr
+        end;
+        match s.s_file with
+        | None -> ()
+        | Some oc ->
+            output_string oc line;
+            output_char oc '\n')
   end
 
 let debug event fields = emit Debug event fields
@@ -141,27 +196,60 @@ let warn event fields = emit Warn event fields
 let error event fields = emit Error event fields
 
 (* ------------------------------------------------------------------ *)
-(* Sinks                                                               *)
+(* Sink management                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let set_stderr b = stderr_sink := b
+let set_stderr b = (cur ()).s_stderr <- b
 
 let close_file () =
-  match !file_sink with
-  | None -> ()
-  | Some oc ->
-      flush oc;
-      close_out oc;
-      file_sink := None
+  let s = cur () in
+  locked s (fun () ->
+      match s.s_file with
+      | None -> ()
+      | Some oc ->
+          flush oc;
+          close_out oc;
+          s.s_file <- None)
 
 let open_file path =
   close_file ();
-  file_sink := Some (open_out path)
+  let s = cur () in
+  locked s (fun () -> s.s_file <- Some (open_out path))
 
 let reset () =
-  seq := 0;
-  warns := 0;
-  errors := 0;
-  let r = !ring in
-  Array.fill r 0 (Array.length r) "";
-  ring_next := 0
+  let s = cur () in
+  locked s (fun () ->
+      s.s_seq <- 0;
+      s.s_warns <- 0;
+      s.s_errors <- 0;
+      Array.fill s.ring 0 (Array.length s.ring) "";
+      s.ring_next <- 0)
+
+module Sink = struct
+  type t = sink
+
+  let create ?ring_capacity ?stderr () = make_sink ?ring_capacity ?stderr_sink:stderr ()
+  let tail = tail_of
+  let seq s = s.s_seq
+  let warn_count s = s.s_warns
+  let error_count s = s.s_errors
+
+  (* Merge: append [src]'s ring tail into [dst] (oldest first, subject
+     to [dst]'s capacity) and add the event/warn/error counts.  [src]
+     is unchanged.  Lock order is dst-then-src; merging is a parent-
+     context operation, never concurrent in both directions. *)
+  let merge_into ~dst src =
+    if dst != src then begin
+      let lines = tail_of src in
+      let seq, warns, errors =
+        locked src (fun () -> (src.s_seq, src.s_warns, src.s_errors))
+      in
+      locked dst (fun () ->
+          List.iter (ring_push dst) lines;
+          dst.s_seq <- dst.s_seq + seq;
+          dst.s_warns <- dst.s_warns + warns;
+          dst.s_errors <- dst.s_errors + errors)
+    end
+end
+
+let current_sink () = cur ()

@@ -91,13 +91,50 @@ val close_file : unit -> unit
 (** Close the file sink, if any (flushes first). *)
 
 val set_ring_capacity : int -> unit
-(** Resize the in-memory ring buffer (default 256 events); the
-    current contents are dropped. *)
+(** Resize the ambient sink's in-memory ring buffer (default 256
+    events); the current contents are dropped. *)
 
 val tail : unit -> string list
-(** The ring buffer's contents, oldest first: the last-N rendered
-    event lines (without trailing newline). *)
+(** The ambient sink's ring contents, oldest first: the last-N
+    rendered event lines (without trailing newline). *)
 
 val reset : unit -> unit
-(** Clear the ring, the sequence number and the warn/error counters.
-    Sinks, level and the enabled flag are untouched. *)
+(** Clear the ambient sink's ring, sequence number and warn/error
+    counters.  Output channels, level and the enabled flag are
+    untouched. *)
+
+(** {1 Sinks as values (observability contexts)}
+
+    Every event stream — ring, sequence number, warn/error counters,
+    render scratch and output channels — lives in a {e sink}.  The
+    pre-context globals survive as the default sink every domain
+    starts with; contexts own one each.  A per-sink mutex serializes
+    emission, so two domains sharing one sink interleave whole lines,
+    never torn ones.  Level policy ({!set_level}/{!set_enabled}) stays
+    process-global. *)
+
+module Sink : sig
+  type t
+
+  val create : ?ring_capacity:int -> ?stderr:bool -> unit -> t
+  (** Fresh sink: ring of [ring_capacity] events (default 256),
+      stderr mirroring off unless [stderr] (no file sink). *)
+
+  val tail : t -> string list
+  val seq : t -> int
+  val warn_count : t -> int
+  val error_count : t -> int
+
+  val merge_into : dst:t -> t -> unit
+  (** Append [src]'s ring tail into [dst] (oldest first, bounded by
+      [dst]'s capacity) and add the event/warn/error counts; [src] is
+      unchanged.  A parent-context operation — do not merge two sinks
+      into each other concurrently. *)
+end
+
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+(** Install a sink as the calling domain's ambient event stream for
+    the duration of the thunk (exception-safe; nests).  Same
+    domain/thread caveats as [Telemetry.with_registry]. *)
+
+val current_sink : unit -> Sink.t

@@ -14,11 +14,27 @@ type state = {
   mutable stack : int list;
 }
 
-let state : state option ref = ref None
-let is_active = ref false
-let overruns_c = Tel.Counter.make "progress.overruns"
+(* A bus: one run's accrual state.  Contexts own one each; the
+   pre-context global bus survives as the default every domain starts
+   with.  A bus is single-writer (the domain that armed it); the
+   global [active_count] is the one-load guard the kernels check, so a
+   process with no armed bus anywhere pays exactly the old disabled
+   cost. *)
+type bus = { mutable b_state : state option; mutable b_armed : bool }
 
-let active () = !is_active
+let make_bus () = { b_state = None; b_armed = false }
+let default_bus = make_bus ()
+let dls_bus : bus Domain.DLS.key = Domain.DLS.new_key (fun () -> default_bus)
+let cur () = Domain.DLS.get dls_bus
+
+let with_bus b f =
+  let prev = Domain.DLS.get dls_bus in
+  Domain.DLS.set dls_bus b;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_bus prev) f
+
+let active_count = Atomic.make 0
+let active () = Atomic.get active_count > 0
+let overruns_c = Tel.Counter.make "progress.overruns"
 
 let start ?(overrun_factor = 4.0) ~rows () =
   let n =
@@ -44,33 +60,39 @@ let start ?(overrun_factor = 4.0) ~rows () =
       st.labels.(id) <- label;
       st.budgets.(id) <- budget)
     rows;
-  state := Some st;
-  is_active := true
+  let b = cur () in
+  b.b_state <- Some st;
+  if not b.b_armed then begin
+    b.b_armed <- true;
+    Atomic.incr active_count
+  end
+
+let armed_state b = if b.b_armed then b.b_state else None
 
 let with_node id f =
-  match !state with
-  | Some st when !is_active ->
+  match armed_state (cur ()) with
+  | Some st ->
       st.stack <- id :: st.stack;
       Fun.protect ~finally:(fun () ->
           match st.stack with _ :: rest -> st.stack <- rest | [] -> ())
         f
-  | _ -> f ()
+  | None -> f ()
 
 let enter_path ids =
-  match !state with
-  | Some st when !is_active ->
+  match armed_state (cur ()) with
+  | Some st ->
       for i = 0 to Array.length ids - 1 do
         st.stack <- Array.unsafe_get ids i :: st.stack
       done
-  | _ -> ()
+  | None -> ()
 
 let exit_path ids =
-  match !state with
-  | Some st when !is_active ->
+  match armed_state (cur ()) with
+  | Some st ->
       for _ = 1 to Array.length ids do
         match st.stack with _ :: rest -> st.stack <- rest | [] -> ()
       done
-  | _ -> ()
+  | None -> ()
 
 let check_overrun st id =
   if (not st.warned.(id)) && st.budgets.(id) > 0.0 then begin
@@ -91,8 +113,8 @@ let check_overrun st id =
   end
 
 let accrue cell watchdog n =
-  if !is_active && n <> 0 then
-    match !state with
+  if active () && n <> 0 then
+    match armed_state (cur ()) with
     | None -> ()
     | Some st ->
         let v = float_of_int n in
@@ -136,44 +158,45 @@ type row = {
 
 let row_work r = r.steps +. r.trials
 
-let rows () =
-  match !state with
-  | None -> [||]
-  | Some st ->
-      Array.init (Array.length st.budgets) (fun id ->
-          {
-            id;
-            label = st.labels.(id);
-            budget = st.budgets.(id);
-            draws = st.draws.(id);
-            mems = st.mems.(id);
-            steps = st.steps.(id);
-            trials = st.trials.(id);
-            overrun = st.warned.(id);
-          })
+let rows_of_state st =
+  Array.init (Array.length st.budgets) (fun id ->
+      {
+        id;
+        label = st.labels.(id);
+        budget = st.budgets.(id);
+        draws = st.draws.(id);
+        mems = st.mems.(id);
+        steps = st.steps.(id);
+        trials = st.trials.(id);
+        overrun = st.warned.(id);
+      })
 
-let actual_work id =
-  match !state with
-  | Some st when id >= 0 && id < Array.length st.steps ->
-      st.steps.(id) +. st.trials.(id)
+let rows () = match (cur ()).b_state with None -> [||] | Some st -> rows_of_state st
+
+let actual_work_of b id =
+  match b.b_state with
+  | Some st when id >= 0 && id < Array.length st.steps -> st.steps.(id) +. st.trials.(id)
   | _ -> 0.0
 
+let actual_work id = actual_work_of (cur ()) id
 let total_work () = actual_work 0
 
-let total_budget () =
-  match !state with
+let total_budget_of b =
+  match b.b_state with
   | Some st when Array.length st.budgets > 0 -> st.budgets.(0)
   | _ -> 0.0
 
+let total_budget () = total_budget_of (cur ())
+
 let overrun_count () =
-  match !state with
+  match (cur ()).b_state with
   | None -> 0
   | Some st -> Array.fold_left (fun acc w -> if w then acc + 1 else acc) 0 st.warned
 
-let elapsed () =
-  match !state with
-  | None -> 0.0
-  | Some st -> Tel.Clock.now () -. st.started_at
+let elapsed_of b =
+  match b.b_state with None -> 0.0 | Some st -> Tel.Clock.now () -. st.started_at
+
+let elapsed () = elapsed_of (cur ())
 
 let eta () =
   let w = total_work () and b = total_budget () in
@@ -186,7 +209,7 @@ let eta () =
 let pct w b = if b <= 0.0 then 0.0 else Float.min 999.0 (100.0 *. w /. b)
 
 let render_line () =
-  match !state with
+  match (cur ()).b_state with
   | None -> "[progress] inactive"
   | Some st ->
       let buf = Buffer.create 160 in
@@ -207,6 +230,89 @@ let render_line () =
       done;
       if n > shown then Buffer.add_string buf (Printf.sprintf " | +%d more" (n - shown));
       Buffer.contents buf
+
+(* -------------------------------------------------------------- *)
+(* Buses as values (observability contexts)                        *)
+(* -------------------------------------------------------------- *)
+
+module Bus = struct
+  type t = bus
+
+  let create () = make_bus ()
+  let armed b = b.b_armed
+  let rows b = match b.b_state with None -> [||] | Some st -> rows_of_state st
+  let total_work b = actual_work_of b 0
+  let total_budget b = total_budget_of b
+  let elapsed b = elapsed_of b
+
+  let draws b =
+    match b.b_state with
+    | Some st when Array.length st.draws > 0 -> st.draws.(0)
+    | _ -> 0.0
+
+  let trials b =
+    match b.b_state with
+    | Some st when Array.length st.trials > 0 -> st.trials.(0)
+    | _ -> 0.0
+
+  let steps b =
+    match b.b_state with
+    | Some st when Array.length st.steps > 0 -> st.steps.(0)
+    | _ -> 0.0
+
+  (* Merge: elementwise add of every accrual column *and* the budgets
+     (two runs over the same plan predict twice the work), [warned]
+     or-ed, earliest start kept.  If [dst] never armed a run it adopts
+     a copy of [src]'s state.  [src] is unchanged. *)
+  let merge_into ~dst src =
+    if dst != src then
+      match (src.b_state, dst.b_state) with
+      | None, _ -> ()
+      | Some s, None ->
+          dst.b_state <-
+            Some
+              {
+                labels = Array.copy s.labels;
+                budgets = Array.copy s.budgets;
+                draws = Array.copy s.draws;
+                mems = Array.copy s.mems;
+                steps = Array.copy s.steps;
+                trials = Array.copy s.trials;
+                warned = Array.copy s.warned;
+                factor = s.factor;
+                started_at = s.started_at;
+                stack = [];
+              }
+      | Some s, Some d ->
+          let n = Stdlib.max (Array.length s.budgets) (Array.length d.budgets) in
+          let ext a b op zero =
+            Array.init n (fun i ->
+                let x = if i < Array.length a then a.(i) else zero in
+                let y = if i < Array.length b then b.(i) else zero in
+                op x y)
+          in
+          let merged =
+            {
+              labels =
+                Array.init n (fun i ->
+                    if i < Array.length d.labels && d.labels.(i) <> "?" then d.labels.(i)
+                    else if i < Array.length s.labels then s.labels.(i)
+                    else "?");
+              budgets = ext d.budgets s.budgets ( +. ) 0.0;
+              draws = ext d.draws s.draws ( +. ) 0.0;
+              mems = ext d.mems s.mems ( +. ) 0.0;
+              steps = ext d.steps s.steps ( +. ) 0.0;
+              trials = ext d.trials s.trials ( +. ) 0.0;
+              warned = ext d.warned s.warned ( || ) false;
+              factor = d.factor;
+              started_at = Float.min d.started_at s.started_at;
+              stack = d.stack;
+            }
+          in
+          dst.b_state <- Some merged
+end
+
+let current_bus () = cur ()
 
 (* -------------------------------------------------------------- *)
 (* Ticker                                                          *)
@@ -239,4 +345,8 @@ let stop_ticker () =
 
 let stop () =
   stop_ticker ();
-  is_active := false
+  let b = cur () in
+  if b.b_armed then begin
+    b.b_armed <- false;
+    Atomic.decr active_count
+  end

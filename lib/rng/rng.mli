@@ -38,19 +38,71 @@ module Provenance : sig
       draw count. *)
 
   val set_tracking : bool -> unit
-  (** Enable retention of the lineage tree (off by default: tracking
-      holds a reference to every registered generator, which a
-      long-running untracked workload should not pay). *)
+  (** Enable retention of the lineage tree in the calling domain's
+      ambient table (off by default: tracking holds a reference to
+      every registered generator, which a long-running untracked
+      workload should not pay).  Retention is bounded: past the
+      table's cap (default 65536 nodes) registrations are counted in
+      {!dropped} instead of retained. *)
 
   val tracking : unit -> bool
 
   val reset : unit -> unit
-  (** Drop the recorded tree and restart lineage ids at 0, so a replay
-      reproduces the original ids. *)
+  (** Drop the ambient table's recorded tree and restart lineage ids
+      at 0, so a replay reproduces the original ids.  (The id source
+      is process-global and atomic; resetting it mid-run with other
+      domains creating generators would hand out duplicate ids, so
+      replays are single-context by construction.) *)
+
+  val clear : unit -> unit
+  (** Drop the ambient table's retained nodes and dropped count
+      without touching the id source. *)
+
+  val set_cap : int -> unit
+  (** Cap on retained nodes in the ambient table. *)
+
+  val dropped : unit -> int
+  (** Registrations not retained because the ambient table was at
+      cap. *)
 
   val snapshot : unit -> info list
-  (** All generators registered since the last {!reset} while tracking
-      was on, in creation order (ids ascending). *)
+  (** All generators registered in the ambient table since the last
+      {!reset}/{!clear} while tracking was on, in creation order (ids
+      ascending). *)
+
+  (** {2 Tables (observability contexts)}
+
+      Retained lineage lives in a {e table}; contexts own one each and
+      the pre-context global registry survives as the default table
+      every domain starts with.  Ids come from one process-global
+      atomic source, so tables merge without collisions. *)
+
+  module Table : sig
+    type t
+
+    val create : ?cap:int -> unit -> t
+    (** Fresh table (tracking off) retaining at most [cap] nodes
+        (default 65536). *)
+
+    val size : t -> int
+    (** Retained nodes — bounded by the cap whatever the workload. *)
+
+    val dropped : t -> int
+
+    val merge_into : dst:t -> t -> unit
+    (** Append [src]'s retained nodes in creation order into [dst],
+        bounded by [dst]'s cap ([dst.dropped] also absorbs [src]'s
+        dropped count).  Nodes whose parent is in neither table are
+        re-rooted to [-1], so the merged lineage is still a forest.
+        [src] is unchanged. *)
+  end
+
+  val with_table : Table.t -> (unit -> 'a) -> 'a
+  (** Install a table as the calling domain's ambient lineage store
+      for the duration of the thunk (exception-safe; nests).  Same
+      domain/thread caveats as [Telemetry.with_registry]. *)
+
+  val current_table : unit -> Table.t
 end
 
 (** {1 Scalar draws} *)

@@ -30,10 +30,30 @@ let bucket_for v =
   in
   go 0
 
-type counter = { c_name : string; mutable count : int }
+(* ------------------------------------------------------------------ *)
+(* Cells, definitions and registries                                   *)
+(*                                                                     *)
+(* A metric now has two halves: the process-global *definition* (name, *)
+(* dense per-kind index, created once at module initialization) and a  *)
+(* per-registry *cell* holding the actual counts.  A [Registry.t] is   *)
+(* just the cell store; observability contexts own one each, and the   *)
+(* pre-context global registry survives as [Regs.default].         *)
+(*                                                                     *)
+(* Hot-path contract (measured in bench/regress.ml, [ctx_overhead]):   *)
+(* each definition caches a pointer [c_cur] to the cell of the one     *)
+(* registry currently installed on the *initial* domain.  A bump is    *)
+(* then: enabled load + branch, cached-pointer load, sentinel compare, *)
+(* unboxed store — within noise of the old global-record bump.  Only   *)
+(* while a registry is installed on a *non-initial* domain do the      *)
+(* cached pointers flip to a sentinel, routing every bump through the  *)
+(* domain-local ambient registry so concurrent domains attribute to    *)
+(* their own contexts.  The disabled path is unchanged: one mutable    *)
+(* load and a branch, no allocation.                                   *)
+(* ------------------------------------------------------------------ *)
 
-type histogram = {
-  h_name : string;
+type ccell = { mutable count : int }
+
+type hcell = {
   mutable n : int;
   mutable sum : float;
   mutable vmin : float;
@@ -41,13 +61,134 @@ type histogram = {
   buckets : int array;
 }
 
+type counter = { c_name : string; c_idx : int; mutable c_cur : ccell }
+type histogram = { h_name : string; h_idx : int; mutable h_cur : hcell }
 type metric = M_counter of counter | M_histogram of histogram
 
-(* Registry: insertion-ordered list for iteration plus a name table for
-   idempotent creation.  Metric creation happens at module
-   initialization, never on a hot path, so a plain list is fine. *)
+(* The sentinels are flags, never written through: the fast path tests
+   physical equality against them before storing. *)
+let c_sentinel = { count = 0 }
+let h_sentinel = { n = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity; buckets = [||] }
+let new_ccell () = { count = 0 }
+
+let new_hcell () =
+  { n = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity; buckets = Array.make n_buckets 0 }
+
+module Regs = struct
+  type t = { mutable ccells : ccell array; mutable hcells : hcell array }
+
+  let default = { ccells = [||]; hcells = [||] }
+end
+
+(* Definition tables: name -> definition plus the insertion-order list
+   dumps iterate.  Guarded by [defs_mu] together with every cached-
+   pointer swap; metric creation and context install/exit are rare, so
+   one mutex covers all cold paths. *)
+let defs_mu = Mutex.create ()
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let order : metric list ref = ref []
+let n_counters = ref 0
+let n_histograms = ref 0
+
+let dls_reg : Regs.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Regs.default)
+let initial_domain : int = (Domain.self () :> int)
+
+(* The registry the *initial* domain currently has installed (what the
+   cached pointers point at while no foreign-domain install is live). *)
+let initial_ambient = ref Regs.default
+
+(* Number of live installs on non-initial domains; > 0 means the cached
+   pointers are parked on the sentinels and bumps resolve through DLS. *)
+let foreign_installs = ref 0
+
+(* Grow a registry's cell stores to cover every current definition.
+   Call with [defs_mu] held.  Arrays are replaced, cells are shared, so
+   a racing reader holding the old array still sees live cells. *)
+let ensure_reg (r : Regs.t) =
+  let nc = !n_counters and nh = !n_histograms in
+  if Array.length r.ccells < nc then
+    r.ccells <-
+      Array.init nc (fun i -> if i < Array.length r.ccells then r.ccells.(i) else new_ccell ());
+  if Array.length r.hcells < nh then
+    r.hcells <-
+      Array.init nh (fun i -> if i < Array.length r.hcells then r.hcells.(i) else new_hcell ())
+
+(* With [defs_mu] held. *)
+let swap_all (r : Regs.t) =
+  ensure_reg r;
+  List.iter
+    (function
+      | M_counter c -> c.c_cur <- r.ccells.(c.c_idx)
+      | M_histogram h -> h.h_cur <- r.hcells.(h.h_idx))
+    !order
+
+let park_all () =
+  List.iter
+    (function M_counter c -> c.c_cur <- c_sentinel | M_histogram h -> h.h_cur <- h_sentinel)
+    !order
+
+let current_registry () = Domain.DLS.get dls_reg
+
+let enter_registry reg =
+  Mutex.lock defs_mu;
+  if (Domain.self () :> int) = initial_domain then begin
+    initial_ambient := reg;
+    if !foreign_installs = 0 then swap_all reg
+  end
+  else begin
+    incr foreign_installs;
+    if !foreign_installs = 1 then park_all ()
+  end;
+  Mutex.unlock defs_mu
+
+let leave_registry prev =
+  Mutex.lock defs_mu;
+  if (Domain.self () :> int) = initial_domain then begin
+    initial_ambient := prev;
+    if !foreign_installs = 0 then swap_all prev
+  end
+  else begin
+    decr foreign_installs;
+    if !foreign_installs = 0 then swap_all !initial_ambient
+  end;
+  Mutex.unlock defs_mu
+
+let with_registry reg f =
+  let prev = Domain.DLS.get dls_reg in
+  Domain.DLS.set dls_reg reg;
+  enter_registry reg;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set dls_reg prev;
+      leave_registry prev)
+    f
+
+(* Cell of [c] in [reg], growing the store if the definition postdates
+   the registry.  Cold: only reached through the sentinel. *)
+let slow_ccell (reg : Regs.t) (c : counter) =
+  let a = reg.ccells in
+  if c.c_idx < Array.length a then a.(c.c_idx)
+  else begin
+    Mutex.lock defs_mu;
+    ensure_reg reg;
+    Mutex.unlock defs_mu;
+    reg.ccells.(c.c_idx)
+  end
+
+let slow_hcell (reg : Regs.t) (h : histogram) =
+  let a = reg.hcells in
+  if h.h_idx < Array.length a then a.(h.h_idx)
+  else begin
+    Mutex.lock defs_mu;
+    ensure_reg reg;
+    Mutex.unlock defs_mu;
+    reg.hcells.(h.h_idx)
+  end
+
+(* Read-only cell views: a registry that has never seen the definition
+   reads as zero without being grown. *)
+let ccell_ro (reg : Regs.t) idx = if idx < Array.length reg.ccells then Some reg.ccells.(idx) else None
+let hcell_ro (reg : Regs.t) idx = if idx < Array.length reg.hcells then Some reg.hcells.(idx) else None
 
 let register name m =
   Hashtbl.replace registry name m;
@@ -58,83 +199,127 @@ module Counter = struct
   type t = counter
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some (M_counter c) -> c
-    | Some (M_histogram _) -> invalid_arg ("Telemetry.Counter.make: " ^ name ^ " is a histogram")
-    | None -> (
-        match register name (M_counter { c_name = name; count = 0 }) with
-        | M_counter c -> c
-        | M_histogram _ -> assert false)
+    Mutex.lock defs_mu;
+    let c =
+      match Hashtbl.find_opt registry name with
+      | Some (M_counter c) ->
+          Mutex.unlock defs_mu;
+          c
+      | Some (M_histogram _) ->
+          Mutex.unlock defs_mu;
+          invalid_arg ("Telemetry.Counter.make: " ^ name ^ " is a histogram")
+      | None ->
+          let idx = !n_counters in
+          incr n_counters;
+          let c = { c_name = name; c_idx = idx; c_cur = c_sentinel } in
+          ensure_reg Regs.default;
+          if !foreign_installs = 0 then begin
+            ensure_reg !initial_ambient;
+            c.c_cur <- (!initial_ambient).Regs.ccells.(idx)
+          end;
+          ignore (register name (M_counter c));
+          Mutex.unlock defs_mu;
+          c
+    in
+    c
 
-  let incr c = if !enabled_flag then c.count <- c.count + 1
-  let add c k = if !enabled_flag then c.count <- c.count + k
-  let value c = c.count
+  let slow_add c k =
+    let cell = slow_ccell (Domain.DLS.get dls_reg) c in
+    cell.count <- cell.count + k
+
+  let incr c =
+    if !enabled_flag then begin
+      let cell = c.c_cur in
+      if cell != c_sentinel then cell.count <- cell.count + 1 else slow_add c 1
+    end
+
+  let add c k =
+    if !enabled_flag then begin
+      let cell = c.c_cur in
+      if cell != c_sentinel then cell.count <- cell.count + k else slow_add c k
+    end
+
+  let value c =
+    match ccell_ro (Domain.DLS.get dls_reg) c.c_idx with Some cell -> cell.count | None -> 0
 end
 
 module Histogram = struct
   type t = histogram
 
   let make name =
+    Mutex.lock defs_mu;
     match Hashtbl.find_opt registry name with
-    | Some (M_histogram h) -> h
-    | Some (M_counter _) -> invalid_arg ("Telemetry.Histogram.make: " ^ name ^ " is a counter")
-    | None -> (
-        match
-          register name
-            (M_histogram
-               {
-                 h_name = name;
-                 n = 0;
-                 sum = 0.0;
-                 vmin = infinity;
-                 vmax = neg_infinity;
-                 buckets = Array.make n_buckets 0;
-               })
-        with
-        | M_histogram h -> h
-        | M_counter _ -> assert false)
+    | Some (M_histogram h) ->
+        Mutex.unlock defs_mu;
+        h
+    | Some (M_counter _) ->
+        Mutex.unlock defs_mu;
+        invalid_arg ("Telemetry.Histogram.make: " ^ name ^ " is a counter")
+    | None ->
+        let idx = !n_histograms in
+        incr n_histograms;
+        let h = { h_name = name; h_idx = idx; h_cur = h_sentinel } in
+        ensure_reg Regs.default;
+        if !foreign_installs = 0 then begin
+          ensure_reg !initial_ambient;
+          h.h_cur <- (!initial_ambient).Regs.hcells.(idx)
+        end;
+        ignore (register name (M_histogram h));
+        Mutex.unlock defs_mu;
+        h
+
+  let observe_cell (cell : hcell) v =
+    cell.n <- cell.n + 1;
+    cell.sum <- cell.sum +. v;
+    if v < cell.vmin then cell.vmin <- v;
+    if v > cell.vmax then cell.vmax <- v;
+    let b = cell.buckets in
+    let i = bucket_for v in
+    b.(i) <- b.(i) + 1
+
+  let slow_observe h v = observe_cell (slow_hcell (Domain.DLS.get dls_reg) h) v
 
   let observe h v =
     if !enabled_flag then begin
-      h.n <- h.n + 1;
-      h.sum <- h.sum +. v;
-      if v < h.vmin then h.vmin <- v;
-      if v > h.vmax then h.vmax <- v;
-      let b = h.buckets in
-      let i = bucket_for v in
-      b.(i) <- b.(i) + 1
+      let cell = h.h_cur in
+      if cell != h_sentinel then observe_cell cell v else slow_observe h v
     end
 
-  let count h = h.n
-  let sum h = h.sum
-  let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+  let empty_cell = h_sentinel
+  let cell h = match hcell_ro (Domain.DLS.get dls_reg) h.h_idx with Some c -> c | None -> empty_cell
+  let count h = (cell h).n
+  let sum h = (cell h).sum
+  let mean_cell (c : hcell) = if c.n = 0 then 0.0 else c.sum /. float_of_int c.n
+  let mean h = mean_cell (cell h)
 
   (* Approximate quantile by linear interpolation inside the log-spaced
      bucket that contains the rank; [vmin]/[vmax] sharpen the first and
      last occupied buckets (and make the single-bucket case exact). *)
-  let quantile h q =
-    if h.n = 0 then 0.0
+  let quantile_cell (c : hcell) q =
+    if c.n = 0 then 0.0
     else begin
       let q = Float.max 0.0 (Float.min 1.0 q) in
-      let rank = q *. float_of_int h.n in
+      let rank = q *. float_of_int c.n in
       let rec go i cum =
-        if i >= n_buckets then h.vmax
+        if i >= n_buckets then c.vmax
         else begin
-          let c = h.buckets.(i) in
-          let cum' = cum +. float_of_int c in
-          if c > 0 && cum' >= rank then begin
-            let lo = if i = 0 then h.vmin else bucket_bounds.(i - 1) in
-            let hi = if i >= Array.length bucket_bounds then h.vmax else bucket_bounds.(i) in
-            let lo = Float.max lo h.vmin and hi = Float.min hi h.vmax in
-            let frac = Float.max 0.0 (Float.min 1.0 ((rank -. cum) /. float_of_int c)) in
+          let k = c.buckets.(i) in
+          let cum' = cum +. float_of_int k in
+          if k > 0 && cum' >= rank then begin
+            let lo = if i = 0 then c.vmin else bucket_bounds.(i - 1) in
+            let hi = if i >= Array.length bucket_bounds then c.vmax else bucket_bounds.(i) in
+            let lo = Float.max lo c.vmin and hi = Float.min hi c.vmax in
+            let frac = Float.max 0.0 (Float.min 1.0 ((rank -. cum) /. float_of_int k)) in
             let v = if hi > lo then lo +. ((hi -. lo) *. frac) else lo in
-            Float.max h.vmin (Float.min h.vmax v)
+            Float.max c.vmin (Float.min c.vmax v)
           end
           else go (i + 1) cum'
         end
       in
       go 0 0.0
     end
+
+  let quantile h q = quantile_cell (cell h) q
 end
 
 module Timer = struct
@@ -160,17 +345,65 @@ module Scope = struct
   let timer t name = Timer.make (t ^ "." ^ name)
 end
 
-let reset () =
-  List.iter
-    (function
-      | M_counter c -> c.count <- 0
-      | M_histogram h ->
-          h.n <- 0;
-          h.sum <- 0.0;
-          h.vmin <- infinity;
-          h.vmax <- neg_infinity;
-          Array.fill h.buckets 0 n_buckets 0)
-    !order
+(* ------------------------------------------------------------------ *)
+(* Registry construction, reset and merge                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_registry () =
+  let r = { Regs.ccells = [||]; hcells = [||] } in
+  Mutex.lock defs_mu;
+  ensure_reg r;
+  Mutex.unlock defs_mu;
+  r
+
+let zero_ccell (c : ccell) = c.count <- 0
+
+let zero_hcell (h : hcell) =
+  h.n <- 0;
+  h.sum <- 0.0;
+  h.vmin <- infinity;
+  h.vmax <- neg_infinity;
+  Array.fill h.buckets 0 n_buckets 0
+
+let reset ?reg () =
+  let r = match reg with Some r -> r | None -> Domain.DLS.get dls_reg in
+  Mutex.lock defs_mu;
+  ensure_reg r;
+  Mutex.unlock defs_mu;
+  Array.iter zero_ccell r.Regs.ccells;
+  Array.iter zero_hcell r.Regs.hcells
+
+(* Merge semantics (the context-merge counter/histogram laws): counters
+   add; histograms add count, sum and per-bucket counts, min/max extend
+   — so a merged histogram is *exactly* the histogram of the
+   concatenated observations except for [sum]'s float association. *)
+let merge_registry ~dst src =
+  if dst != src then begin
+    Mutex.lock defs_mu;
+    ensure_reg dst;
+    ensure_reg src;
+    Mutex.unlock defs_mu;
+    let dc = dst.Regs.ccells and sc = src.Regs.ccells in
+    Array.iteri (fun i (d : ccell) -> d.count <- d.count + sc.(i).count) dc;
+    let dh = dst.Regs.hcells and sh = src.Regs.hcells in
+    Array.iteri
+      (fun i (d : hcell) ->
+        let s = sh.(i) in
+        if s.n > 0 then begin
+          d.n <- d.n + s.n;
+          d.sum <- d.sum +. s.sum;
+          if s.vmin < d.vmin then d.vmin <- s.vmin;
+          if s.vmax > d.vmax then d.vmax <- s.vmax;
+          for b = 0 to n_buckets - 1 do
+            d.buckets.(b) <- d.buckets.(b) + s.buckets.(b)
+          done
+        end)
+      dh
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
 
 (* JSON floats: plain %.17g round-trips, but normalize the non-finite
    values JSON cannot carry. *)
@@ -180,12 +413,24 @@ let json_float v =
   else if v < 0.0 then "-1e308"
   else "0"
 
-let dump ?(only_nonzero = true) () =
+(* Snapshot the definition list (sorted by name) and pin the target
+   registry's capacity so the per-metric cell reads below never miss. *)
+let export_defs (r : Regs.t) =
+  Mutex.lock defs_mu;
+  ensure_reg r;
   let name_of = function M_counter c -> c.c_name | M_histogram h -> h.h_name in
   let metrics = List.sort (fun a b -> compare (name_of a) (name_of b)) (List.rev !order) in
+  Mutex.unlock defs_mu;
+  metrics
+
+let dump ?(only_nonzero = true) ?reg () =
+  let r = match reg with Some r -> r | None -> Domain.DLS.get dls_reg in
+  let metrics = export_defs r in
+  let ccount (c : counter) = r.Regs.ccells.(c.c_idx).count in
+  let hc (h : histogram) = r.Regs.hcells.(h.h_idx) in
   let keep = function
-    | M_counter c -> (not only_nonzero) || c.count <> 0
-    | M_histogram h -> (not only_nonzero) || h.n <> 0
+    | M_counter c -> (not only_nonzero) || ccount c <> 0
+    | M_histogram h -> (not only_nonzero) || (hc h).n <> 0
   in
   let counters = List.filter (function M_counter _ as m -> keep m | _ -> false) metrics in
   let histograms = List.filter (function M_histogram _ as m -> keep m | _ -> false) metrics in
@@ -198,7 +443,7 @@ let dump ?(only_nonzero = true) () =
       match m with
       | M_counter c ->
           Buffer.add_string buf
-            (Printf.sprintf "%s\n    %S: %d" (if i = 0 then "" else ",") c.c_name c.count)
+            (Printf.sprintf "%s\n    %S: %d" (if i = 0 then "" else ",") c.c_name (ccount c))
       | M_histogram _ -> ())
     counters;
   Buffer.add_string buf (if counters = [] then "},\n" else "\n  },\n");
@@ -207,18 +452,19 @@ let dump ?(only_nonzero = true) () =
     (fun i m ->
       match m with
       | M_histogram h ->
+          let cell = hc h in
           Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
           Buffer.add_string buf
             (Printf.sprintf
                "%S: {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s, \"p50\": \
                 %s, \"p90\": %s, \"p99\": %s, \"buckets\": ["
-               h.h_name h.n (json_float h.sum)
-               (json_float (if h.n = 0 then 0.0 else h.vmin))
-               (json_float (if h.n = 0 then 0.0 else h.vmax))
-               (json_float (Histogram.mean h))
-               (json_float (Histogram.quantile h 0.50))
-               (json_float (Histogram.quantile h 0.90))
-               (json_float (Histogram.quantile h 0.99)));
+               h.h_name cell.n (json_float cell.sum)
+               (json_float (if cell.n = 0 then 0.0 else cell.vmin))
+               (json_float (if cell.n = 0 then 0.0 else cell.vmax))
+               (json_float (Histogram.mean_cell cell))
+               (json_float (Histogram.quantile_cell cell 0.50))
+               (json_float (Histogram.quantile_cell cell 0.90))
+               (json_float (Histogram.quantile_cell cell 0.99)));
           let first = ref true in
           Array.iteri
             (fun b k ->
@@ -230,7 +476,7 @@ let dump ?(only_nonzero = true) () =
                 first := false;
                 Buffer.add_string buf (Printf.sprintf "[%s, %d]" le k)
               end)
-            h.buckets;
+            cell.buckets;
           Buffer.add_string buf "]}"
       | M_counter _ -> ())
     histograms;
@@ -262,22 +508,24 @@ let prometheus_float v =
   else if v < 0.0 then "-1e308"
   else "0"
 
-let to_prometheus ?(only_nonzero = true) () =
-  let name_of = function M_counter c -> c.c_name | M_histogram h -> h.h_name in
-  let metrics = List.sort (fun a b -> compare (name_of a) (name_of b)) (List.rev !order) in
+let to_prometheus ?(only_nonzero = true) ?reg () =
+  let r = match reg with Some r -> r | None -> Domain.DLS.get dls_reg in
+  let metrics = export_defs r in
   let buf = Buffer.create 2048 in
   List.iter
     (fun m ->
       match m with
       | M_counter c ->
-          if (not only_nonzero) || c.count <> 0 then begin
+          let count = r.Regs.ccells.(c.c_idx).count in
+          if (not only_nonzero) || count <> 0 then begin
             let n = prometheus_name c.c_name ^ "_total" in
             Buffer.add_string buf (Printf.sprintf "# HELP %s spatialdb counter %s\n" n c.c_name);
             Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
-            Buffer.add_string buf (Printf.sprintf "%s %d\n" n c.count)
+            Buffer.add_string buf (Printf.sprintf "%s %d\n" n count)
           end
       | M_histogram h ->
-          if (not only_nonzero) || h.n <> 0 then begin
+          let cell = r.Regs.hcells.(h.h_idx) in
+          if (not only_nonzero) || cell.n <> 0 then begin
             let n = prometheus_name h.h_name in
             Buffer.add_string buf (Printf.sprintf "# HELP %s spatialdb histogram %s\n" n h.h_name);
             Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
@@ -285,16 +533,31 @@ let to_prometheus ?(only_nonzero = true) () =
               (fun (label, q) ->
                 Buffer.add_string buf
                   (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n label
-                     (prometheus_float (Histogram.quantile h q))))
+                     (prometheus_float (Histogram.quantile_cell cell q))))
               [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
-            Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prometheus_float h.sum));
-            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.n)
+            Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prometheus_float cell.sum));
+            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n cell.n)
           end)
     metrics;
   Buffer.contents buf
 
-let counter_value name =
-  match Hashtbl.find_opt registry name with Some (M_counter c) -> Some c.count | _ -> None
+let counter_value ?reg name =
+  let r = match reg with Some r -> r | None -> Domain.DLS.get dls_reg in
+  match Hashtbl.find_opt registry name with
+  | Some (M_counter c) -> (
+      match ccell_ro r c.c_idx with Some cell -> Some cell.count | None -> Some 0)
+  | _ -> None
 
-let histogram_count name =
-  match Hashtbl.find_opt registry name with Some (M_histogram h) -> Some h.n | _ -> None
+let histogram_count ?reg name =
+  match Hashtbl.find_opt registry name with
+  | Some (M_histogram h) ->
+      let r = match reg with Some r -> r | None -> Domain.DLS.get dls_reg in
+      (match hcell_ro r h.h_idx with Some cell -> Some cell.n | None -> Some 0)
+  | _ -> None
+
+module Registry = struct
+  include Regs
+
+  let create () = make_registry ()
+  let merge_into ~dst src = merge_registry ~dst src
+end

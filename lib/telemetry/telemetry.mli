@@ -2,16 +2,32 @@
 
     The paper's guarantees are statistical, so a running system must be
     able to see acceptance rates, trial budgets and walk lengths to know
-    whether its (γ,ε,δ) contracts are being honoured.  This module is a
-    process-global registry of named metrics designed for hot paths:
+    whether its (γ,ε,δ) contracts are being honoured.  Metric
+    {e definitions} (names) are process-global and created once at
+    module initialization; the {e counts} live in a {!Registry.t}, of
+    which there can be many — one per observability context — with the
+    pre-context global registry surviving as {!Registry.default}.
+    Recording is designed for hot paths:
 
     - {b disabled by default}: every record operation is one mutable
       load and a conditional branch, no allocation, no syscall;
     - {b allocation-free when enabled}: counters and histograms mutate
       preallocated cells; metrics are created once at module
       initialization, never per event;
-    - {b deterministic dumps}: {!dump} renders the registry as JSON
-      with metrics sorted by name.
+    - {b context-transparent}: a bump lands in whichever registry the
+      calling domain currently has installed ({!with_registry}), at no
+      measurable cost over the old global path while at most the
+      initial domain has a registry installed (the [ctx_overhead] gate
+      in [bench/regress.ml] enforces ≤1.10x).  While registries are
+      installed on other domains, bumps resolve through domain-local
+      state so concurrent contexts never race or mis-attribute;
+    - {b deterministic dumps}: {!dump} renders a registry as JSON with
+      metrics sorted by name.
+
+    Thread-safety contract: a registry is single-writer — at most one
+    domain has it installed at a time (install/exit themselves are
+    mutex-protected and may happen from any domain).  Cross-context
+    aggregation goes through {!Registry.merge_into}, not shared cells.
 
     Metric names are dot-separated paths ([hit_and_run.steps],
     [union.volume.trials]); {!Scope} is a convenience for building
@@ -32,8 +48,47 @@ val enabled : unit -> bool
 
 val set_enabled : bool -> unit
 
-val reset : unit -> unit
-(** Zero every registered metric (the registry itself is kept). *)
+module Registry : sig
+  type t
+  (** A cell store: one count/histogram cell per registered metric.
+      Registries are cheap (two arrays); contexts own one each. *)
+
+  val default : t
+  (** The process-global registry every bump lands in until a context
+      installs its own — the pre-context behaviour, unchanged. *)
+
+  val create : unit -> t
+  (** Fresh registry with zeroed cells for every metric registered so
+      far (cells for later-registered metrics appear on first use). *)
+
+  val merge_into : dst:t -> t -> unit
+  (** [merge_into ~dst src] adds [src]'s counts into [dst] and leaves
+      [src] unchanged.  Counters add.  Histograms add [count], [sum]
+      and per-bucket counts and extend [min]/[max], so the merged
+      histogram is {e exactly} the histogram of the concatenated
+      observations — quantiles included — except that [sum] may differ
+      in the last few ulps by float association.  Merging a registry
+      into itself is a no-op. *)
+end
+
+val with_registry : Registry.t -> (unit -> 'a) -> 'a
+(** [with_registry r f] runs [f] with [r] installed as the calling
+    domain's ambient registry: every bump made by this domain (and by
+    threads sharing the domain) lands in [r].  Exception-safe; nests.
+    Installing from a spawned domain routes that domain's bumps through
+    domain-local resolution without disturbing other domains.  Do not
+    call from a worker thread that merely shares a domain with other
+    ambient-registry users — threads share their domain's ambient
+    state.  Readers that must not disturb ambient state (status
+    tickers) use the explicit [?reg] accessors instead. *)
+
+val current_registry : unit -> Registry.t
+(** The calling domain's ambient registry ({!Registry.default} unless
+    inside {!with_registry}). *)
+
+val reset : ?reg:Registry.t -> unit -> unit
+(** Zero every metric cell of the given registry (default: the ambient
+    one).  Definitions are kept. *)
 
 module Counter : sig
   type t
@@ -43,7 +98,9 @@ module Counter : sig
 
   val incr : t -> unit
   val add : t -> int -> unit
+
   val value : t -> int
+  (** Current count in the calling domain's ambient registry. *)
 end
 
 module Histogram : sig
@@ -55,7 +112,11 @@ module Histogram : sig
       1e-9 to 1e9) plus an overflow bucket. *)
 
   val observe : t -> float -> unit
+
   val count : t -> int
+  (** Observation count in the calling domain's ambient registry (the
+      other readers below read the ambient registry likewise). *)
+
   val sum : t -> float
 
   val mean : t -> float
@@ -105,8 +166,9 @@ module Scope : sig
   val timer : t -> string -> Timer.t
 end
 
-val dump : ?only_nonzero:bool -> unit -> string
-(** JSON snapshot of the registry (schema [spatialdb-telemetry/2]):
+val dump : ?only_nonzero:bool -> ?reg:Registry.t -> unit -> string
+(** JSON snapshot of a registry (schema [spatialdb-telemetry/2];
+    default: the ambient registry):
     [{"schema": …, "enabled": …, "counters": {name: value, …},
       "histograms": {name: {"count": …, "sum": …, "min": …, "max": …,
       "mean": …, "p50": …, "p90": …, "p99": …,
@@ -119,16 +181,19 @@ val dump : ?only_nonzero:bool -> unit -> string
     and [only_nonzero] (default [true]) also omits never-touched
     metrics.  Timers appear under [histograms] as [<name>.seconds]. *)
 
-val to_prometheus : ?only_nonzero:bool -> unit -> string
-(** Render the registry in the Prometheus text exposition format
-    (version 0.0.4).  Metric names are prefixed [spatialdb_] with dots
-    mapped to underscores.  Counters become [counter] families with the
-    conventional [_total] suffix; histograms and timers become
-    [summary] families with [quantile="0.5"/"0.9"/"0.99"] samples plus
-    exact [_sum] and [_count].  All values are finite (non-finite sums
-    are clamped like {!dump}).  [only_nonzero] as in {!dump}. *)
+val to_prometheus : ?only_nonzero:bool -> ?reg:Registry.t -> unit -> string
+(** Render a registry (default: ambient) in the Prometheus text
+    exposition format (version 0.0.4).  Metric names are prefixed
+    [spatialdb_] with dots mapped to underscores.  Counters become
+    [counter] families with the conventional [_total] suffix;
+    histograms and timers become [summary] families with
+    [quantile="0.5"/"0.9"/"0.99"] samples plus exact [_sum] and
+    [_count].  All values are finite (non-finite sums are clamped like
+    {!dump}).  [only_nonzero] as in {!dump}. *)
 
-val counter_value : string -> int option
-(** Registry lookup by name, for tests and report generators. *)
+val counter_value : ?reg:Registry.t -> string -> int option
+(** Registry lookup by name (default: ambient), for tests, report
+    generators and the status view.  [Some 0] for a registered metric
+    the given registry has never touched; [None] for an unknown name. *)
 
-val histogram_count : string -> int option
+val histogram_count : ?reg:Registry.t -> string -> int option

@@ -23,12 +23,16 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 val reset : unit -> unit
-(** Drop all recorded spans and restart the trace clock origin. *)
+(** Drop the ambient forest's recorded spans and restart its clock
+    origin. *)
 
 val set_span_limit : int -> unit
-(** Soft cap on recorded spans (default 200000): once reached, new
-    spans run their body unrecorded, so tight sampling loops cannot
-    make the trace unbounded.  [reset] does not change the limit. *)
+(** Soft cap on the ambient forest's recorded spans (default 200000):
+    once reached, new spans run their body unrecorded, so tight
+    sampling loops cannot make the trace unbounded.  [reset] does not
+    change the limit. *)
+
+
 
 val span : ?attrs:(string * string) list -> ?counters:string list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside a span.  The span is closed even when
@@ -68,6 +72,46 @@ type view = {
   v_dur_us : float;  (** ≥ 0; still-open spans report elapsed-so-far *)
   v_attrs : (string * string) list;
 }
+
+(** {1 Forests (observability contexts)}
+
+    Spans land in a {e forest} — the span store plus the open-span
+    stack, the per-forest monotonic epoch (stamped at creation and by
+    {!reset}, so a context born late in a long-lived process exports
+    timestamps relative to its own birth) and the span cap.  The
+    pre-context global store survives as the default forest every
+    domain starts with.  Forests are single-writer: the one domain
+    that currently has the forest installed. *)
+
+module Forest : sig
+  type t
+
+  val create : ?span_limit:int -> unit -> t
+  (** Fresh empty forest; its epoch is stamped now. *)
+
+  val size : t -> int
+  val epoch : t -> float
+
+  val merge_into : ?name:string -> dst:t -> t -> unit
+  (** Splice [src]'s spans into [dst] under a fresh synthetic root
+      span (named [name], default ["merged"], carrying a ["spans"]
+      attribute): ids shift past [dst]'s id space, [src]'s roots
+      re-parent onto the synthetic root, depths grow by one.  Span
+      timestamps are absolute monotonic seconds, so they re-base onto
+      [dst]'s epoch exactly.  [src] is unchanged; merging a forest
+      into itself is a no-op. *)
+
+  val spans : t -> view list
+  (** Like {!val:spans} but for an explicit forest (timestamps relative
+      to {e its} epoch). *)
+end
+
+val with_forest : Forest.t -> (unit -> 'a) -> 'a
+(** Install a forest as the calling domain's ambient span store for the
+    duration of the thunk (exception-safe; nests).  Same domain/thread
+    caveats as [Telemetry.with_registry]. *)
+
+val current_forest : unit -> Forest.t
 
 val spans : unit -> view list
 (** All recorded spans in creation order (so [v_ts_us] is

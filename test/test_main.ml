@@ -26,6 +26,7 @@ let () =
          Test_plan.suites;
          Test_vm.suites;
          Test_progress.suites;
+         Test_obs.suites;
          Test_profile.suites;
          Test_cli.suites;
        ])
