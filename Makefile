@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench perf check ci clean
+.PHONY: all build test bench perf trend check ci clean
 
 all: build
 
@@ -17,6 +17,11 @@ bench:
 # Bechamel micro-benchmarks (finer-grained, no JSON output).
 perf:
 	dune exec bench/main.exe -- perf
+
+# Perf-trend ledger: walk every committed BENCH_<n>.json (globbed in
+# index order) and flag silent normalized drifts.
+trend:
+	dune exec bench/regress.exe -- --trend
 
 # Tier-1 gate: full build, benches compile, tests pass.
 check:
@@ -53,6 +58,12 @@ check:
 # spatialdb-status/1 document must validate with >= 2 contexts showing
 # draws, `spatialdb status` must render it, and a contexted
 # (`--status-out`) recorded run must still replay bit-for-bit.
+# Finally the accuracy-contract smoke: `spatialdb audit` of the
+# Figure 1 union against the exact oracle (40 replicates over 2
+# domains), its spatialdb-audit/1 document validated and gated against
+# the committed AUDIT_1.json ledger (same fingerprint, contract still
+# met), and a domains-vs-seq audit differential: the two documents must
+# be byte-identical and their merged telemetry counters exactly equal.
 # Throwaway artifacts go to _build/.
 ci: check
 	dune exec bench/regress.exe -- --fast -o _build/BENCH_ci.json --check BENCH_1.json
@@ -124,6 +135,25 @@ ci: check
 	  --record _build/ci_ctx.flightrec.json > /dev/null
 	dune exec bin/spatialdb.exe -- replay _build/ci_ctx.flightrec.json
 	dune exec bench/regress.exe -- --trend
+	dune exec bin/spatialdb.exe -- audit --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 --runs 40 --jobs 2 --oracle exact \
+	  --out _build/audit_ci.json > /dev/null
+	dune exec bench/validate_audit.exe -- --audit _build/audit_ci.json \
+	  --check AUDIT_1.json
+	dune exec bin/spatialdb.exe -- audit --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 --runs 6 --jobs 2 --jobs-mode domains --oracle exact \
+	  --stats-out _build/ci_audit_par.json \
+	  --out _build/ci_audit_par_doc.json > /dev/null
+	dune exec bin/spatialdb.exe -- audit --vars x,y \
+	  --formula "(x >= 0 and y >= 0 and x + y <= 1) or (x >= 2 and x <= 3 and y >= 0 and y <= 1)" \
+	  --seed 42 --runs 6 --jobs 2 --jobs-mode seq --oracle exact \
+	  --stats-out _build/ci_audit_seq.json \
+	  --out _build/ci_audit_seq_doc.json > /dev/null
+	cmp _build/ci_audit_par_doc.json _build/ci_audit_seq_doc.json
+	dune exec bench/validate_status.exe -- \
+	  --compare-counters _build/ci_audit_par.json _build/ci_audit_seq.json
 
 clean:
 	dune clean

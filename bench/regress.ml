@@ -515,11 +515,23 @@ let ctx_overhead ~fast =
    cancels machine speed and leaves genuine relative regressions.
 
    A metric FAILS when its latest normalized value exceeds
-   --trend-threshold times the minimum of its normalized series — the
-   code is slower, relative to the machine it ran on, than it has ever
-   been, by more than the threshold.  Consecutive-step jumps above the
-   threshold that later recovered are reported as DRIFT warnings but do
-   not fail.
+   --trend-threshold times the MEDIAN of its normalized series — the
+   code ended slower, relative to the machine it ran on, than its
+   typical trajectory level by more than the threshold.  The median
+   (not the minimum) is the baseline deliberately: the reference
+   kernel itself jitters run to run, and one file whose reference
+   happened to run slow deflates every normalized value in that file
+   by the same common-mode factor — a minimum baseline is poisoned
+   forever by a single such file (BENCH_7 set chord.seed's minimum
+   ~30% below every other file in the trajectory, which would have
+   made any honest later file fail), while the median shrugs off
+   outlier files in either direction as long as they stay a minority.
+   The tradeoff is a weaker ratchet — a regression already present in
+   more than half the trajectory lifts the median with it — but the
+   paired --check gate (2x vs the immediate predecessor) covers the
+   step-regression case, and consecutive-step jumps above the
+   threshold that later recovered are still reported as DRIFT
+   warnings without failing.
 
    Metrics that never exceed --trend-floor (default 50 ns/op) in any
    file are skipped: a single-word bigint add runs in a handful of
@@ -609,9 +621,14 @@ let trend ~files ~threshold ~ref_name ~floor_ns =
       match series with
       | [] | [ _ ] -> ()
       | vs ->
-          let mn = List.fold_left Float.min infinity vs in
+          let med =
+            let a = List.sort compare vs in
+            let n = List.length a in
+            if n mod 2 = 1 then List.nth a (n / 2)
+            else (List.nth a ((n / 2) - 1) +. List.nth a (n / 2)) /. 2.0
+          in
           let last = List.nth vs (List.length vs - 1) in
-          let ratio = last /. mn in
+          let ratio = last /. med in
           let step_drift =
             let rec go = function
               | a :: (b :: _ as rest) -> (b /. a > threshold) || go rest
@@ -631,7 +648,7 @@ let trend ~files ~threshold ~ref_name ~floor_ns =
             else "ok"
           in
           if verdict <> "ok" || ratio > 1.0 +. ((threshold -. 1.0) /. 2.0) then
-            Printf.printf "  %-36s [%s]  last/min %5.2fx  %s\n" name
+            Printf.printf "  %-36s [%s]  last/med %5.2fx  %s\n" name
               (String.concat " " (List.map (Printf.sprintf "%.3f") vs))
               ratio verdict)
     names;
@@ -643,7 +660,7 @@ let trend ~files ~threshold ~ref_name ~floor_ns =
       threshold;
   if !failures > 0 then begin
     Printf.printf
-      "%d metric(s) ended more than %.2fx above their trajectory minimum (machine-normalized)\n"
+      "%d metric(s) ended more than %.2fx above their trajectory median (machine-normalized)\n"
       !failures threshold;
     exit 1
   end

@@ -10,7 +10,7 @@
      positive finite total_work;
    - every node budget must be finite and non-negative, and the root
      budget positive;
-   - with --report, the report document must be spatialdb-report/3 and
+   - with --report, the report document must be spatialdb-report/4 and
      every cost_attribution row for a node that ran (actual > 0) must
      carry a finite positive ratio — a NaN serializes as null and
      fails, and a missing ratio key fails.
@@ -62,7 +62,7 @@ let check_report file =
     try J.parse (read_file file) with J.Parse_error m -> fail "%s: invalid JSON: %s" file m
   in
   (match J.to_string (get "schema" (J.member "schema" doc)) with
-  | Some "spatialdb-report/3" -> ()
+  | Some "spatialdb-report/4" -> ()
   | Some other -> fail "%s: unexpected schema %S" file other
   | None -> fail "%s: schema is not a string" file);
   let rows =

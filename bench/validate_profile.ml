@@ -3,7 +3,7 @@
 
    Usage:
      validate_profile --profile FILE     standalone profile document
-     validate_profile --report FILE      spatialdb-report/3 document
+     validate_profile --report FILE      spatialdb-report/4 document
 
    Exits 1 with a message on the first violation.
 
@@ -25,7 +25,7 @@
      pcs[].tag in its node's tags.
 
    --report checks:
-   - schema must be "spatialdb-report/3" with an "engine" argument;
+   - schema must be "spatialdb-report/4" with an "engine" argument;
    - every cost_attribution row must carry a "tags" array;
    - under a compiled engine (vm, vm-opt) the "profile" block must be
      present and pass all the --profile checks above, and under vm-opt
@@ -158,7 +158,7 @@ let check_profile doc =
 
 let check_report doc =
   (match J.to_string (get "schema" (J.member "schema" doc)) with
-  | Some "spatialdb-report/3" -> ()
+  | Some "spatialdb-report/4" -> ()
   | Some other -> fail "unexpected report schema %S" other
   | None -> fail "report schema is not a string");
   let args = get "args" (J.member "args" doc) in

@@ -1,9 +1,9 @@
-(* Validator for spatialdb-report/3 documents (see Scdb_gis.Report).
+(* Validator for spatialdb-report/4 documents (see Scdb_gis.Report).
 
    Usage: validate_report FILE [--require-converged]
 
    Exits 1 with a message on the first violation:
-   - schema must be "spatialdb-report/3";
+   - schema must be "spatialdb-report/4";
    - the embedded trace must hold >= 10 events, every ts/dur finite and
      non-negative, ts non-decreasing (creation order);
    - the embedded plan must be schema spatialdb-plan/1 with a positive
@@ -11,6 +11,9 @@
    - the cost_attribution table must be non-empty and every row whose
      node actually ran (actual > 0) must carry a finite positive
      actual/predicted ratio (a NaN serializes as null and fails);
+   - the audit block must carry a 16-hex-digit relation fingerprint and
+     an error_budget table with one row per plan node, each granted
+     eps/delta inside (0,1) (guards are exempt and serialize null);
    - the telemetry block must be schema spatialdb-telemetry/2;
    - diagnostics must be present with >= 4 chains, every R-hat and ESS
      finite (a NaN serializes as null and fails the number check);
@@ -43,7 +46,7 @@ let () =
   let doc = try J.parse s with J.Parse_error m -> fail "invalid JSON: %s" m in
   (* Schema. *)
   (match J.to_string (get "schema" (J.member "schema" doc)) with
-  | Some "spatialdb-report/3" -> ()
+  | Some "spatialdb-report/4" -> ()
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "schema is not a string");
   (* Trace. *)
@@ -89,6 +92,38 @@ let () =
         if ratio <= 0.0 then fail "cost_attribution[%d].ratio is %g (need > 0)" i ratio
       end)
     attribution;
+  (* Audit block: fingerprint + per-node error budget. *)
+  let audit = get "audit" (J.member "audit" doc) in
+  (match J.to_string (get "audit.fingerprint" (J.member "fingerprint" audit)) with
+  | Some fp ->
+      if String.length fp <> 16
+         || not (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) fp)
+      then fail "audit.fingerprint %S is not 16 lowercase hex digits" fp
+  | None -> fail "audit.fingerprint is not a string");
+  let error_budget =
+    match J.to_list (get "audit.error_budget" (J.member "error_budget" audit)) with
+    | Some l -> l
+    | None -> fail "audit.error_budget is not an array"
+  in
+  if List.length error_budget <> List.length attribution then
+    fail "audit.error_budget has %d rows for %d plan nodes" (List.length error_budget)
+      (List.length attribution);
+  List.iteri
+    (fun i row ->
+      let op =
+        match J.to_string (get "op" (J.member "op" row)) with
+        | Some s -> s
+        | None -> fail "error_budget[%d].op is not a string" i
+      in
+      if op <> "guard" then begin
+        let e = num (Printf.sprintf "error_budget[%d].eps" i) (get "eps" (J.member "eps" row)) in
+        let d =
+          num (Printf.sprintf "error_budget[%d].delta" i) (get "delta" (J.member "delta" row))
+        in
+        if e <= 0.0 || e >= 1.0 then fail "error_budget[%d].eps is %g (need (0,1))" i e;
+        if d <= 0.0 || d >= 1.0 then fail "error_budget[%d].delta is %g (need (0,1))" i d
+      end)
+    error_budget;
   (* Telemetry. *)
   let tel = get "telemetry" (J.member "telemetry" doc) in
   (match J.to_string (get "telemetry.schema" (J.member "schema" tel)) with

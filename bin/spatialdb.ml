@@ -644,6 +644,120 @@ let report_cmd =
       $ out_arg $ format_arg $ trace_out_arg $ obs_term $ progress_arg $ overrun_arg
       $ engine_arg)
 
+(* ---------------- audit ---------------- *)
+
+let audit_cmd =
+  let module A = Scdb_audit.Audit in
+  let runs_arg =
+    let doc =
+      "Number of replicate estimates (seeds seed, seed+1, ...).  The Clopper-Pearson bracket \
+       tightens with $(docv): at delta 0.1 and 95% confidence a strict pass needs >= 36 \
+       all-hit replicates."
+    in
+    Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Deal the replicates round-robin across $(docv) observability contexts.  Replicate \
+       streams depend only on their seed, so the estimates and the verdict are identical \
+       whichever $(b,--jobs-mode) executes them."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"K" ~doc)
+  in
+  let jobs_mode_arg =
+    let doc =
+      "How to execute $(b,--jobs): $(b,domains) (one domain per job, concurrent — the \
+       default) or $(b,seq) (same contexts, one after another — the differential baseline)."
+    in
+    Arg.(value & opt string "domains" & info [ "jobs-mode" ] ~docv:"MODE" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Ground-truth oracle: $(b,exact) (rational volumes by Lasserre recursion with \
+       inclusion-exclusion; errors when no closed form applies), $(b,reference) (one \
+       high-budget run at eps/10, delta/10) or $(b,auto) (exact when possible, else \
+       reference — the default)."
+    in
+    Arg.(value & opt string "auto" & info [ "oracle" ] ~docv:"ORACLE" ~doc)
+  in
+  let confidence_arg =
+    let doc = "Confidence level of the Clopper-Pearson coverage bracket." in
+    Arg.(value & opt float 0.95 & info [ "confidence" ] ~doc)
+  in
+  let gamma_arg =
+    let doc =
+      "Grid resolution passed to the estimator under audit (default: the pipeline's fixed \
+       value).  Auditing a deliberately wrong $(docv) demonstrates the contract check \
+       catching a mis-calibrated sampler."
+    in
+    Arg.(value & opt float Flight.gamma & info [ "gamma" ] ~doc)
+  in
+  let walk_steps_arg =
+    let doc =
+      "Fault injection: override the estimator's mixing schedule with $(docv) walk steps per \
+       sample (the oracle is untouched).  Starving the walk is the demo of the auditor \
+       catching a mis-mixed sampler — see EXPERIMENTS.md."
+    in
+    Arg.(value & opt (some int) None & info [ "walk-steps" ] ~docv:"N" ~doc)
+  in
+  let phase_samples_arg =
+    let doc =
+      "Fault injection: override the estimator's per-phase volume sample budget with $(docv) \
+       (the oracle is untouched).  Corrupting the budget this way — e.g. a twentieth of the \
+       practical 2000 — is the demo of the auditor catching a broken contract; see \
+       EXPERIMENTS.md."
+    in
+    Arg.(value & opt (some int) None & info [ "phase-samples" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the spatialdb-audit/1 JSON document to $(docv).")
+  in
+  let run vars_s formula seed eps delta runs jobs jobs_mode oracle confidence gamma walk_steps
+      phase_samples out stats stats_out o =
+    if not (List.mem jobs_mode [ "domains"; "seq" ]) then
+      usage_die "jobs mode" jobs_mode [ "domains"; "seq" ];
+    if jobs < 1 then or_die (Error "--jobs must be >= 1");
+    let oracle_v =
+      match oracle with
+      | "exact" -> `Exact
+      | "reference" -> `Reference
+      | "auto" -> `Auto
+      | m -> usage_die "oracle" m [ "exact"; "reference"; "auto" ]
+    in
+    let mode = if jobs_mode = "seq" then A.Seq else A.Domains in
+    enable_stats ?stats_out stats;
+    setup_obs o;
+    let vars, relation = or_die (parse_relation vars_s formula) in
+    let a =
+      or_die
+        (A.run ~gamma ~jobs ~mode ~confidence ~oracle:oracle_v ?walk_steps ?phase_samples
+           ~eps ~delta ~runs ~seed relation)
+    in
+    (match out with
+    | Some file -> write_file file (A.to_json ~vars ~formula ~seed ~jobs ~requested:oracle a)
+    | None -> ());
+    print_string (A.to_text a);
+    (* Exit-code convention: a failed contract is a runtime error (1);
+       an inconclusive bracket still exits 0 — rerun with more --runs
+       to decide. *)
+    if a.A.cov.A.verdict = A.Fail then exit 1
+  in
+  let doc =
+    "Verify the (epsilon,delta) accuracy contract empirically: obtain ground truth from an \
+     exact or reference oracle, replay the volume estimator over independent seeds, bracket \
+     the contract-hit fraction with an exact Clopper-Pearson interval, and attribute the \
+     error budget across plan nodes.  Exits 1 when the contract demonstrably fails."
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(
+      const run $ vars_arg $ formula_arg $ seed_arg $ eps_arg $ delta_arg $ runs_arg $ jobs_arg
+      $ jobs_mode_arg $ oracle_arg $ confidence_arg $ gamma_arg $ walk_steps_arg
+      $ phase_samples_arg $ out_arg $ stats_arg $ stats_out_arg $ obs_term)
+
 (* ---------------- profile ---------------- *)
 
 let profile_cmd =
@@ -951,6 +1065,7 @@ let () =
             qe_cmd;
             reconstruct_cmd;
             report_cmd;
+            audit_cmd;
             profile_cmd;
             replay_cmd;
             status_cmd;

@@ -1,0 +1,404 @@
+module Tel = Scdb_telemetry.Telemetry
+module Trace = Scdb_trace.Trace
+module Obs = Scdb_obs.Obs
+module Plan = Scdb_plan.Plan
+module Cost = Scdb_plan.Cost
+module Plan_exec = Scdb_gis.Plan_exec
+module VE = Scdb_polytope.Volume_exact
+module Volume = Scdb_sampling.Volume
+
+let tel_replicates = Tel.Counter.make "audit.replicates"
+let tel_hits = Tel.Counter.make "audit.hits"
+let tel_misses = Tel.Counter.make "audit.misses"
+let tel_failures = Tel.Counter.make "audit.estimation_failures"
+let tel_rel_error = Tel.Histogram.make "audit.rel_error"
+let tel_oracle_exact = Tel.Counter.make "audit.oracle.exact"
+let tel_oracle_reference = Tel.Counter.make "audit.oracle.reference"
+
+type oracle = Exact | Reference
+
+let oracle_name = function Exact -> "exact" | Reference -> "reference"
+
+type verdict = Pass | Fail | Inconclusive
+
+let verdict_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Inconclusive -> "inconclusive"
+
+(* ---------------- Clopper–Pearson ---------------- *)
+
+let clopper_pearson ?(confidence = 0.95) ~hits ~runs () =
+  if runs < 1 || hits < 0 || hits > runs then invalid_arg "Audit.clopper_pearson";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Audit.clopper_pearson: confidence must lie in (0,1)";
+  let alpha = 1.0 -. confidence in
+  let lf = Array.make (runs + 1) 0.0 in
+  for i = 2 to runs do
+    lf.(i) <- lf.(i - 1) +. log (float_of_int i)
+  done;
+  (* Exact binomial tails, summed in probability space from log-space
+     terms: every term is <= 1, so there is no overflow to dodge and
+     the sum is accurate to float precision. *)
+  let tail ~ge x p =
+    if p <= 0.0 then if (ge && x <= 0) || not ge then 1.0 else 0.0
+    else if p >= 1.0 then if ge || x >= runs then 1.0 else 0.0
+    else begin
+      let lp = log p and lq = log (1.0 -. p) in
+      let term k =
+        exp
+          (lf.(runs) -. lf.(k)
+          -. lf.(runs - k)
+          +. (float_of_int k *. lp)
+          +. (float_of_int (runs - k) *. lq))
+      in
+      let s = ref 0.0 in
+      if ge then
+        for k = Stdlib.max 0 x to runs do
+          s := !s +. term k
+        done
+      else
+        for k = 0 to Stdlib.min runs x do
+          s := !s +. term k
+        done;
+      Float.min 1.0 !s
+    end
+  in
+  (* Lower bound: the p where P[X >= hits | p] (increasing in p)
+     crosses α/2.  Upper bound: where P[X <= hits | p] (decreasing)
+     crosses α/2. *)
+  let bisect f ~increasing target =
+    let lo = ref 0.0 and hi = ref 1.0 in
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let v = f mid in
+      let mid_is_low = if increasing then v < target else v > target in
+      if mid_is_low then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  in
+  let low =
+    if hits = 0 then 0.0 else bisect (tail ~ge:true hits) ~increasing:true (alpha /. 2.0)
+  in
+  let high =
+    if hits = runs then 1.0
+    else bisect (tail ~ge:false hits) ~increasing:false (alpha /. 2.0)
+  in
+  (low, high)
+
+(* ---------------- oracles ---------------- *)
+
+let exact_truth ?(max_tuples = 16) relation =
+  match VE.volume_relation ~max_tuples relation with
+  | v -> Some v
+  | exception VE.Unbounded -> None
+  | exception Invalid_argument _ -> None
+
+let estimate_once ~config ~gamma ~eps ~delta relation s =
+  let rng = Rng.create s in
+  match
+    Plan_exec.observable_of_relation ~config ~gamma ~eps ~delta ~task:Plan.Volume rng
+      relation
+  with
+  | None -> None
+  | Some (_plan, obs) -> (
+      match Observable.volume obs ~gamma rng ~eps ~delta with
+      | v -> Some v
+      | exception Observable.Estimation_failed _ -> None)
+
+let practical = Convex_obs.practical_config
+
+let reference_config =
+  (* 8x the practical per-phase budget; with the tightened (ε/10,δ/10)
+     below this also inflates every runtime-sized trial count. *)
+  match practical.Convex_obs.volume_budget with
+  | Volume.Practical n -> { practical with Convex_obs.volume_budget = Volume.Practical (8 * n) }
+  | _ -> practical
+
+let reference_truth ?(gamma = Scdb_gis.Flight.gamma) ~eps ~delta ~seed relation =
+  Trace.span "audit.reference_truth" @@ fun () ->
+  estimate_once ~config:reference_config ~gamma ~eps:(eps /. 10.0) ~delta:(delta /. 10.0)
+    relation seed
+
+(* ---------------- coverage verification ---------------- *)
+
+type mode = Domains | Seq
+
+type coverage = {
+  runs : int;
+  estimates : float array;
+  hits : int;
+  coverage : float;
+  cp_low : float;
+  cp_high : float;
+  confidence : float;
+  target : float;
+  verdict : verdict;
+}
+
+let verify ?(jobs = 1) ?(mode = Domains) ?(confidence = 0.95) ~eps ~delta ~runs ~seed
+    ~truth estimate =
+  if runs < 1 then invalid_arg "Audit.verify: runs must be >= 1";
+  if jobs < 1 then invalid_arg "Audit.verify: jobs must be >= 1";
+  if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Audit.verify: eps and delta must lie in (0,1)";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Audit.verify: confidence must lie in (0,1)";
+  if (not (Float.is_finite truth)) || truth <= 0.0 then
+    invalid_arg "Audit.verify: truth must be finite and positive";
+  let estimates = Array.make runs Float.nan in
+  let replicate i =
+    Tel.Counter.incr tel_replicates;
+    match estimate (seed + i) with
+    | Some v when Float.is_finite v ->
+        (* Distinct replicate indices: the only cell of [estimates] a
+           job domain writes is its own. *)
+        estimates.(i) <- v;
+        let rel = Float.abs (v -. truth) /. truth in
+        Tel.Histogram.observe tel_rel_error rel;
+        if rel <= eps then begin
+          Tel.Counter.incr tel_hits;
+          true
+        end
+        else begin
+          Tel.Counter.incr tel_misses;
+          false
+        end
+    | _ ->
+        Tel.Counter.incr tel_failures;
+        Tel.Counter.incr tel_misses;
+        false
+  in
+  let hits =
+    if jobs = 1 then begin
+      (* Uncontexted single-job path: everything lands in the ambient
+         context, exactly like a plain run. *)
+      let h = ref 0 in
+      for i = 0 to runs - 1 do
+        if replicate i then incr h
+      done;
+      !h
+    end
+    else begin
+      let ctxs =
+        Array.init jobs (fun j -> Obs.Ctx.create ~name:(Printf.sprintf "audit-%d" j) ())
+      in
+      let job j () =
+        Obs.Ctx.run ctxs.(j) (fun () ->
+            let h = ref 0 in
+            let i = ref j in
+            while !i < runs do
+              if replicate !i then incr h;
+              i := !i + jobs
+            done;
+            Obs.Ctx.mark_done ctxs.(j);
+            !h)
+      in
+      let per_job =
+        match mode with
+        | Seq -> Array.init jobs (fun j -> job j ())
+        | Domains ->
+            let doms = Array.init jobs (fun j -> Domain.spawn (job j)) in
+            Array.map Domain.join doms
+      in
+      Array.iter (fun c -> Obs.Ctx.merge ~into:Obs.Ctx.default c) ctxs;
+      Array.fold_left ( + ) 0 per_job
+    end
+  in
+  let cp_low, cp_high = clopper_pearson ~confidence ~hits ~runs () in
+  let target = 1.0 -. delta in
+  let verdict =
+    if cp_low >= target then Pass else if cp_high < target then Fail else Inconclusive
+  in
+  {
+    runs;
+    estimates;
+    hits;
+    coverage = float_of_int hits /. float_of_int runs;
+    cp_low;
+    cp_high;
+    confidence;
+    target;
+    verdict;
+  }
+
+(* ---------------- error-budget attribution ---------------- *)
+
+(* The grant/actual join lives in {!Plan_exec} so `spatialdb report`
+   (which cannot see this library) embeds exactly the same rows. *)
+type budget_row = Plan_exec.budget_row = {
+  b_id : int;
+  b_op : string;
+  b_eps : float;
+  b_delta : float;
+  b_predicted : float;
+  b_actual : float;
+  b_ratio : float;
+  b_delta_achieved : float;
+  b_slack : float;
+}
+
+let budget_rows = Plan_exec.budget_attribution
+let budget_rows_json = Plan_exec.budget_attribution_json
+let budget_rows_text = Plan_exec.budget_attribution_text
+
+let jnum v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+(* ---------------- whole-relation audits ---------------- *)
+
+type t = {
+  fingerprint : string;
+  oracle : oracle;
+  truth : float;
+  truth_exact : Rational.t option;
+  eps : float;
+  delta : float;
+  gamma : float;
+  cov : coverage;
+  budget : budget_row array;
+}
+
+let attribution_pass ~config ~gamma ~eps ~delta ~seed relation =
+  let rng = Rng.create seed in
+  match
+    Plan_exec.observable_of_relation ~config ~gamma ~eps ~delta ~task:Plan.Volume
+      rng relation
+  with
+  | None -> [||]
+  | Some (plan, obs) ->
+      Plan_exec.arm plan;
+      (match Observable.volume obs ~gamma rng ~eps ~delta with
+      | (_ : float) -> ()
+      | exception Observable.Estimation_failed _ -> ());
+      let rows = budget_rows plan (Plan_exec.attribution plan) in
+      Scdb_progress.Progress.stop ();
+      rows
+
+let run ?(gamma = Scdb_gis.Flight.gamma) ?(jobs = 1) ?(mode = Domains) ?(confidence = 0.95)
+    ?(oracle = `Auto) ?max_tuples ?walk_steps ?phase_samples ~eps ~delta ~runs ~seed relation
+    =
+  if Relation.is_syntactically_empty relation then Error "relation is empty"
+  else begin
+    (* Fault injection for the regression demo: overriding the mixing
+       schedule or the per-phase sample budget starves the estimator
+       without touching anything else, so a deliberately broken
+       estimator meets an unchanged oracle. *)
+    let config =
+      match walk_steps with
+      | None -> practical
+      | Some n -> { practical with Convex_obs.walk_steps = Some n }
+    in
+    let config =
+      match phase_samples with
+      | None -> config
+      | Some n -> { config with Convex_obs.volume_budget = Volume.Practical n }
+    in
+    let fingerprint = Relation.fingerprint relation in
+    let truth =
+      match oracle with
+      | `Exact -> (
+          match exact_truth ?max_tuples relation with
+          | Some q -> Ok (Exact, Rational.to_float q, Some q)
+          | None ->
+              Error
+                "no exact closed form (relation unbounded or too many tuples); use --oracle \
+                 reference")
+      | `Reference -> (
+          match reference_truth ~gamma ~eps ~delta ~seed:(seed + runs) relation with
+          | Some v when v > 0.0 -> Ok (Reference, v, None)
+          | _ -> Error "reference oracle failed (relation empty, unbounded or lower-dimensional)")
+      | `Auto -> (
+          match exact_truth ?max_tuples relation with
+          | Some q when Rational.sign q > 0 -> Ok (Exact, Rational.to_float q, Some q)
+          | Some _ -> Error "relation has zero volume; nothing to audit"
+          | None -> (
+              match reference_truth ~gamma ~eps ~delta ~seed:(seed + runs) relation with
+              | Some v when v > 0.0 -> Ok (Reference, v, None)
+              | _ ->
+                  Error
+                    "no oracle applies (relation empty, unbounded or lower-dimensional)"))
+    in
+    match truth with
+    | Error e -> Error e
+    | Ok (_, tv, _) when tv <= 0.0 -> Error "relation has zero volume; nothing to audit"
+    | Ok (used, truth, truth_exact) ->
+        (match used with
+        | Exact -> Tel.Counter.incr tel_oracle_exact
+        | Reference -> Tel.Counter.incr tel_oracle_reference);
+        let estimate s = estimate_once ~config ~gamma ~eps ~delta relation s in
+        let cov =
+          Trace.span "audit.verify" ~attrs:[ ("runs", string_of_int runs) ] @@ fun () ->
+          verify ~jobs ~mode ~confidence ~eps ~delta ~runs ~seed ~truth estimate
+        in
+        let budget = attribution_pass ~config ~gamma ~eps ~delta ~seed relation in
+        Ok { fingerprint; oracle = used; truth; truth_exact; eps; delta; gamma; cov; budget }
+  end
+
+(* ---------------- rendering ---------------- *)
+
+let to_json ~vars ~formula ~seed ~jobs ~requested a =
+  let buf = Buffer.create 2048 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "  \"schema\": \"spatialdb-audit/1\",\n";
+  add "  \"args\": {\n";
+  add
+    (Printf.sprintf "    \"vars\": [%s],\n"
+       (String.concat ", " (List.map (fun v -> "\"" ^ Trace.json_escape v ^ "\"") vars)));
+  add (Printf.sprintf "    \"formula\": \"%s\",\n" (Trace.json_escape formula));
+  add (Printf.sprintf "    \"seed\": %d,\n" seed);
+  add (Printf.sprintf "    \"runs\": %d,\n" a.cov.runs);
+  add (Printf.sprintf "    \"jobs\": %d,\n" jobs);
+  add (Printf.sprintf "    \"oracle\": \"%s\",\n" (Trace.json_escape requested));
+  add (Printf.sprintf "    \"eps\": %s,\n" (jnum a.eps));
+  add (Printf.sprintf "    \"delta\": %s,\n" (jnum a.delta));
+  add (Printf.sprintf "    \"gamma\": %s,\n" (jnum a.gamma));
+  add (Printf.sprintf "    \"confidence\": %s\n" (jnum a.cov.confidence));
+  add "  },\n";
+  add (Printf.sprintf "  \"fingerprint\": \"%s\",\n" a.fingerprint);
+  add (Printf.sprintf "  \"oracle\": \"%s\",\n" (oracle_name a.oracle));
+  add (Printf.sprintf "  \"truth\": %s,\n" (jnum a.truth));
+  add
+    (Printf.sprintf "  \"truth_exact\": %s,\n"
+       (match a.truth_exact with
+       | Some q -> "\"" ^ Rational.to_string q ^ "\""
+       | None -> "null"));
+  add (Printf.sprintf "  \"target\": %s,\n" (jnum a.cov.target));
+  add
+    (Printf.sprintf "  \"estimates\": [%s],\n"
+       (String.concat ", " (List.map jnum (Array.to_list a.cov.estimates))));
+  add (Printf.sprintf "  \"hits\": %d,\n" a.cov.hits);
+  add (Printf.sprintf "  \"coverage\": %s,\n" (jnum a.cov.coverage));
+  add (Printf.sprintf "  \"cp_low\": %s,\n" (jnum a.cov.cp_low));
+  add (Printf.sprintf "  \"cp_high\": %s,\n" (jnum a.cov.cp_high));
+  add (Printf.sprintf "  \"verdict\": \"%s\",\n" (verdict_name a.cov.verdict));
+  add "  \"error_budget\": ";
+  add (budget_rows_json a.budget);
+  add "\n}\n";
+  Buffer.contents buf
+
+let to_text a =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add
+    (Printf.sprintf "audit: fingerprint %s, oracle %s, truth %s\n" a.fingerprint
+       (oracle_name a.oracle)
+       (match a.truth_exact with
+       | Some q -> Printf.sprintf "%s (= %.9g)" (Rational.to_string q) a.truth
+       | None -> Printf.sprintf "%.9g" a.truth));
+  add
+    (Printf.sprintf "audit: %d/%d replicates within eps=%g of truth (coverage %.4f)\n"
+       a.cov.hits a.cov.runs a.eps a.cov.coverage);
+  add
+    (Printf.sprintf
+       "audit: %.0f%% Clopper-Pearson interval [%.4f, %.4f], contract target %.4f\n"
+       (100.0 *. a.cov.confidence) a.cov.cp_low a.cov.cp_high a.cov.target);
+  add (Printf.sprintf "audit: verdict %s\n" (String.uppercase_ascii (verdict_name a.cov.verdict)));
+  if Array.length a.budget > 0 then begin
+    add "error budget (granted vs achieved, per plan node):\n";
+    add (budget_rows_text a.budget)
+  end;
+  Buffer.contents buf

@@ -96,6 +96,57 @@ let cross_polytope d r =
 let halfspace ~dim term = make ~dim [ [ Atom.make term Atom.Le ] ]
 
 
+(* ---------------- canonical fingerprints ---------------- *)
+
+(* One atom as canonical text.  The term is rescaled so the leading
+   non-zero coefficient (first by variable order, else the constant)
+   has absolute value 1 — [2x - 2 <= 0] and [x - 1 <= 0] are the same
+   constraint and must hash identically.  Equality atoms additionally
+   fix the leading sign, since [t = 0] and [-t = 0] coincide.
+   Rational.to_string is canonical over the reduced representation, so
+   the text (and the hash) is independent of how the coefficients were
+   computed — including the Small/Big bigint boundary. *)
+let canonical_atom (a : Atom.t) =
+  let t = a.Atom.term in
+  let lead =
+    match Term.coeffs t with (_, c) :: _ -> c | [] -> Term.constant t
+  in
+  let t =
+    if Rational.is_zero lead then t
+    else begin
+      let scale =
+        match a.Atom.op with
+        | Atom.Eq -> Rational.inv lead (* sign-normalizing: lead becomes +1 *)
+        | Atom.Le | Atom.Lt -> Rational.inv (Rational.abs lead)
+      in
+      Term.scale scale t
+    end
+  in
+  let op = match a.Atom.op with Atom.Le -> "<=" | Atom.Lt -> "<" | Atom.Eq -> "=" in
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun (i, c) -> Buffer.add_string buf (Printf.sprintf "%d*%s+" i (Rational.to_string c)))
+    (Term.coeffs t);
+  Buffer.add_string buf (Rational.to_string (Term.constant t));
+  Buffer.add_string buf op;
+  Buffer.contents buf
+
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fingerprint r =
+  let tuple_key tuple =
+    String.concat ";" (List.sort_uniq String.compare (List.map canonical_atom tuple))
+  in
+  let keys = List.sort_uniq String.compare (List.map tuple_key r.tuples) in
+  let payload = Printf.sprintf "dim=%d|%s" r.dim (String.concat "|" keys) in
+  Printf.sprintf "%016Lx" (fnv64 payload)
+
 let to_text r =
   if r.tuples = [] then "false"
   else Format.asprintf "%a" Formula.pp (Dnf.to_formula r.tuples)

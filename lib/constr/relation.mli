@@ -59,6 +59,20 @@ val halfspace : dim:int -> Term.t -> t
 (** [{x | term <= 0}]. *)
 
 
+val fingerprint : t -> string
+(** Canonical 64-bit fingerprint of the relation, as 16 lowercase hex
+    characters.  Computed over the DNF'd exact-rational atoms:
+    every atom is rescaled so its leading coefficient has absolute
+    value 1 (sign-normalized for equalities), atoms are sorted and
+    deduplicated within each tuple, tuples are sorted and deduplicated
+    across the relation, and the result is FNV-1a-hashed together with
+    the dimension.  Insensitive to atom/tuple order, duplicate
+    atoms/tuples, positive rescaling of atoms and the internal bigint
+    representation of coefficients; distinct syntax trees of the same
+    set may still fingerprint differently (this is canonical hashing,
+    not semantic equivalence).  Keys audit ledger entries and, later,
+    prepared-relation caches. *)
+
 val to_text : t -> string
 (** The relation as parseable FO+LIN text (variables named [x0 …]);
     [Parser.parse_relation ~vars:["x0";…]] inverts it. *)

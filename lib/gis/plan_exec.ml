@@ -130,6 +130,76 @@ let attribution_json rows =
   in
   "[\n" ^ String.concat ",\n" (List.map row (Array.to_list rows)) ^ "\n  ]"
 
+type budget_row = {
+  b_id : int;
+  b_op : string;
+  b_eps : float;
+  b_delta : float;
+  b_predicted : float;
+  b_actual : float;
+  b_ratio : float;
+  b_delta_achieved : float;
+  b_slack : float;
+}
+
+let budget_attribution plan (attr : attribution_row array) =
+  let actuals = Hashtbl.create 16 in
+  Array.iter (fun a -> Hashtbl.replace actuals a.id a) attr;
+  Array.map
+    (fun (g : Scdb_plan.Plan.budget_grant) ->
+      let predicted, actual, ratio =
+        match Hashtbl.find_opt actuals g.Scdb_plan.Plan.g_id with
+        | Some a -> (a.predicted, a.actual, a.ratio)
+        | None -> (Float.nan, Float.nan, Float.nan)
+      in
+      let achieved =
+        if Float.is_nan g.Scdb_plan.Plan.g_delta then Float.nan
+        else Scdb_plan.Cost.delta_at_work_ratio ~delta:g.Scdb_plan.Plan.g_delta ~ratio
+      in
+      {
+        b_id = g.Scdb_plan.Plan.g_id;
+        b_op = g.Scdb_plan.Plan.g_op;
+        b_eps = g.Scdb_plan.Plan.g_eps;
+        b_delta = g.Scdb_plan.Plan.g_delta;
+        b_predicted = predicted;
+        b_actual = actual;
+        b_ratio = ratio;
+        b_delta_achieved = achieved;
+        b_slack = g.Scdb_plan.Plan.g_delta -. achieved;
+      })
+    (Scdb_plan.Plan.error_budget plan)
+
+let budget_attribution_json rows =
+  let jnum v =
+    if Float.is_nan v then "null"
+    else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.17g" v
+  in
+  let row r =
+    Printf.sprintf
+      "    {\"id\": %d, \"op\": \"%s\", \"eps\": %s, \"delta\": %s, \"predicted\": %s, \
+       \"actual\": %s, \"ratio\": %s, \"delta_achieved\": %s, \"slack\": %s}"
+      r.b_id r.b_op (jnum r.b_eps) (jnum r.b_delta) (jnum r.b_predicted) (jnum r.b_actual)
+      (jnum r.b_ratio) (jnum r.b_delta_achieved) (jnum r.b_slack)
+  in
+  "[\n" ^ String.concat ",\n" (List.map row (Array.to_list rows)) ^ "\n  ]"
+
+let budget_attribution_text rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%4s  %-8s %10s %10s %8s %12s %12s\n" "id" "op" "eps" "delta" "ratio"
+       "achieved" "slack");
+  Array.iter
+    (fun r ->
+      let g v = if Float.is_nan v then "-" else Printf.sprintf "%.3g" v in
+      Buffer.add_string buf
+        (Printf.sprintf "%4d  %-8s %10s %10s %8s %12s %12s\n" r.b_id r.b_op (g r.b_eps)
+           (g r.b_delta)
+           (if Float.is_finite r.b_ratio then Printf.sprintf "%.2f" r.b_ratio else "-")
+           (g r.b_delta_achieved) (g r.b_slack)))
+    rows;
+  Buffer.contents buf
+
 let attribution_text rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

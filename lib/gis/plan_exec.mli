@@ -69,3 +69,33 @@ val attribution_json : attribution_row array -> string
 
 val attribution_text : attribution_row array -> string
 (** Fixed-width table for terminals. *)
+
+type budget_row = {
+  b_id : int;
+  b_op : string;
+  b_eps : float;  (** granted ε of the node's own estimation phase *)
+  b_delta : float;  (** granted δ *)
+  b_predicted : float;  (** predicted work (steps + trials) *)
+  b_actual : float;  (** accrued work *)
+  b_ratio : float;  (** [actual/predicted]; [nan] when the node never ran *)
+  b_delta_achieved : float;
+      (** the δ the node's spent work actually buys at its granted ε,
+          via {!Scdb_plan.Cost.delta_at_work_ratio}; [nan] when it
+          never ran *)
+  b_slack : float;  (** [b_delta − b_delta_achieved]; negative = overdrawn *)
+}
+(** One node of the error-budget attribution: the (ε,δ) sub-contract
+    the plan granted ({!Scdb_plan.Plan.error_budget}) joined with the
+    work the node actually spent.  Guards carry [nan] throughout. *)
+
+val budget_attribution : Scdb_plan.Plan.t -> attribution_row array -> budget_row array
+(** Join grants with runtime actuals, in node-id order — the audit
+    block of [spatialdb report] and the [error_budget] section of
+    [spatialdb audit] documents. *)
+
+val budget_attribution_json : budget_row array -> string
+(** JSON array (two-space indented block); [nan] fields render as
+    [null]. *)
+
+val budget_attribution_text : budget_row array -> string
+(** Fixed-width table for terminals. *)

@@ -142,7 +142,7 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
           let buf = Buffer.create 8192 in
           let add = Buffer.add_string buf in
           add "{\n";
-          add "  \"schema\": \"spatialdb-report/3\",\n";
+          add "  \"schema\": \"spatialdb-report/4\",\n";
           add "  \"args\": {\n";
           add
             (Printf.sprintf "    \"vars\": [%s],\n"
@@ -181,6 +181,16 @@ let generate ?(eps = 0.2) ?(delta = 0.1) ?(samples = 10)
           add "  \"cost_attribution\": ";
           add (Plan_exec.attribution_json attribution);
           add ",\n";
+          (* The accuracy twin of cost_attribution: the (ε,δ) grants
+             each node received, the δ its spent work actually bought,
+             and the remaining slack — keyed by the relation's
+             canonical fingerprint (the future cache key). *)
+          add "  \"audit\": {\n";
+          add
+            (Printf.sprintf "    \"fingerprint\": \"%s\",\n" (Relation.fingerprint relation));
+          add "    \"error_budget\": ";
+          add (Plan_exec.budget_attribution_json (Plan_exec.budget_attribution plan attribution));
+          add "\n  },\n";
           add "  \"diagnostics\": ";
           (match diag with
           | Some d ->

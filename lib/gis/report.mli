@@ -4,7 +4,7 @@
     sample, estimate volume, and a multi-chain convergence check
     ({!Scdb_core.Diag_run}) — with tracing and telemetry enabled, and
     packages everything into one JSON document (schema
-    [spatialdb-report/3]) embedding:
+    [spatialdb-report/4]) embedding:
 
     - the CLI-equivalent arguments (vars, formula, seed, ε, δ, …);
     - the drawn samples and the volume estimate;
@@ -23,7 +23,7 @@
     reflect only this run. *)
 
 type t = {
-  json : string;  (** the [spatialdb-report/3] document *)
+  json : string;  (** the [spatialdb-report/4] document *)
   chrome_trace : string;  (** raw Chrome trace-event JSON *)
   text_tree : string;  (** indented text rendering of the spans *)
 }

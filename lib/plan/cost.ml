@@ -44,6 +44,21 @@ let volume_phases ~dim ?aspect () =
     else int_of_float (ceil (d *. (log aspect /. log 2.0)))
   end
 
+let achieved_delta_additive ~eps ~samples =
+  if eps <= 0.0 || samples < 0 then invalid_arg "Cost.achieved_delta_additive";
+  Float.min 1.0 (2.0 *. exp (-2.0 *. float_of_int samples *. eps *. eps))
+
+let achieved_delta_ratio ~eps ~p_lower ~samples =
+  if eps <= 0.0 || p_lower <= 0.0 || samples < 0 then
+    invalid_arg "Cost.achieved_delta_ratio";
+  Float.min 1.0 (2.0 *. exp (-.float_of_int samples *. eps *. eps *. p_lower /. 3.0))
+
+let delta_at_work_ratio ~delta ~ratio =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Cost.delta_at_work_ratio";
+  if Float.is_nan ratio then Float.nan
+  else if ratio <= 0.0 then 1.0
+  else Float.min 1.0 (2.0 *. ((delta /. 2.0) ** ratio))
+
 let volume_samples_per_phase ~eps ~delta ~phases =
   if phases = 0 then 0
   else begin

@@ -60,6 +60,32 @@ val rejection_box_trials : dim:int -> int
     the cost model only — the runtime budget is the sampler's
     [max_attempts] argument. *)
 
+(** {1 Inversions}
+
+    The audit layer ({!Scdb_audit} via [spatialdb audit] and the report
+    error-budget block) asks the converse question: given the samples a
+    node {e actually} spent, what failure probability did it achieve at
+    its granted [ε]?  These invert the bound forms above, clamped to
+    [(0, 1]]. *)
+
+val achieved_delta_additive : eps:float -> samples:int -> float
+(** Invert {!samples_for_additive}: [min 1 (2·exp(−2·n·ε²))] — the
+    Hoeffding failure probability [n] draws actually buy at additive
+    accuracy [ε].  @raise Invalid_argument unless [eps > 0] and
+    [samples >= 0]. *)
+
+val achieved_delta_ratio : eps:float -> p_lower:float -> samples:int -> float
+(** Invert {!samples_for_ratio}: [min 1 (2·exp(−n·ε²·p_lower/3))].
+    @raise Invalid_argument unless all arguments are admissible. *)
+
+val delta_at_work_ratio : delta:float -> ratio:float -> float
+(** Failure probability a node achieved when it spent [ratio] times its
+    granted work: every sample bound above has the exponential shape
+    [δ(n) = C·exp(−K·n)] with [δ(n_granted) = delta], so
+    [δ(ratio·n_granted) = 2·(delta/2)^ratio].  [nan] ratios (node never
+    ran) propagate; ratios [≤ 0] degrade to 1.
+    @raise Invalid_argument unless [delta] lies in (0,1). *)
+
 val volume_phases : dim:int -> ?aspect:float -> unit -> int
 (** Number of telescoping phases of the multi-phase volume estimator:
     [⌈d·log₂(R/r)⌉] for a rounded body with enclosing/inscribed radius

@@ -324,6 +324,43 @@ let find_node t id =
   iter_nodes (fun n -> if n.id = id then found := Some n) t;
   !found
 
+type budget_grant = { g_id : int; g_op : string; g_eps : float; g_delta : float }
+
+(* The volume-path (ε,δ) splits, mirroring how the runtime combinators
+   thread their accuracy parameters down (Union.volume, Inter.volume,
+   Diff.volume, Project, Boost in lib/core): the grant of a node is
+   the contract its own estimation phase must satisfy, the children's
+   grants are the sub-contracts it hands them.  Guards are
+   membership-only and carry no grant (nan). *)
+let error_budget t =
+  let rows = ref [] in
+  let rec go node eps delta =
+    let m = List.length node.children in
+    let (self_eps, self_delta), child_grant =
+      match node.op with
+      | Dfk _ | Grid_leaf _ -> ((eps, delta), (eps, delta))
+      | Union_op _ ->
+          (* Algorithm 1: child volumes at ε/3, δ/(4m); the node's own
+             acceptance-fraction phase at ε/3, δ/4. *)
+          ((eps /. 3.0, delta /. 4.0), (eps /. 3.0, delta /. float_of_int (4 * m)))
+      | Inter_op _ ->
+          ((eps /. 2.0, delta /. 4.0), (eps /. 2.0, delta /. float_of_int (4 * m)))
+      | Diff_op _ -> ((eps /. 2.0, delta /. 4.0), (eps /. 2.0, delta /. 4.0))
+      | Project_op _ -> ((eps /. 3.0, delta /. 3.0), (eps /. 3.0, delta /. 3.0))
+      | Boost_op _ ->
+          (* Median boosting: each run is only 3/4-confident. *)
+          ((eps, delta), (eps, 0.25))
+      | Guard -> ((Float.nan, Float.nan), (Float.nan, Float.nan))
+    in
+    rows := { g_id = node.id; g_op = op_name node.op; g_eps = self_eps; g_delta = self_delta } :: !rows;
+    let ce, cd = child_grant in
+    List.iter (fun c -> go c ce cd) node.children
+  in
+  go t.root t.eps t.delta;
+  let arr = Array.of_list !rows in
+  Array.sort (fun a b -> compare a.g_id b.g_id) arr;
+  arr
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)

@@ -132,6 +132,20 @@ val iter_nodes : (node -> unit) -> t -> unit
 
 val find_node : t -> int -> node option
 
+type budget_grant = { g_id : int; g_op : string; g_eps : float; g_delta : float }
+(** The (ε,δ) sub-contract granted to one plan node on the volume
+    path.  [nan] for membership-only guards. *)
+
+val error_budget : t -> budget_grant array
+(** Per-node granted accuracy budgets, in id order: the plan's (ε,δ)
+    recursively split exactly the way the runtime combinators thread
+    their parameters — a union's children are granted (ε/3, δ/4m) and
+    its own acceptance phase (ε/3, δ/4) per Algorithm 1, intersections
+    and differences halve ε with δ/4m / δ/4, projections split both by
+    3, boosting runs children at fixed confidence 3/4.  The audit layer
+    joins these grants with the runtime attribution actuals to report
+    consumed-vs-granted slack per node. *)
+
 (** {1 Serialization} *)
 
 val schema : string

@@ -487,9 +487,9 @@ let dump ?(only_nonzero = true) ?reg () =
 (* Prometheus text exposition format (version 0.0.4).  Counters render
    as [counter] samples with the conventional [_total] suffix;
    histograms render as [summary] families carrying the interpolated
-   p50/p90/p99 quantiles plus exact [_sum]/[_count] — the quantiles
-   inherit the log-bucket error bound documented in the interface, the
-   sum and count do not. *)
+   p50/p90/p99 quantiles plus exact [_sum]/[_count] and [_min]/[_max]
+   gauges — the quantiles inherit the log-bucket error bound
+   documented in the interface; the sum, count and extrema do not. *)
 let prometheus_name name =
   let buf = Buffer.create (String.length name + 16) in
   Buffer.add_string buf "spatialdb_";
@@ -536,7 +536,18 @@ let to_prometheus ?(only_nonzero = true) ?reg () =
                      (prometheus_float (Histogram.quantile_cell cell q))))
               [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
             Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prometheus_float cell.sum));
-            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n cell.n)
+            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n cell.n);
+            (* The exact observed extrema (tracked per cell alongside
+               the buckets); gauge families because a merged/reset min
+               can move either way.  Clamped to 0 on empty cells, like
+               [dump]. *)
+            List.iter
+              (fun (suffix, v) ->
+                let g = n ^ suffix in
+                Buffer.add_string buf
+                  (Printf.sprintf "# TYPE %s gauge\n%s %s\n" g g
+                     (prometheus_float (if cell.n = 0 then 0.0 else v))))
+              [ ("_min", cell.vmin); ("_max", cell.vmax) ]
           end)
     metrics;
   Buffer.contents buf

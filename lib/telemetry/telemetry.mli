@@ -188,8 +188,10 @@ val to_prometheus : ?only_nonzero:bool -> ?reg:Registry.t -> unit -> string
     [counter] families with the conventional [_total] suffix;
     histograms and timers become [summary] families with
     [quantile="0.5"/"0.9"/"0.99"] samples plus exact [_sum] and
-    [_count].  All values are finite (non-finite sums are clamped like
-    {!dump}).  [only_nonzero] as in {!dump}. *)
+    [_count], and [_min]/[_max] gauge families carrying the exact
+    observed extrema (0 on empty cells, as in {!dump}).  All values
+    are finite (non-finite sums are clamped like {!dump}).
+    [only_nonzero] as in {!dump}. *)
 
 val counter_value : ?reg:Registry.t -> string -> int option
 (** Registry lookup by name (default: ambient), for tests, report

@@ -195,6 +195,12 @@ let prometheus_tests =
                 "spatialdb_promtest_lat{quantile=\"0.99\"}";
                 "spatialdb_promtest_lat_count 3";
                 "spatialdb_promtest_lat_sum";
+                (* Exact observed extrema ride along as gauge families
+                   (a merged/reset min can move either way). *)
+                "# TYPE spatialdb_promtest_lat_min gauge";
+                "spatialdb_promtest_lat_min 0.5";
+                "# TYPE spatialdb_promtest_lat_max gauge";
+                "spatialdb_promtest_lat_max 2";
               ]));
     t "counter samples are monotonic across snapshots" (fun () ->
         with_tel (fun () ->

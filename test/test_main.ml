@@ -28,5 +28,6 @@ let () =
          Test_progress.suites;
          Test_obs.suites;
          Test_profile.suites;
+         Test_audit.suites;
          Test_cli.suites;
        ])

@@ -348,6 +348,25 @@ let trend_tests =
         write_bench "trend_f3.json" [ ("hit_and_run.step.seed", 1000.0); ("kernel.tiny", 90.0) ];
         Alcotest.(check int) "regressing past the floor re-enters the ledger" 1
           (trend_run [ "trend_f1.json"; "trend_f2.json"; "trend_f3.json" ]));
+    t "trend baseline shrugs off one skewed-reference file" (fun () ->
+        (* In file 3 the reference kernel ran 2x slow, deflating every
+           normalized value in that file by the same common-mode
+           factor.  A minimum baseline would be poisoned forever (the
+           honest file 4 reads 2x its minimum); the median baseline
+           must pass it. *)
+        write_bench "trend_s1.json" [ ("hit_and_run.step.seed", 1000.0); ("kernel.x", 100.0) ];
+        write_bench "trend_s2.json" [ ("hit_and_run.step.seed", 1000.0); ("kernel.x", 100.0) ];
+        write_bench "trend_s3.json" [ ("hit_and_run.step.seed", 2000.0); ("kernel.x", 100.0) ];
+        write_bench "trend_s4.json" [ ("hit_and_run.step.seed", 1000.0); ("kernel.x", 100.0) ];
+        Alcotest.(check int) "exit 0" 0
+          (trend_run [ "trend_s1.json"; "trend_s2.json"; "trend_s3.json"; "trend_s4.json" ]);
+        (* ... while an ending that sits above the typical level by more
+           than the threshold still fails even though the skewed file
+           dragged the median down a little. *)
+        write_bench "trend_s5.json" [ ("hit_and_run.step.seed", 1000.0); ("kernel.x", 140.0) ];
+        Alcotest.(check int) "regressed ending still fails" 1
+          (trend_run
+             [ "trend_s1.json"; "trend_s2.json"; "trend_s3.json"; "trend_s4.json"; "trend_s5.json" ]));
     t "trend flags the committed BENCH_1..3 drift retroactively" (fun () ->
         (* The incremental hit-and-run kernel silently regressed
            1624 -> 2046 ns between BENCH_2 and BENCH_3 while the seed

@@ -1,4 +1,4 @@
-(* End-to-end tests for the spatialdb-report/3 generator on the paper's
+(* End-to-end tests for the spatialdb-report/4 generator on the paper's
    Figure 1 triangle. *)
 
 module Report = Scdb_gis.Report
@@ -20,7 +20,7 @@ let report_tests =
         | Error e -> Alcotest.failf "generate failed: %s" e
         | Ok r ->
             let doc = J.parse r.Report.json in
-            Alcotest.(check (option string)) "schema" (Some "spatialdb-report/3")
+            Alcotest.(check (option string)) "schema" (Some "spatialdb-report/4")
               (J.to_string (get "schema" (J.member "schema" doc)));
             (* The embedded plan is a valid spatialdb-plan/1 document
                budgeted for the report task. *)
